@@ -1,0 +1,39 @@
+# Arlo reproduction — common targets.
+
+GO ?= go
+
+.PHONY: all build test test-short race bench experiments experiments-full vet fmt clean
+
+all: build test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+test-short:
+	$(GO) test -short ./...
+
+race:
+	$(GO) test -race ./internal/cluster/ ./internal/serve/ ./internal/core/ ./internal/multistream/ ./internal/metrics/
+
+bench:
+	$(GO) test -bench=. -benchmem -run=^$$ .
+
+# Regenerate every table and figure of the paper (quick mode, ~1 min).
+experiments:
+	$(GO) run ./cmd/arlobench -exp all
+
+# Paper-scale workloads (several minutes).
+experiments-full:
+	$(GO) run ./cmd/arlobench -exp all -full
+
+vet:
+	$(GO) vet ./...
+
+fmt:
+	gofmt -w .
+
+clean:
+	$(GO) clean ./...

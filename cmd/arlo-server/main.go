@@ -1,0 +1,90 @@
+// Command arlo-server runs the HTTP serving front end over an Arlo-
+// scheduled emulated GPU cluster: POST /v1/infer with {"text": "..."}
+// tokenizes the input, dispatches it by sequence length through the
+// Request Scheduler, and returns the (emulated) classification with the
+// measured latency.
+//
+// Usage:
+//
+//	arlo-server -addr :8080 -model bert-base -gpus 8
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"time"
+
+	"arlo/internal/allocator"
+	"arlo/internal/core"
+	"arlo/internal/serve"
+	"arlo/internal/tokenizer"
+)
+
+func main() {
+	var (
+		addr        = flag.String("addr", ":8080", "listen address")
+		model       = flag.String("model", "bert-base", "model preset (bert-base, bert-large)")
+		gpus        = flag.Int("gpus", 8, "emulated GPU count")
+		adaptive    = flag.Bool("adaptive", false, "run the online control plane (periodic reallocation + auto-scaling)")
+		allocPeriod = flag.Duration("alloc-period", 30*time.Second, "reallocation period in adaptive mode")
+	)
+	flag.Parse()
+
+	a, err := core.New(core.Options{Model: *model})
+	if err != nil {
+		log.Fatalf("arlo-server: %v", err)
+	}
+	// Allocate for a Twitter-shaped demand mix until real traffic
+	// statistics accumulate.
+	q := make([]float64, len(a.Profile.Runtimes))
+	for i := range q {
+		q[i] = 100.0 / float64(i+1)
+	}
+	cl, err := a.NewCluster(*gpus, q)
+	if err != nil {
+		log.Fatalf("arlo-server: %v", err)
+	}
+	defer cl.Close()
+
+	srv, err := serve.NewServer(tokenizer.New(), cl, a.Model.Arch().MaxLength)
+	if err != nil {
+		log.Fatalf("arlo-server: %v", err)
+	}
+	if *adaptive {
+		scaler, err := allocator.NewAutoScaler(a.SLO())
+		if err != nil {
+			log.Fatalf("arlo-server: %v", err)
+		}
+		ctrl, err := a.NewController(cl, core.ControllerOptions{
+			AllocPeriod: *allocPeriod,
+			Scaler:      scaler,
+		})
+		if err != nil {
+			log.Fatalf("arlo-server: %v", err)
+		}
+		srv.SetObserver(ctrl)
+		ctrl.Start()
+		defer ctrl.Stop()
+		fmt.Printf("arlo-server: adaptive control plane active (period %v)\n", *allocPeriod)
+	}
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           srv,
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+	go func() {
+		sig := make(chan os.Signal, 1)
+		signal.Notify(sig, os.Interrupt)
+		<-sig
+		httpSrv.Close()
+	}()
+	fmt.Printf("arlo-server: %s on %s with %d emulated GPUs (%d runtimes, SLO %v)\n",
+		*model, *addr, *gpus, len(a.Profile.Runtimes), a.SLO())
+	if err := httpSrv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+		log.Fatalf("arlo-server: %v", err)
+	}
+}

@@ -1,0 +1,76 @@
+// Command arlotrace generates and inspects synthetic request traces.
+//
+// Usage:
+//
+//	arlotrace -kind stable -rate 1000 -duration 1m -seed 7
+//	arlotrace -kind bursty -rate 8000 -duration 10m -stats
+//	arlotrace -kind raw -rate 300 -duration 10m -cdf
+//
+// Kinds: "stable" (Poisson, recalibrated lengths), "bursty" (MMPP,
+// recalibrated lengths), "raw" (Poisson, raw Twitter-calibrated lengths,
+// max 125). Without -stats or -cdf the trace is written to stdout as CSV
+// (id,at_ms,length).
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"arlo/internal/trace"
+)
+
+func main() {
+	var (
+		kind     = flag.String("kind", "stable", "trace kind: stable, bursty, raw")
+		rate     = flag.Float64("rate", 1000, "average arrival rate (req/s)")
+		duration = flag.Duration("duration", time.Minute, "trace window")
+		seed     = flag.Int64("seed", 42, "generation seed")
+		stats    = flag.Bool("stats", false, "print summary statistics only")
+		cdf      = flag.Bool("cdf", false, "print the length CDF only")
+	)
+	flag.Parse()
+
+	var cfg trace.Config
+	switch *kind {
+	case "stable":
+		cfg = trace.Stable(*seed, *rate, *duration)
+	case "bursty":
+		cfg = trace.Bursty(*seed, *rate, *duration)
+	case "raw":
+		cfg = trace.Config{
+			Seed:     *seed,
+			Duration: *duration,
+			Arrivals: trace.Poisson{Rate: *rate},
+			Lengths:  trace.TwitterLengths(*seed),
+		}
+	default:
+		fmt.Fprintf(os.Stderr, "arlotrace: unknown kind %q\n", *kind)
+		os.Exit(2)
+	}
+	tr, err := trace.Generate(cfg)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "arlotrace: %v\n", err)
+		os.Exit(1)
+	}
+
+	switch {
+	case *stats:
+		st := tr.Stats()
+		fmt.Printf("requests: %d\nmean rate: %.1f req/s\nlength p50: %d\nlength p98: %d\nlength max: %d\nlength mean: %.1f\n",
+			st.Count, tr.MeanRate(), st.Median, st.P98, st.Max, st.Mean)
+	case *cdf:
+		for _, pt := range tr.LengthCDF() {
+			fmt.Printf("%d,%.6f\n", pt.Length, pt.F)
+		}
+	default:
+		w := bufio.NewWriter(os.Stdout)
+		defer w.Flush()
+		fmt.Fprintln(w, "id,at_ms,length")
+		for _, r := range tr.Requests {
+			fmt.Fprintf(w, "%d,%.3f,%d\n", r.ID, float64(r.At)/float64(time.Millisecond), r.Length)
+		}
+	}
+}

@@ -1,0 +1,55 @@
+// Autoscaling: serve a bursty BERT-Large stream starting from a small
+// cluster and let the target-tracking auto-scaler (paper section 4) grow
+// and shrink the GPU pool while the Runtime Scheduler keeps rebalancing
+// the runtimes.
+//
+//	go run ./examples/autoscaling
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"arlo/internal/core"
+	"arlo/internal/trace"
+)
+
+func main() {
+	a, err := core.New(core.Options{Model: "bert-large", AllocPeriod: 45 * time.Second})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// A bursty stream whose load swings on the minute scale.
+	rate := 500.0
+	tr, err := trace.Generate(trace.Config{
+		Seed:     11,
+		Duration: 5 * time.Minute,
+		Arrivals: trace.MMPP{
+			LowRate:  0.6 * rate / 0.9,
+			HighRate: 1.5 * rate / 0.9,
+			MeanLow:  60 * time.Second,
+			MeanHigh: 30 * time.Second,
+		},
+		Lengths: trace.TwitterRecalibrated(11),
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("bursty Bert-Large stream: %d requests over %v (avg %.0f req/s)\n",
+		len(tr.Requests), tr.Duration, tr.MeanRate())
+
+	res, err := a.SimulateAutoScaled(tr, 4) // start with 4 GPUs
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("latency: %v\n", res.Summary)
+	fmt.Printf("scaling: %d scale-outs, %d scale-ins, %d instance replacements\n",
+		res.ScaleOuts, res.ScaleIns, res.Replacements)
+	fmt.Printf("GPUs: time-weighted %.2f, final %.0f\n", res.TimeWeightedGPUs, res.GPUs.Last())
+	fmt.Println("\nGPU count over time:")
+	for _, pt := range res.GPUs.Series() {
+		fmt.Printf("  t=%6.1fs  %2.0f GPUs\n", pt.At.Seconds(), pt.Value)
+	}
+}

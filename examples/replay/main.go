@@ -1,0 +1,67 @@
+// Replay: capture a production-like trace to CSV, load it back, and
+// replay its empirical length distribution at a higher rate — the
+// workflow for evaluating Arlo against your own recorded traffic.
+//
+//	go run ./examples/replay
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"log"
+	"time"
+
+	"arlo/internal/core"
+	"arlo/internal/trace"
+)
+
+func main() {
+	// 1. "Record" a production trace (here: synthesized) and persist it.
+	recorded, err := trace.Generate(trace.Stable(3, 600, 30*time.Second))
+	if err != nil {
+		log.Fatal(err)
+	}
+	var csvBuf bytes.Buffer
+	if err := recorded.WriteCSV(&csvBuf); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("recorded %d requests (%d CSV bytes)\n", len(recorded.Requests), csvBuf.Len())
+
+	// 2. Load it back, exactly as a downstream user would from a file.
+	loaded, err := trace.ReadCSV(&csvBuf, recorded.Duration)
+	if err != nil {
+		log.Fatal(err)
+	}
+	st := loaded.Stats()
+	fmt.Printf("loaded: p50=%d p98=%d max=%d\n", st.Median, st.P98, st.Max)
+
+	// 3. Build the empirical length distribution and replay it at 3x the
+	//    recorded rate to answer: "do 10 GPUs hold at projected growth?"
+	emp, err := trace.NewEmpiricalLengths(loaded.Lengths())
+	if err != nil {
+		log.Fatal(err)
+	}
+	projected, err := trace.Generate(trace.Config{
+		Seed:     4,
+		Duration: 30 * time.Second,
+		Arrivals: trace.Poisson{Rate: 3 * loaded.MeanRate()},
+		Lengths:  emp,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	a, err := core.New(core.Options{Model: "bert-base"})
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := a.Simulate(projected, 10)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("replay at 3x rate (%.0f req/s) on 10 GPUs: %v\n", projected.MeanRate(), res.Summary)
+	if res.Summary.SLOFraction == 0 {
+		fmt.Println("verdict: 10 GPUs hold the projected load within the SLO")
+	} else {
+		fmt.Printf("verdict: provision more GPUs (%.2f%% SLO violations)\n", 100*res.Summary.SLOFraction)
+	}
+}

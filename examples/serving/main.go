@@ -1,0 +1,63 @@
+// Serving: the end-to-end text path — spin up the HTTP front end over an
+// Arlo-scheduled emulated cluster in-process, classify a few texts of very
+// different lengths, and show how the tokenized length drives which
+// runtime serves each request.
+//
+//	go run ./examples/serving
+package main
+
+import (
+	"fmt"
+	"log"
+	"net/http/httptest"
+	"strings"
+
+	"arlo/internal/core"
+	"arlo/internal/serve"
+	"arlo/internal/tokenizer"
+)
+
+func main() {
+	a, err := core.New(core.Options{Model: "bert-base"})
+	if err != nil {
+		log.Fatal(err)
+	}
+	cl, err := a.NewCluster(8, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer cl.Close()
+
+	tok := tokenizer.New()
+	srv, err := serve.NewServer(tok, cl, a.Model.Arch().MaxLength)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+	client := &serve.Client{BaseURL: ts.URL}
+	fmt.Printf("serving %s behind %s with 8 emulated GPUs\n\n", a.Model.Arch().Name, ts.URL)
+
+	texts := []string{
+		"good morning twitter",
+		"check out this video of the game last night, the team played so well and the final minutes were unbelievable",
+		strings.Repeat("the quick brown fox jumps over the lazy dog and keeps running through the long winding story of the day ", 12),
+	}
+	for i, text := range texts {
+		resp, err := client.Infer(text)
+		if err != nil {
+			log.Fatal(err)
+		}
+		ideal, _ := a.Profile.IdealRuntime(resp.SequenceLength)
+		fmt.Printf("text %d: %d chars -> %d tokens -> ideal runtime max_length %d\n",
+			i+1, len(text), resp.SequenceLength, a.Profile.Runtimes[ideal].MaxLength)
+		fmt.Printf("        label=%q latency=%.2f ms\n", resp.Label, resp.LatencyMS)
+	}
+
+	stats, err := client.Stats()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nserver stats: served=%d rejected=%d instances=%d\n",
+		stats.Served, stats.Rejected, stats.Instances)
+}

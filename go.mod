@@ -1,0 +1,3 @@
+module arlo
+
+go 1.22

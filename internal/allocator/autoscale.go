@@ -1,0 +1,195 @@
+package allocator
+
+import (
+	"fmt"
+	"time"
+)
+
+// ScaleAction is an auto-scaler decision.
+type ScaleAction int
+
+const (
+	// ScaleNone keeps the cluster size.
+	ScaleNone ScaleAction = iota
+	// ScaleOut adds one GPU worker, loaded with the maximum-length
+	// runtime so it can immediately absorb any request.
+	ScaleOut
+	// ScaleIn releases the least busy instance.
+	ScaleIn
+)
+
+// String returns the action name.
+func (a ScaleAction) String() string {
+	switch a {
+	case ScaleNone:
+		return "none"
+	case ScaleOut:
+		return "scale-out"
+	case ScaleIn:
+		return "scale-in"
+	default:
+		return fmt.Sprintf("ScaleAction(%d)", int(a))
+	}
+}
+
+// AutoScaler implements the paper's target-tracking scaling policy
+// (section 4): a worker is added when the p98 latency of recently executed
+// requests reaches 95% of the SLO; the least busy instance is released
+// when the p98 stays below 50% of the SLO over a 60-second evaluation
+// period. The Runtime Scheduler re-optimizes the allocation after every
+// action.
+type AutoScaler struct {
+	// SLO is the stream's latency objective.
+	SLO time.Duration
+	// OutFraction and InFraction are the p98/SLO thresholds (defaults
+	// 0.95 and 0.50).
+	OutFraction, InFraction float64
+	// InPeriod is the scale-in evaluation period (default 60 s).
+	InPeriod time.Duration
+	// OutCooldown rate-limits consecutive scale-outs (default 5 s) so one
+	// burst does not add a worker per observation tick.
+	OutCooldown time.Duration
+	// MinGPUs and MaxGPUs clamp the cluster size (defaults 1 and no cap).
+	MinGPUs, MaxGPUs int
+
+	lastOut     time.Duration
+	inWindowOK  bool // p98 stayed under the scale-in threshold all window
+	windowStart time.Duration
+	started     bool
+}
+
+// NewAutoScaler returns an AutoScaler with the paper's defaults for the
+// given SLO.
+func NewAutoScaler(slo time.Duration) (*AutoScaler, error) {
+	if slo <= 0 {
+		return nil, fmt.Errorf("allocator: autoscaler needs a positive SLO, got %v", slo)
+	}
+	return &AutoScaler{
+		SLO:         slo,
+		OutFraction: 0.95,
+		InFraction:  0.50,
+		InPeriod:    60 * time.Second,
+		OutCooldown: 5 * time.Second,
+		MinGPUs:     1,
+	}, nil
+}
+
+// Observe feeds one periodic observation: the p98 latency of recently
+// completed requests at virtual time now with the given current GPU count.
+// It returns the action to take. Callers apply the action and continue
+// observing.
+func (a *AutoScaler) Observe(now time.Duration, p98 time.Duration, gpus int) ScaleAction {
+	if !a.started {
+		a.started = true
+		a.windowStart = now
+		a.inWindowOK = true
+		a.lastOut = now - a.OutCooldown // allow an immediate first scale-out
+	}
+	outThresh := time.Duration(a.OutFraction * float64(a.SLO))
+	inThresh := time.Duration(a.InFraction * float64(a.SLO))
+
+	if p98 >= outThresh {
+		a.inWindowOK = false
+		a.windowStart = now // any pressure restarts the scale-in window
+		if now-a.lastOut >= a.OutCooldown && (a.MaxGPUs <= 0 || gpus < a.MaxGPUs) {
+			a.lastOut = now
+			return ScaleOut
+		}
+		return ScaleNone
+	}
+	if p98 >= inThresh {
+		// Comfortable but not idle: reset the scale-in window.
+		a.inWindowOK = true
+		a.windowStart = now
+		return ScaleNone
+	}
+	// Below the scale-in threshold: release a worker only after a full
+	// quiet period.
+	if !a.inWindowOK {
+		a.inWindowOK = true
+		a.windowStart = now
+		return ScaleNone
+	}
+	if now-a.windowStart >= a.InPeriod && gpus > a.MinGPUs {
+		a.windowStart = now
+		return ScaleIn
+	}
+	return ScaleNone
+}
+
+// Scaler abstracts the auto-scaling policy the serving loop consults:
+// target tracking (AutoScaler, Arlo's choice) or headroom-based
+// (HeadroomScaler, the INFaaS-style heuristic the paper equips ST, DT and
+// INFaaS with). Observations carry both the recent p98 latency and the
+// cluster's queue utilization so either signal can drive the decision.
+type Scaler interface {
+	// ObserveLoad reports the recent p98 latency and the cluster-wide
+	// queue utilization (outstanding work / SLO capacity, 0..1+) at
+	// virtual time now with the current GPU count, returning an action.
+	ObserveLoad(now time.Duration, p98 time.Duration, utilization float64, gpus int) ScaleAction
+}
+
+// ObserveLoad implements Scaler for the target-tracking policy: it keys
+// on the latency signal and ignores utilization.
+func (a *AutoScaler) ObserveLoad(now time.Duration, p98 time.Duration, _ float64, gpus int) ScaleAction {
+	return a.Observe(now, p98, gpus)
+}
+
+// HeadroomScaler is the INFaaS-style heuristic (paper section 5,
+// "Compared schemes"): keep a utilization headroom by adding a worker
+// when cluster queue utilization exceeds OutThreshold and releasing one
+// when it stays under InThreshold for a full InPeriod. It never looks at
+// latency.
+type HeadroomScaler struct {
+	// OutThreshold triggers scale-out (default 0.8).
+	OutThreshold float64
+	// InThreshold arms scale-in (default 0.3).
+	InThreshold float64
+	// InPeriod is how long utilization must stay low (default 60 s).
+	InPeriod time.Duration
+	// OutCooldown rate-limits scale-outs (default 5 s).
+	OutCooldown time.Duration
+	// MinGPUs/MaxGPUs clamp the pool (defaults 1 / unbounded).
+	MinGPUs, MaxGPUs int
+
+	started     bool
+	lastOut     time.Duration
+	windowStart time.Duration
+}
+
+// NewHeadroomScaler returns a HeadroomScaler with the defaults above.
+func NewHeadroomScaler() *HeadroomScaler {
+	return &HeadroomScaler{
+		OutThreshold: 0.8,
+		InThreshold:  0.3,
+		InPeriod:     60 * time.Second,
+		OutCooldown:  5 * time.Second,
+		MinGPUs:      1,
+	}
+}
+
+// ObserveLoad implements Scaler.
+func (h *HeadroomScaler) ObserveLoad(now time.Duration, _ time.Duration, utilization float64, gpus int) ScaleAction {
+	if !h.started {
+		h.started = true
+		h.windowStart = now
+		h.lastOut = now - h.OutCooldown
+	}
+	if utilization >= h.OutThreshold {
+		h.windowStart = now
+		if now-h.lastOut >= h.OutCooldown && (h.MaxGPUs <= 0 || gpus < h.MaxGPUs) {
+			h.lastOut = now
+			return ScaleOut
+		}
+		return ScaleNone
+	}
+	if utilization >= h.InThreshold {
+		h.windowStart = now
+		return ScaleNone
+	}
+	if now-h.windowStart >= h.InPeriod && gpus > h.MinGPUs {
+		h.windowStart = now
+		return ScaleIn
+	}
+	return ScaleNone
+}

@@ -1,0 +1,165 @@
+package allocator
+
+import (
+	"testing"
+	"time"
+)
+
+func newScaler(t *testing.T) *AutoScaler {
+	t.Helper()
+	a, err := NewAutoScaler(450 * time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a
+}
+
+func TestNewAutoScalerValidation(t *testing.T) {
+	if _, err := NewAutoScaler(0); err == nil {
+		t.Error("zero SLO should fail")
+	}
+}
+
+func TestScaleOutOnPressure(t *testing.T) {
+	a := newScaler(t)
+	// p98 at 95% of the SLO triggers an immediate scale-out.
+	if got := a.Observe(0, 428*time.Millisecond, 5); got != ScaleOut {
+		t.Errorf("action = %v, want scale-out", got)
+	}
+	// Cooldown suppresses an immediate second scale-out.
+	if got := a.Observe(time.Second, 440*time.Millisecond, 6); got != ScaleNone {
+		t.Errorf("action during cooldown = %v, want none", got)
+	}
+	// After the cooldown, pressure scales out again.
+	if got := a.Observe(7*time.Second, 440*time.Millisecond, 6); got != ScaleOut {
+		t.Errorf("action after cooldown = %v, want scale-out", got)
+	}
+}
+
+func TestScaleOutRespectsMax(t *testing.T) {
+	a := newScaler(t)
+	a.MaxGPUs = 5
+	if got := a.Observe(0, 449*time.Millisecond, 5); got != ScaleNone {
+		t.Errorf("at MaxGPUs action = %v, want none", got)
+	}
+}
+
+func TestScaleInAfterQuietPeriod(t *testing.T) {
+	a := newScaler(t)
+	low := 100 * time.Millisecond // < 50% of 450 ms
+	if got := a.Observe(0, low, 8); got != ScaleNone {
+		t.Errorf("first observation = %v, want none", got)
+	}
+	if got := a.Observe(30*time.Second, low, 8); got != ScaleNone {
+		t.Errorf("mid-window = %v, want none", got)
+	}
+	if got := a.Observe(61*time.Second, low, 8); got != ScaleIn {
+		t.Errorf("after 60s quiet = %v, want scale-in", got)
+	}
+	// The window restarts after an action.
+	if got := a.Observe(62*time.Second, low, 7); got != ScaleNone {
+		t.Errorf("right after scale-in = %v, want none", got)
+	}
+}
+
+func TestScaleInBlockedByPressureSpike(t *testing.T) {
+	a := newScaler(t)
+	low := 100 * time.Millisecond
+	mid := 300 * time.Millisecond // between 50% and 95%
+	a.Observe(0, low, 8)
+	a.Observe(30*time.Second, mid, 8) // comfort-zone reading resets the window
+	if got := a.Observe(61*time.Second, low, 8); got != ScaleNone {
+		t.Errorf("window should have been reset, got %v", got)
+	}
+	if got := a.Observe(91*time.Second, low, 8); got != ScaleIn {
+		t.Errorf("after fresh 60s quiet = %v, want scale-in", got)
+	}
+}
+
+func TestScaleInRespectsMin(t *testing.T) {
+	a := newScaler(t)
+	a.MinGPUs = 3
+	low := 50 * time.Millisecond
+	a.Observe(0, low, 3)
+	if got := a.Observe(2*time.Minute, low, 3); got != ScaleNone {
+		t.Errorf("at MinGPUs action = %v, want none", got)
+	}
+}
+
+func TestPressureResetsQuietWindow(t *testing.T) {
+	a := newScaler(t)
+	low := 50 * time.Millisecond
+	hot := 440 * time.Millisecond
+	a.Observe(0, low, 4)
+	a.Observe(50*time.Second, hot, 4) // scale-out likely; window must reset
+	if got := a.Observe(70*time.Second, low, 5); got == ScaleIn {
+		t.Error("quiet window must restart after pressure")
+	}
+	if got := a.Observe(131*time.Second, low, 5); got != ScaleIn {
+		t.Errorf("after a full fresh window = %v, want scale-in", got)
+	}
+}
+
+func TestScaleActionString(t *testing.T) {
+	if ScaleNone.String() != "none" || ScaleOut.String() != "scale-out" || ScaleIn.String() != "scale-in" {
+		t.Error("bad action strings")
+	}
+	if ScaleAction(9).String() == "" {
+		t.Error("unknown action should still print")
+	}
+}
+
+func TestHeadroomScalerScalesOutOnUtilization(t *testing.T) {
+	h := NewHeadroomScaler()
+	if got := h.ObserveLoad(0, 0, 0.85, 5); got != ScaleOut {
+		t.Errorf("85%% utilization = %v, want scale-out", got)
+	}
+	// Cooldown suppresses back-to-back scale-outs.
+	if got := h.ObserveLoad(time.Second, 0, 0.9, 6); got != ScaleNone {
+		t.Errorf("during cooldown = %v, want none", got)
+	}
+	if got := h.ObserveLoad(7*time.Second, 0, 0.9, 6); got != ScaleOut {
+		t.Errorf("after cooldown = %v, want scale-out", got)
+	}
+}
+
+func TestHeadroomScalerScalesInAfterQuiet(t *testing.T) {
+	h := NewHeadroomScaler()
+	if got := h.ObserveLoad(0, 0, 0.1, 5); got != ScaleNone {
+		t.Errorf("first low reading = %v, want none", got)
+	}
+	if got := h.ObserveLoad(61*time.Second, 0, 0.1, 5); got != ScaleIn {
+		t.Errorf("after 60s quiet = %v, want scale-in", got)
+	}
+	// Mid-band readings reset the window.
+	h2 := NewHeadroomScaler()
+	h2.ObserveLoad(0, 0, 0.1, 5)
+	h2.ObserveLoad(30*time.Second, 0, 0.5, 5)
+	if got := h2.ObserveLoad(61*time.Second, 0, 0.1, 5); got != ScaleNone {
+		t.Errorf("window should have been reset, got %v", got)
+	}
+}
+
+func TestHeadroomScalerRespectsBounds(t *testing.T) {
+	h := NewHeadroomScaler()
+	h.MaxGPUs = 5
+	if got := h.ObserveLoad(0, 0, 0.95, 5); got != ScaleNone {
+		t.Errorf("at MaxGPUs = %v, want none", got)
+	}
+	h2 := NewHeadroomScaler()
+	h2.MinGPUs = 3
+	h2.ObserveLoad(0, 0, 0.1, 3)
+	if got := h2.ObserveLoad(2*time.Minute, 0, 0.1, 3); got != ScaleNone {
+		t.Errorf("at MinGPUs = %v, want none", got)
+	}
+}
+
+func TestAutoScalerImplementsScaler(t *testing.T) {
+	var _ Scaler = &AutoScaler{}
+	var _ Scaler = &HeadroomScaler{}
+	a := newScaler(t)
+	// ObserveLoad delegates to the latency-keyed policy.
+	if got := a.ObserveLoad(0, 449*time.Millisecond, 0.0, 5); got != ScaleOut {
+		t.Errorf("target tracking via ObserveLoad = %v, want scale-out", got)
+	}
+}

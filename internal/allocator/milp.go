@@ -1,0 +1,118 @@
+package allocator
+
+import (
+	"fmt"
+	"math"
+
+	"arlo/internal/ilp"
+	"arlo/internal/lp"
+)
+
+// AllocateMILP solves the no-demotion variant of the allocation program
+// through the generic MILP substrate (packages lp and ilp) — the code
+// path a commercial solver like GUROBI would take in the paper. Demotion
+// makes the exact program non-linear (the R_i cascade), so this
+// formulation requires every runtime to fully serve its own bin
+// (N_i >= ceil(Q_i / M_i)) and linearizes the objective by enumerating
+// the per-runtime cost curve into binary selection variables:
+//
+//	min  sum_{i,n} cost_i(n) * y_{i,n}
+//	s.t. sum_n y_{i,n} = 1           for every runtime i
+//	     sum_{i,n} n * y_{i,n} = G
+//	     y binary
+//
+// It returns the allocation and its cost. When the optimal solution of
+// the full program performs no demotion, the result matches Solver.
+// Allocate exactly; the cross-check tests rely on that. Intended for
+// modest instances (the binary grid has roughly I*G variables); the
+// Pareto-DP solver remains the production path.
+func (s *Solver) AllocateMILP(g int, q []float64) (*Allocation, error) {
+	rts := s.Profile.Runtimes
+	if len(q) != len(rts) {
+		return nil, fmt.Errorf("allocator: demand has %d bins for %d runtimes", len(q), len(rts))
+	}
+	if g < 1 {
+		return nil, fmt.Errorf("allocator: need at least one GPU, got %d", g)
+	}
+	// Per-runtime feasible ranges under the no-demotion restriction.
+	lo := make([]int, len(rts))
+	hi := make([]int, len(rts))
+	need := 0
+	for i, rt := range rts {
+		if q[i] < 0 || math.IsNaN(q[i]) || math.IsInf(q[i], 0) {
+			return nil, fmt.Errorf("allocator: invalid demand %v for runtime %d", q[i], i)
+		}
+		lo[i] = int(math.Ceil(q[i] / float64(rt.Capacity)))
+		if i == len(rts)-1 && lo[i] < 1 {
+			lo[i] = 1 // Eq. 7
+		}
+		need += lo[i]
+	}
+	if need > g {
+		return nil, fmt.Errorf("allocator: no-demotion variant needs %d GPUs, only %d available", need, g)
+	}
+	for i := range rts {
+		hi[i] = g - (need - lo[i])
+		// Extra instances beyond one per request are useless.
+		if useful := int(math.Ceil(q[i])); useful > lo[i] && useful < hi[i] {
+			hi[i] = useful
+		}
+		if hi[i] < lo[i] {
+			hi[i] = lo[i]
+		}
+	}
+	// Build the binary grid.
+	type cell struct{ rt, n int }
+	var cells []cell
+	var objective []float64
+	for i, rt := range rts {
+		for n := lo[i]; n <= hi[i]; n++ {
+			cells = append(cells, cell{rt: i, n: n})
+			cost := 0.0
+			if q[i] > 0 {
+				cost = rt.MeanLatency(q[i]/float64(n)).Seconds() * q[i]
+			}
+			objective = append(objective, cost)
+		}
+	}
+	numVars := len(cells)
+	cons := make([]lp.Constraint, 0, len(rts)+1+numVars)
+	// One selection per runtime.
+	for i := range rts {
+		coeffs := make([]float64, numVars)
+		for j, c := range cells {
+			if c.rt == i {
+				coeffs[j] = 1
+			}
+		}
+		cons = append(cons, lp.Constraint{Coeffs: coeffs, Sense: lp.EQ, RHS: 1})
+	}
+	// GPUs sum to G.
+	gpuCoeffs := make([]float64, numVars)
+	for j, c := range cells {
+		gpuCoeffs[j] = float64(c.n)
+	}
+	cons = append(cons, lp.Constraint{Coeffs: gpuCoeffs, Sense: lp.EQ, RHS: float64(g)})
+	// Binary upper bounds (lower bound 0 is implicit).
+	for j := 0; j < numVars; j++ {
+		coeffs := make([]float64, numVars)
+		coeffs[j] = 1
+		cons = append(cons, lp.Constraint{Coeffs: coeffs, Sense: lp.LE, RHS: 1})
+	}
+	sol, status, err := ilp.Solve(&ilp.Problem{
+		LP: lp.Problem{NumVars: numVars, Objective: objective, Constraints: cons},
+	}, ilp.Options{})
+	if err != nil {
+		return nil, fmt.Errorf("allocator: MILP backend: %w", err)
+	}
+	if status != lp.Optimal {
+		return nil, fmt.Errorf("allocator: MILP backend: %v", status)
+	}
+	n := make([]int, len(rts))
+	for j, c := range cells {
+		if sol.X[j] > 0.5 {
+			n[c.rt] = c.n
+		}
+	}
+	return &Allocation{N: n, Cost: sol.Objective}, nil
+}

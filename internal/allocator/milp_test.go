@@ -1,0 +1,123 @@
+package allocator
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"time"
+
+	"arlo/internal/model"
+	"arlo/internal/profiler"
+)
+
+func TestAllocateMILPValidation(t *testing.T) {
+	s := newSolver(t, bertBaseProfile(t))
+	if _, err := s.AllocateMILP(10, []float64{1}); err == nil {
+		t.Error("dimension mismatch should fail")
+	}
+	if _, err := s.AllocateMILP(0, make([]float64, 8)); err == nil {
+		t.Error("zero GPUs should fail")
+	}
+	bad := make([]float64, 8)
+	bad[0] = math.Inf(1)
+	if _, err := s.AllocateMILP(10, bad); err == nil {
+		t.Error("infinite demand should fail")
+	}
+	// No-demotion variant needs ceil bounds satisfiable.
+	heavy := make([]float64, 8)
+	for i, rt := range s.Profile.Runtimes {
+		heavy[i] = 3 * float64(rt.Capacity)
+	}
+	if _, err := s.AllocateMILP(4, heavy); err == nil {
+		t.Error("insufficient pool should fail the no-demotion variant")
+	}
+}
+
+func TestAllocateMILPConserves(t *testing.T) {
+	lm := model.BertBase()
+	p, err := profiler.StaticProfile(lm, []int{128, 256, 512}, 150*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := newSolver(t, p)
+	q := []float64{150, 40, 10}
+	a, err := s.AllocateMILP(8, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sumInts(a.N) != 8 {
+		t.Errorf("MILP allocation %v does not sum to 8", a.N)
+	}
+	if a.N[2] < 1 {
+		t.Errorf("Eq. 7 violated: %v", a.N)
+	}
+	for i, rt := range p.Runtimes {
+		if need := int(math.Ceil(q[i] / float64(rt.Capacity))); a.N[i] < need {
+			t.Errorf("runtime %d: N=%d below no-demotion bound %d", i, a.N[i], need)
+		}
+	}
+}
+
+// TestMILPMatchesDPWithoutDemotion cross-checks the MILP backend against
+// the exact Pareto-DP solver on instances where the optimum performs no
+// demotion (plentiful capacity): both must find the same objective.
+func TestMILPMatchesDPWithoutDemotion(t *testing.T) {
+	lm := model.BertBase()
+	p, err := profiler.StaticProfile(lm, []int{128, 256, 512}, 150*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := newSolver(t, p)
+	rng := rand.New(rand.NewSource(8))
+	for trial := 0; trial < 15; trial++ {
+		g := 6 + rng.Intn(6)
+		q := make([]float64, 3)
+		for i, rt := range p.Runtimes {
+			// Light demand: at most ~60% of one instance per bin, so the
+			// optimum never demotes.
+			q[i] = math.Floor(rng.Float64() * 0.6 * float64(rt.Capacity))
+		}
+		dp, err := s.Allocate(g, q)
+		if err != nil {
+			t.Fatalf("trial %d: DP: %v", trial, err)
+		}
+		milp, err := s.AllocateMILP(g, q)
+		if err != nil {
+			t.Fatalf("trial %d: MILP: %v", trial, err)
+		}
+		if math.Abs(dp.Cost-milp.Cost) > 1e-9*(1+dp.Cost) {
+			t.Errorf("trial %d: DP cost %.12f != MILP cost %.12f (g=%d q=%v dp=%v milp=%v)",
+				trial, dp.Cost, milp.Cost, g, q, dp.N, milp.N)
+		}
+	}
+}
+
+// TestMILPNeverBeatsDP: the DP solves a relaxation of the MILP's
+// no-demotion program, so the DP's cost is a lower bound.
+func TestMILPNeverBeatsDP(t *testing.T) {
+	lm := model.BertBase()
+	p, err := profiler.StaticProfile(lm, []int{128, 256, 512}, 150*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := newSolver(t, p)
+	rng := rand.New(rand.NewSource(21))
+	for trial := 0; trial < 15; trial++ {
+		g := 5 + rng.Intn(8)
+		q := make([]float64, 3)
+		for i, rt := range p.Runtimes {
+			q[i] = math.Floor(rng.Float64() * 1.4 * float64(rt.Capacity))
+		}
+		milp, err := s.AllocateMILP(g, q)
+		if err != nil {
+			continue // no-demotion variant may be infeasible; fine
+		}
+		dp, err := s.Allocate(g, q)
+		if err != nil {
+			t.Fatalf("trial %d: DP: %v", trial, err)
+		}
+		if dp.Cost > milp.Cost+1e-9*(1+milp.Cost) {
+			t.Errorf("trial %d: DP cost %.12f exceeds MILP cost %.12f", trial, dp.Cost, milp.Cost)
+		}
+	}
+}

@@ -1,0 +1,65 @@
+package allocator
+
+import "fmt"
+
+// Replacement is one instance switching runtimes: a GPU currently serving
+// runtime From is flushed and reloaded with runtime To. A replacement
+// takes about one second in the paper's prototype (section 4).
+type Replacement struct {
+	From, To int
+}
+
+// PlanReplacements computes a minimal replacement plan turning the current
+// per-runtime instance counts into the target counts. The number of
+// replacements is exactly half the L1 distance between the two count
+// vectors — no instance is touched unless its runtime's count must change
+// (section 4, "replaces the minimum number of current runtime instances").
+// Both vectors must have equal length and equal sums.
+func PlanReplacements(current, target []int) ([]Replacement, error) {
+	if len(current) != len(target) {
+		return nil, fmt.Errorf("allocator: current has %d runtimes, target %d", len(current), len(target))
+	}
+	sumC, sumT := 0, 0
+	for i := range current {
+		if current[i] < 0 || target[i] < 0 {
+			return nil, fmt.Errorf("allocator: negative instance count at runtime %d", i)
+		}
+		sumC += current[i]
+		sumT += target[i]
+	}
+	if sumC != sumT {
+		return nil, fmt.Errorf("allocator: plans must conserve GPUs (current %d, target %d)", sumC, sumT)
+	}
+	var surplus, deficit []int // runtime indexes, with multiplicity
+	for i := range current {
+		for d := current[i] - target[i]; d > 0; d-- {
+			surplus = append(surplus, i)
+		}
+		for d := target[i] - current[i]; d > 0; d-- {
+			deficit = append(deficit, i)
+		}
+	}
+	plan := make([]Replacement, len(surplus))
+	for k := range surplus {
+		plan[k] = Replacement{From: surplus[k], To: deficit[k]}
+	}
+	return plan, nil
+}
+
+// Batches splits a replacement plan into batches of at most batchSize so
+// replacements roll out gradually and uninvolved instances absorb traffic
+// in the meantime (section 4, "carried out in small batches").
+func Batches(plan []Replacement, batchSize int) [][]Replacement {
+	if batchSize <= 0 {
+		batchSize = 1
+	}
+	var out [][]Replacement
+	for start := 0; start < len(plan); start += batchSize {
+		end := start + batchSize
+		if end > len(plan) {
+			end = len(plan)
+		}
+		out = append(out, plan[start:end])
+	}
+	return out
+}

@@ -1,0 +1,132 @@
+package allocator
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func applyPlan(t *testing.T, current []int, plan []Replacement) []int {
+	t.Helper()
+	out := make([]int, len(current))
+	copy(out, current)
+	for _, r := range plan {
+		if out[r.From] <= 0 {
+			t.Fatalf("plan removes an instance from empty runtime %d", r.From)
+		}
+		out[r.From]--
+		out[r.To]++
+	}
+	return out
+}
+
+func TestPlanReplacements(t *testing.T) {
+	current := []int{4, 2, 1, 1}
+	target := []int{2, 3, 1, 2}
+	plan, err := PlanReplacements(current, target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plan) != 2 {
+		t.Fatalf("plan has %d replacements, want 2 (half the L1 distance)", len(plan))
+	}
+	got := applyPlan(t, current, plan)
+	for i := range target {
+		if got[i] != target[i] {
+			t.Fatalf("plan result %v, want %v", got, target)
+		}
+	}
+}
+
+func TestPlanReplacementsNoChange(t *testing.T) {
+	plan, err := PlanReplacements([]int{3, 3}, []int{3, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plan) != 0 {
+		t.Errorf("identical plans need no replacements, got %d", len(plan))
+	}
+}
+
+func TestPlanReplacementsValidation(t *testing.T) {
+	if _, err := PlanReplacements([]int{1}, []int{1, 2}); err == nil {
+		t.Error("length mismatch should fail")
+	}
+	if _, err := PlanReplacements([]int{1, 2}, []int{2, 2}); err == nil {
+		t.Error("GPU count mismatch should fail")
+	}
+	if _, err := PlanReplacements([]int{-1, 4}, []int{1, 2}); err == nil {
+		t.Error("negative counts should fail")
+	}
+}
+
+func TestPlanReplacementsMinimalQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		k := 2 + rng.Intn(8)
+		current := make([]int, k)
+		target := make([]int, k)
+		total := 0
+		for i := range current {
+			current[i] = rng.Intn(10)
+			total += current[i]
+		}
+		// Random redistribution of the same total.
+		left := total
+		for i := 0; i < k-1; i++ {
+			target[i] = rng.Intn(left + 1)
+			left -= target[i]
+		}
+		target[k-1] = left
+		plan, err := PlanReplacements(current, target)
+		if err != nil {
+			return false
+		}
+		// Minimality: |plan| == sum of positive deltas.
+		wantLen := 0
+		for i := range current {
+			if d := current[i] - target[i]; d > 0 {
+				wantLen += d
+			}
+		}
+		if len(plan) != wantLen {
+			return false
+		}
+		// Correctness: applying the plan reaches the target.
+		out := make([]int, k)
+		copy(out, current)
+		for _, r := range plan {
+			if out[r.From] <= 0 {
+				return false
+			}
+			out[r.From]--
+			out[r.To]++
+		}
+		for i := range target {
+			if out[i] != target[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBatches(t *testing.T) {
+	plan := []Replacement{{0, 1}, {0, 2}, {1, 2}, {3, 0}, {3, 1}}
+	batches := Batches(plan, 2)
+	if len(batches) != 3 {
+		t.Fatalf("batches = %d, want 3", len(batches))
+	}
+	if len(batches[0]) != 2 || len(batches[2]) != 1 {
+		t.Errorf("bad batch sizes: %d, %d, %d", len(batches[0]), len(batches[1]), len(batches[2]))
+	}
+	if got := Batches(plan, 0); len(got) != 5 {
+		t.Errorf("non-positive batch size should default to 1, got %d batches", len(got))
+	}
+	if got := Batches(nil, 3); got != nil {
+		t.Error("empty plan should produce no batches")
+	}
+}

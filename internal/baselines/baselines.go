@@ -1,0 +1,211 @@
+// Package baselines assembles the four serving systems the evaluation
+// compares (paper section 5, "Compared schemes"):
+//
+//   - ST: one statically compiled runtime at the unified maximum length,
+//     load-balanced — every request pays full padding.
+//   - DT: one dynamically compiled runtime, load-balanced — no padding but
+//     inflated kernel time.
+//   - INFaaS: multiple runtime variants with bin-packing dispatch and
+//     load-driven (not length-aware) allocation.
+//   - Arlo: polymorphing with the Runtime Scheduler's ILP allocation and
+//     the Request Scheduler's multi-level-queue dispatch.
+//
+// Each system produces a sim.Config so experiments treat them uniformly.
+package baselines
+
+import (
+	"fmt"
+	"time"
+
+	"arlo/internal/allocator"
+	"arlo/internal/dispatch"
+	"arlo/internal/model"
+	"arlo/internal/profiler"
+	"arlo/internal/queue"
+	"arlo/internal/sim"
+	"arlo/internal/trace"
+)
+
+// System is one comparable serving scheme.
+type System struct {
+	// Name is the scheme label used in experiment output.
+	Name string
+	// Profile describes the deployed runtimes.
+	Profile *profiler.Profile
+	// Dispatcher builds the request-dispatch policy.
+	Dispatcher sim.DispatcherFactory
+	// Allocate is the periodic Runtime Scheduler policy (nil = fixed
+	// deployment).
+	Allocate sim.AllocatorFunc
+	// Initial computes the starting allocation for g GPUs given warm-up
+	// demand (requests per SLO window per runtime bin).
+	Initial func(g int, q []float64) ([]int, error)
+}
+
+// Arlo assembles the full Arlo system: one runtime per tile step, exact
+// allocation, Request Scheduler dispatch with the paper's parameters.
+func Arlo(lm *model.LatencyModel, slo time.Duration) (*System, error) {
+	if lm == nil {
+		return nil, fmt.Errorf("baselines: nil latency model")
+	}
+	return ArloN(lm, slo, lm.Arch().NumRuntimes())
+}
+
+// ArloN assembles Arlo with numRuntimes evenly spaced runtimes (the Fig.
+// 11 sweep).
+func ArloN(lm *model.LatencyModel, slo time.Duration, numRuntimes int) (*System, error) {
+	if lm == nil {
+		return nil, fmt.Errorf("baselines: nil latency model")
+	}
+	if numRuntimes <= 0 || lm.Arch().MaxLength%numRuntimes != 0 {
+		return nil, fmt.Errorf("baselines: %d runtimes must evenly divide max length %d", numRuntimes, lm.Arch().MaxLength)
+	}
+	p, err := profiler.StaticProfile(lm, lm.Arch().RuntimeLengthsN(numRuntimes), slo)
+	if err != nil {
+		return nil, err
+	}
+	solver, err := allocator.NewSolver(p)
+	if err != nil {
+		return nil, err
+	}
+	allocate := func(g int, q []float64) ([]int, error) {
+		a, err := solver.Allocate(g, q)
+		if err != nil {
+			return nil, err
+		}
+		return a.N, nil
+	}
+	return &System{
+		Name:    "Arlo",
+		Profile: p,
+		Dispatcher: func(ml *queue.MultiLevel) (dispatch.Dispatcher, error) {
+			return dispatch.NewRequestScheduler(ml)
+		},
+		Allocate: allocate,
+		Initial:  allocate,
+	}, nil
+}
+
+// ArloWithDispatcher assembles Arlo's runtimes and allocation but swaps
+// the dispatch policy ("RS", "ILB", "IG", "INFaaS") — the Table 4
+// ablation.
+func ArloWithDispatcher(lm *model.LatencyModel, slo time.Duration, policy string) (*System, error) {
+	s, err := Arlo(lm, slo)
+	if err != nil {
+		return nil, err
+	}
+	s.Name = "Arlo/" + policy
+	s.Dispatcher = func(ml *queue.MultiLevel) (dispatch.Dispatcher, error) {
+		return dispatch.New(policy, ml)
+	}
+	return s, nil
+}
+
+// ST assembles the uniform zero-padding baseline: one static runtime at
+// the model's maximum length, least-loaded dispatch, fixed deployment.
+func ST(lm *model.LatencyModel, slo time.Duration) (*System, error) {
+	if lm == nil {
+		return nil, fmt.Errorf("baselines: nil latency model")
+	}
+	p, err := profiler.StaticProfile(lm, []int{lm.Arch().MaxLength}, slo)
+	if err != nil {
+		return nil, err
+	}
+	return &System{
+		Name:    "ST",
+		Profile: p,
+		Dispatcher: func(ml *queue.MultiLevel) (dispatch.Dispatcher, error) {
+			return dispatch.NewILB(ml) // single level: pure load balance
+		},
+		Initial: func(g int, _ []float64) ([]int, error) {
+			return allocator.SingleRuntimeAllocation(g, 1, 0)
+		},
+	}, nil
+}
+
+// DT assembles the dynamic-compilation baseline: one dynamic runtime
+// profiled over the given representative lengths, least-loaded dispatch.
+func DT(lm *model.LatencyModel, sampleLengths []int, slo time.Duration) (*System, error) {
+	if lm == nil {
+		return nil, fmt.Errorf("baselines: nil latency model")
+	}
+	p, err := profiler.DynamicProfile(lm, sampleLengths, slo)
+	if err != nil {
+		return nil, err
+	}
+	return &System{
+		Name:    "DT",
+		Profile: p,
+		Dispatcher: func(ml *queue.MultiLevel) (dispatch.Dispatcher, error) {
+			return dispatch.NewILB(ml)
+		},
+		Initial: func(g int, _ []float64) ([]int, error) {
+			return allocator.SingleRuntimeAllocation(g, 1, 0)
+		},
+	}, nil
+}
+
+// INFaaS assembles the multi-variant baseline: the same runtimes as Arlo
+// but bin-packing dispatch and allocation proportional to raw request
+// counts — load-aware, not length-aware (section 2.3: it "does not take
+// into account the distribution of input lengths").
+func INFaaS(lm *model.LatencyModel, slo time.Duration) (*System, error) {
+	if lm == nil {
+		return nil, fmt.Errorf("baselines: nil latency model")
+	}
+	p, err := profiler.StaticProfile(lm, lm.Arch().RuntimeLengths(), slo)
+	if err != nil {
+		return nil, err
+	}
+	countProportional := func(g int, q []float64) ([]int, error) {
+		// Equal per-instance weights: shares follow request counts only.
+		flat := make([]int, len(q))
+		for i := range flat {
+			flat[i] = 1
+		}
+		return allocator.ProportionalAllocation(g, q, flat)
+	}
+	return &System{
+		Name:    "INFaaS",
+		Profile: p,
+		Dispatcher: func(ml *queue.MultiLevel) (dispatch.Dispatcher, error) {
+			return dispatch.NewBinPacking(ml)
+		},
+		Allocate: countProportional,
+		Initial:  countProportional,
+	}, nil
+}
+
+// SimConfig builds a simulator configuration for the system over a trace
+// with g GPUs. Warm-up demand for the initial allocation is estimated
+// from the first warmup window of the trace itself (the paper bootstraps
+// from history); warmup <= 0 uses the whole trace.
+func (s *System) SimConfig(tr *trace.Trace, g int, warmup time.Duration) (sim.Config, error) {
+	if tr == nil {
+		return sim.Config{}, fmt.Errorf("baselines: nil trace")
+	}
+	if g < 1 {
+		return sim.Config{}, fmt.Errorf("baselines: need at least one GPU")
+	}
+	window := tr
+	if warmup > 0 && warmup < tr.Duration {
+		window = tr.Clip(0, warmup)
+	}
+	q := window.BinDemand(s.Profile.MaxLengths(), s.Profile.SLO)
+	initial, err := s.Initial(g, q)
+	if err != nil {
+		return sim.Config{}, fmt.Errorf("baselines: initial allocation for %s: %w", s.Name, err)
+	}
+	cfg := sim.Config{
+		Profile:           s.Profile,
+		Trace:             tr,
+		InitialAllocation: initial,
+		Dispatcher:        s.Dispatcher,
+		Allocate:          s.Allocate,
+		ReplacementTime:   time.Second,
+	}
+	if s.Allocate != nil {
+		cfg.AllocPeriod = 120 * time.Second
+	}
+	return cfg, nil
+}

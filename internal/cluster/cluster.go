@@ -1,0 +1,289 @@
+// Package cluster is the real-time counterpart of the discrete-event
+// simulator: the "testbed" of this reproduction. Each GPU instance is a
+// goroutine that executes requests sequentially on the wall clock,
+// emulating computation with the calibrated latency model; dispatching
+// runs through the same multi-level queue and policies as the simulator.
+// The section 5.2.1 calibration experiment replays one trace through both
+// this prototype and the simulator and compares the distributions.
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"arlo/internal/dispatch"
+	"arlo/internal/metrics"
+	"arlo/internal/profiler"
+	"arlo/internal/queue"
+	"arlo/internal/trace"
+)
+
+// Config describes a real-time cluster.
+type Config struct {
+	// Profile defines the runtimes and SLO.
+	Profile *profiler.Profile
+	// InitialAllocation gives per-runtime instance counts.
+	InitialAllocation []int
+	// Dispatcher builds the dispatch policy over the cluster's queue.
+	Dispatcher func(ml *queue.MultiLevel) (dispatch.Dispatcher, error)
+	// TimeScale compresses emulated compute time: wall time = modeled
+	// latency * TimeScale. 0 defaults to 1 (real time).
+	TimeScale float64
+	// Overhead is added to each reported latency (0 defaults to the
+	// simulator's 0.8 ms; negative forces zero). It models network +
+	// host-device transfer and is not slept.
+	Overhead time.Duration
+	// QueueDepth bounds each worker's channel (default 8192).
+	QueueDepth int
+}
+
+// Cluster is a running set of emulated GPU workers.
+type Cluster struct {
+	cfg      Config
+	mu       sync.Mutex
+	ml       *queue.MultiLevel
+	disp     dispatch.Dispatcher
+	workers  map[int]*worker
+	nextID   int
+	closed   bool
+	wg       sync.WaitGroup
+	overhead time.Duration
+	scale    float64
+}
+
+type job struct {
+	length  int
+	started time.Time
+	done    chan time.Duration
+}
+
+type worker struct {
+	inst *queue.Instance
+	ch   chan *job
+}
+
+// ErrClosed is returned by Submit after Close.
+var ErrClosed = errors.New("cluster: closed")
+
+// New starts the cluster's workers.
+func New(cfg Config) (*Cluster, error) {
+	if cfg.Profile == nil || len(cfg.Profile.Runtimes) == 0 {
+		return nil, fmt.Errorf("cluster: profile with no runtimes")
+	}
+	if len(cfg.InitialAllocation) != len(cfg.Profile.Runtimes) {
+		return nil, fmt.Errorf("cluster: allocation has %d entries for %d runtimes",
+			len(cfg.InitialAllocation), len(cfg.Profile.Runtimes))
+	}
+	if cfg.Dispatcher == nil {
+		return nil, fmt.Errorf("cluster: nil dispatcher factory")
+	}
+	total := 0
+	for i, n := range cfg.InitialAllocation {
+		if n < 0 {
+			return nil, fmt.Errorf("cluster: negative allocation at runtime %d", i)
+		}
+		total += n
+	}
+	if total == 0 {
+		return nil, fmt.Errorf("cluster: no instances deployed")
+	}
+	ml, err := queue.NewMultiLevel(cfg.Profile.MaxLengths())
+	if err != nil {
+		return nil, err
+	}
+	disp, err := cfg.Dispatcher(ml)
+	if err != nil {
+		return nil, err
+	}
+	scale := cfg.TimeScale
+	if scale <= 0 {
+		scale = 1
+	}
+	overhead := cfg.Overhead
+	if overhead == 0 {
+		overhead = 800 * time.Microsecond
+	} else if overhead < 0 {
+		overhead = 0
+	}
+	depth := cfg.QueueDepth
+	if depth <= 0 {
+		depth = 8192
+	}
+	c := &Cluster{
+		cfg:      cfg,
+		ml:       ml,
+		disp:     disp,
+		workers:  make(map[int]*worker),
+		overhead: overhead,
+		scale:    scale,
+	}
+	for rtIdx, n := range cfg.InitialAllocation {
+		for k := 0; k < n; k++ {
+			if err := c.addWorker(rtIdx, depth); err != nil {
+				c.Close()
+				return nil, err
+			}
+		}
+	}
+	return c, nil
+}
+
+func (c *Cluster) addWorker(rtIdx, depth int) error {
+	rt := c.cfg.Profile.Runtimes[rtIdx]
+	inst := &queue.Instance{ID: c.nextID, Runtime: rtIdx, MaxCapacity: rt.Capacity}
+	c.nextID++
+	if err := c.ml.Add(inst); err != nil {
+		return err
+	}
+	w := &worker{inst: inst, ch: make(chan *job, depth)}
+	c.workers[inst.ID] = w
+	c.wg.Add(1)
+	go c.runWorker(w, rt)
+	return nil
+}
+
+// spinGuard is how much of each emulated execution is busy-waited instead
+// of slept: time.Sleep overshoots by OS-timer granularity, which at
+// millisecond kernel times would distort tail latencies, so the final
+// stretch spins to the deadline.
+const spinGuard = 200 * time.Microsecond
+
+// runWorker executes the worker's queue sequentially, emulating the scaled
+// modeled computation time per request (sleep + spin to the deadline).
+func (c *Cluster) runWorker(w *worker, rt profiler.Runtime) {
+	defer c.wg.Done()
+	for j := range w.ch {
+		cost := time.Duration(float64(rt.CostOf(j.length)) * c.scale)
+		deadline := time.Now().Add(cost)
+		if cost > spinGuard {
+			time.Sleep(cost - spinGuard)
+		}
+		for time.Now().Before(deadline) {
+			// Busy-wait the residue for sub-millisecond accuracy.
+		}
+		lat := time.Since(j.started)
+		// Report in modeled time: un-scale the measured wall time so a
+		// compressed run still yields model-scale latencies.
+		lat = time.Duration(float64(lat) / c.scale)
+		c.mu.Lock()
+		c.ml.OnComplete(w.inst)
+		c.mu.Unlock()
+		j.done <- lat + c.overhead
+	}
+}
+
+// Submit dispatches one request of the given token length and blocks until
+// it completes, returning its modeled latency (queueing + compute +
+// overhead).
+func (c *Cluster) Submit(length int) (time.Duration, error) {
+	ch, err := c.SubmitAsync(length)
+	if err != nil {
+		return 0, err
+	}
+	return <-ch, nil
+}
+
+// SubmitAsync dispatches one request and returns a channel that yields its
+// latency on completion.
+func (c *Cluster) SubmitAsync(length int) (<-chan time.Duration, error) {
+	j := &job{length: length, started: time.Now(), done: make(chan time.Duration, 1)}
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil, ErrClosed
+	}
+	inst, err := c.disp.Dispatch(length)
+	if err != nil {
+		c.mu.Unlock()
+		return nil, err
+	}
+	w := c.workers[inst.ID]
+	c.mu.Unlock()
+	select {
+	case w.ch <- j:
+	default:
+		// Worker queue overflow: account the drop and fail loudly rather
+		// than distorting latency by blocking the caller.
+		c.mu.Lock()
+		c.ml.OnComplete(w.inst)
+		c.mu.Unlock()
+		return nil, fmt.Errorf("cluster: worker %d queue overflow", inst.ID)
+	}
+	return j.done, nil
+}
+
+// Instances returns the current instance count.
+func (c *Cluster) Instances() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.workers)
+}
+
+// Close stops all workers. Pending jobs are completed first.
+func (c *Cluster) Close() {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return
+	}
+	c.closed = true
+	for _, w := range c.workers {
+		close(w.ch)
+	}
+	c.mu.Unlock()
+	c.wg.Wait()
+}
+
+// ReplayResult is the outcome of replaying a trace on the cluster.
+type ReplayResult struct {
+	Latency  *metrics.Recorder
+	Summary  metrics.Summary
+	Rejected int
+}
+
+// Replay drives the cluster with a trace in (scaled) real time: each
+// request is submitted at its scaled arrival offset from a driver
+// goroutine and measured to completion. Replay blocks until every request
+// finishes.
+func (c *Cluster) Replay(tr *trace.Trace) (*ReplayResult, error) {
+	if tr == nil {
+		return nil, fmt.Errorf("cluster: nil trace")
+	}
+	var (
+		mu       sync.Mutex
+		rec      = metrics.NewRecorder(len(tr.Requests))
+		rejected int
+		wg       sync.WaitGroup
+	)
+	start := time.Now()
+	for i := range tr.Requests {
+		r := &tr.Requests[i]
+		at := time.Duration(float64(r.At) * c.scale)
+		if wait := time.Until(start.Add(at)); wait > 0 {
+			time.Sleep(wait)
+		}
+		ch, err := c.SubmitAsync(r.Length)
+		if err != nil {
+			mu.Lock()
+			rejected++
+			mu.Unlock()
+			continue
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			lat := <-ch
+			mu.Lock()
+			rec.Record(lat)
+			mu.Unlock()
+		}()
+	}
+	wg.Wait()
+	return &ReplayResult{
+		Latency:  rec,
+		Summary:  rec.Summarize(c.cfg.Profile.SLO),
+		Rejected: rejected,
+	}, nil
+}

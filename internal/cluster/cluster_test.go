@@ -1,0 +1,268 @@
+package cluster
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"arlo/internal/dispatch"
+	"arlo/internal/model"
+	"arlo/internal/profiler"
+	"arlo/internal/queue"
+	"arlo/internal/trace"
+)
+
+func rsFactory(ml *queue.MultiLevel) (dispatch.Dispatcher, error) {
+	return dispatch.NewRequestScheduler(ml)
+}
+
+func testProfile(t testing.TB, lengths []int) *profiler.Profile {
+	t.Helper()
+	p, err := profiler.StaticProfile(model.BertBase(), lengths, 150*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestNewValidation(t *testing.T) {
+	p := testProfile(t, []int{512})
+	cases := []struct {
+		name string
+		cfg  Config
+	}{
+		{"nil profile", Config{InitialAllocation: []int{1}, Dispatcher: rsFactory}},
+		{"nil dispatcher", Config{Profile: p, InitialAllocation: []int{1}}},
+		{"dim mismatch", Config{Profile: p, InitialAllocation: []int{1, 1}, Dispatcher: rsFactory}},
+		{"negative", Config{Profile: p, InitialAllocation: []int{-2}, Dispatcher: rsFactory}},
+		{"empty", Config{Profile: p, InitialAllocation: []int{0}, Dispatcher: rsFactory}},
+	}
+	for _, tc := range cases {
+		if _, err := New(tc.cfg); err == nil {
+			t.Errorf("%s: expected error", tc.name)
+		}
+	}
+}
+
+func TestSubmitMeasuresModeledLatency(t *testing.T) {
+	p := testProfile(t, []int{512})
+	c, err := New(Config{
+		Profile:           p,
+		InitialAllocation: []int{1},
+		Dispatcher:        rsFactory,
+		Overhead:          -1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	lat, err := c.Submit(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := p.Runtimes[0].Latency // ~4.86 ms
+	if lat < want || lat > want+20*time.Millisecond {
+		t.Errorf("latency = %v, want >= %v and close to it", lat, want)
+	}
+}
+
+func TestTimeScaleCompressesWallTime(t *testing.T) {
+	p := testProfile(t, []int{512})
+	c, err := New(Config{
+		Profile:           p,
+		InitialAllocation: []int{1},
+		Dispatcher:        rsFactory,
+		TimeScale:         0.5,
+		Overhead:          -1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	start := time.Now()
+	lat, err := c.Submit(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wall := time.Since(start)
+	// Reported latency is back in model time (>= one modeled execution);
+	// wall time is roughly half of it.
+	if lat < p.Runtimes[0].Latency {
+		t.Errorf("reported latency %v below one modeled execution %v", lat, p.Runtimes[0].Latency)
+	}
+	if wall > lat {
+		t.Errorf("wall time %v should be compressed below modeled %v", wall, lat)
+	}
+}
+
+func TestQueueingAccumulates(t *testing.T) {
+	p := testProfile(t, []int{512})
+	c, err := New(Config{
+		Profile:           p,
+		InitialAllocation: []int{1},
+		Dispatcher:        rsFactory,
+		Overhead:          -1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	// Fire 5 requests at once into a single worker: the last should wait
+	// ~5 executions.
+	const n = 5
+	chans := make([]<-chan time.Duration, n)
+	for i := 0; i < n; i++ {
+		ch, err := c.SubmitAsync(100)
+		if err != nil {
+			t.Fatal(err)
+		}
+		chans[i] = ch
+	}
+	var max time.Duration
+	for _, ch := range chans {
+		if lat := <-ch; lat > max {
+			max = lat
+		}
+	}
+	exec := p.Runtimes[0].Latency
+	if max < 4*exec {
+		t.Errorf("max latency %v should show queueing (>= ~4 executions of %v)", max, exec)
+	}
+}
+
+func TestDispatchSpreadsAcrossWorkers(t *testing.T) {
+	p := testProfile(t, []int{512})
+	c, err := New(Config{
+		Profile:           p,
+		InitialAllocation: []int{4},
+		Dispatcher:        rsFactory,
+		Overhead:          -1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	const n = 8
+	var wg sync.WaitGroup
+	latencies := make([]time.Duration, n)
+	for i := 0; i < n; i++ {
+		ch, err := c.SubmitAsync(100)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			latencies[i] = <-ch
+		}(i)
+	}
+	wg.Wait()
+	// 8 requests over 4 workers: max should be ~2 executions, not 8.
+	exec := p.Runtimes[0].Latency
+	for _, lat := range latencies {
+		if lat > 4*exec {
+			t.Errorf("latency %v suggests no load balancing (exec %v)", lat, exec)
+		}
+	}
+}
+
+func TestSubmitErrors(t *testing.T) {
+	p := testProfile(t, []int{64, 128})
+	c, err := New(Config{
+		Profile:           p,
+		InitialAllocation: []int{1, 1},
+		Dispatcher:        rsFactory,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Submit(4000); err == nil {
+		t.Error("over-long request should fail")
+	}
+	c.Close()
+	if _, err := c.Submit(10); err != ErrClosed {
+		t.Errorf("submit after close = %v, want ErrClosed", err)
+	}
+	c.Close() // double close is safe
+}
+
+func TestQueueOverflow(t *testing.T) {
+	p := testProfile(t, []int{512})
+	c, err := New(Config{
+		Profile:           p,
+		InitialAllocation: []int{1},
+		Dispatcher:        rsFactory,
+		QueueDepth:        2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	overflowed := false
+	for i := 0; i < 10; i++ {
+		if _, err := c.SubmitAsync(100); err != nil {
+			overflowed = true
+			break
+		}
+	}
+	if !overflowed {
+		t.Error("depth-2 queue should overflow under a burst of 10")
+	}
+}
+
+func TestReplaySmallTrace(t *testing.T) {
+	if testing.Short() {
+		t.Skip("real-time replay")
+	}
+	p := testProfile(t, model.BertBaseArch.RuntimeLengths())
+	c, err := New(Config{
+		Profile:           p,
+		InitialAllocation: []int{1, 1, 1, 1, 1, 1, 1, 1},
+		Dispatcher:        rsFactory,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	tr, err := trace.Generate(trace.Stable(3, 150, 2*time.Second))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := c.Replay(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Latency.Count()+res.Rejected != len(tr.Requests) {
+		t.Errorf("replay lost requests: %d + %d != %d", res.Latency.Count(), res.Rejected, len(tr.Requests))
+	}
+	if res.Summary.Mean <= 0 {
+		t.Error("mean latency should be positive")
+	}
+	if res.Summary.Mean > 60*time.Millisecond {
+		t.Errorf("lightly loaded cluster mean %v unexpectedly high", res.Summary.Mean)
+	}
+}
+
+func TestReplayNilTrace(t *testing.T) {
+	p := testProfile(t, []int{512})
+	c, err := New(Config{Profile: p, InitialAllocation: []int{1}, Dispatcher: rsFactory})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if _, err := c.Replay(nil); err == nil {
+		t.Error("nil trace should fail")
+	}
+}
+
+func TestInstances(t *testing.T) {
+	p := testProfile(t, []int{64, 512})
+	c, err := New(Config{Profile: p, InitialAllocation: []int{2, 1}, Dispatcher: rsFactory})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if got := c.Instances(); got != 3 {
+		t.Errorf("instances = %d, want 3", got)
+	}
+}

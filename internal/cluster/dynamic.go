@@ -1,0 +1,90 @@
+package cluster
+
+import (
+	"fmt"
+	"time"
+)
+
+// AddInstance provisions one new worker serving the given runtime. It is
+// the real-time counterpart of the simulator's scale-out/replacement
+// instance bring-up and returns the new instance's ID.
+func (c *Cluster) AddInstance(rtIdx int) (int, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return 0, ErrClosed
+	}
+	if rtIdx < 0 || rtIdx >= len(c.cfg.Profile.Runtimes) {
+		return 0, fmt.Errorf("cluster: runtime %d outside [0, %d)", rtIdx, len(c.cfg.Profile.Runtimes))
+	}
+	depth := c.cfg.QueueDepth
+	if depth <= 0 {
+		depth = 8192
+	}
+	id := c.nextID
+	if err := c.addWorker(rtIdx, depth); err != nil {
+		return 0, err
+	}
+	return id, nil
+}
+
+// RemoveInstance drains and stops the least busy worker of the given
+// runtime (any runtime when rtIdx is -1): it stops receiving dispatches
+// immediately and finishes its queued work in the background. It returns
+// the removed instance's ID, or an error when the runtime has no workers.
+func (c *Cluster) RemoveInstance(rtIdx int) (int, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return 0, ErrClosed
+	}
+	var victim *worker
+	for _, w := range c.workers {
+		if rtIdx >= 0 && w.inst.Runtime != rtIdx {
+			continue
+		}
+		if victim == nil || w.inst.Outstanding < victim.inst.Outstanding ||
+			(w.inst.Outstanding == victim.inst.Outstanding && w.inst.ID < victim.inst.ID) {
+			victim = w
+		}
+	}
+	if victim == nil {
+		return 0, fmt.Errorf("cluster: no instance to remove for runtime %d", rtIdx)
+	}
+	c.ml.Remove(victim.inst.ID)
+	delete(c.workers, victim.inst.ID)
+	close(victim.ch) // the worker goroutine drains its queue and exits
+	return victim.inst.ID, nil
+}
+
+// Replace swaps one instance from runtime from to runtime to, emulating
+// the ~1 s swap of the paper's prototype: the old worker drains in the
+// background and the new one comes up after swapDelay (0 for immediate).
+// It returns the new instance's ID.
+func (c *Cluster) Replace(from, to int, swapDelay time.Duration) (int, error) {
+	if _, err := c.RemoveInstance(from); err != nil {
+		return 0, err
+	}
+	if swapDelay > 0 {
+		time.Sleep(swapDelay)
+	}
+	return c.AddInstance(to)
+}
+
+// Allocation returns the current per-runtime worker counts.
+func (c *Cluster) Allocation() []int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]int, len(c.cfg.Profile.Runtimes))
+	for _, w := range c.workers {
+		out[w.inst.Runtime]++
+	}
+	return out
+}
+
+// Outstanding returns the total dispatched-but-unfinished request count.
+func (c *Cluster) Outstanding() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ml.TotalOutstanding()
+}

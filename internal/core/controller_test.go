@@ -1,0 +1,152 @@
+package core
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"arlo/internal/allocator"
+)
+
+func TestNewControllerValidation(t *testing.T) {
+	a, err := New(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.NewController(nil, ControllerOptions{}); err == nil {
+		t.Error("nil cluster should fail")
+	}
+}
+
+func TestControllerReallocatesTowardDemand(t *testing.T) {
+	if testing.Short() {
+		t.Skip("real-time control loop")
+	}
+	a, err := New(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl, err := a.NewCluster(8, nil) // even split: one instance per runtime
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	ctrl, err := a.NewController(cl, ControllerOptions{
+		AllocPeriod:  300 * time.Millisecond,
+		ReplaceDelay: 10 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctrl.Start()
+	defer ctrl.Stop()
+
+	// Drive pure short traffic for a second: the controller should move
+	// GPUs toward the small runtimes.
+	deadline := time.Now().Add(1200 * time.Millisecond)
+	var wg sync.WaitGroup
+	for time.Now().Before(deadline) {
+		ch, err := cl.SubmitAsync(20)
+		if err == nil {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				lat := <-ch
+				ctrl.Observe(20, lat)
+			}()
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	wg.Wait()
+	time.Sleep(400 * time.Millisecond) // let a final round land
+
+	alloc := cl.Allocation()
+	shortShare := alloc[0] + alloc[1]
+	if shortShare < 4 {
+		t.Errorf("controller should shift GPUs toward short runtimes, got %v", alloc)
+	}
+	reallocs, replacements, _, _ := ctrl.Stats()
+	if reallocs == 0 {
+		t.Error("controller never reallocated")
+	}
+	if replacements == 0 {
+		t.Errorf("expected instance replacements, allocation %v", alloc)
+	}
+	if got := cl.Instances(); got != 8 {
+		t.Errorf("fixed pool should stay at 8 instances, got %d", got)
+	}
+}
+
+func TestControllerAutoScalesOut(t *testing.T) {
+	if testing.Short() {
+		t.Skip("real-time control loop")
+	}
+	a, err := New(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl, err := a.NewCluster(8, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	scaler, err := allocator.NewAutoScaler(a.SLO())
+	if err != nil {
+		t.Fatal(err)
+	}
+	scaler.OutCooldown = 100 * time.Millisecond
+	ctrl, err := a.NewController(cl, ControllerOptions{
+		AllocPeriod: time.Hour, // isolate the scaler
+		Scaler:      scaler,
+		ScalePeriod: 50 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctrl.Start()
+	defer ctrl.Stop()
+
+	// Feed latencies right at the SLO so the scaler sees pressure.
+	hot := a.SLO()
+	for i := 0; i < 200; i++ {
+		ctrl.Observe(100, hot)
+	}
+	time.Sleep(400 * time.Millisecond)
+	_, _, outs, _ := ctrl.Stats()
+	if outs == 0 {
+		t.Error("sustained SLO-level p98 should scale out")
+	}
+	if got := cl.Instances(); got <= 8 {
+		t.Errorf("instances = %d, want > 8 after scale-out", got)
+	}
+}
+
+func TestControllerStopIdempotent(t *testing.T) {
+	a, err := New(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl, err := a.NewCluster(8, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	ctrl, err := a.NewController(cl, ControllerOptions{AllocPeriod: 50 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctrl.Start()
+	time.Sleep(120 * time.Millisecond)
+	ctrl.Stop()
+	// A second Stop must not panic or deadlock.
+	done := make(chan struct{})
+	go func() {
+		ctrl.Stop()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(time.Second):
+		t.Fatal("second Stop deadlocked")
+	}
+}

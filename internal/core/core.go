@@ -1,0 +1,250 @@
+// Package core is the top-level entry point of the Arlo reproduction: it
+// wires the calibrated latency model, the offline profiler, the Runtime
+// Scheduler (allocation, replacement, auto-scaling) and the Request
+// Scheduler (multi-level-queue dispatch) into one system that can be
+// simulated (discrete events) or run in real time (emulated cluster).
+//
+// Typical use:
+//
+//	a, _ := core.New(core.Options{Model: "bert-base"})
+//	tr, _ := trace.Generate(trace.Stable(1, 1000, time.Minute))
+//	res, _ := a.Simulate(tr, 10)
+//	fmt.Println(res.Summary)
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"arlo/internal/allocator"
+	"arlo/internal/cluster"
+	"arlo/internal/dispatch"
+	"arlo/internal/model"
+	"arlo/internal/profiler"
+	"arlo/internal/queue"
+	"arlo/internal/sim"
+	"arlo/internal/trace"
+)
+
+// Options configure an Arlo deployment. The zero value of every field
+// selects the paper's defaults.
+type Options struct {
+	// Model names a preset ("bert-base", "bert-large", "dolly") or is
+	// overridden by LatencyModel. Default "bert-base".
+	Model string
+	// LatencyModel supplies a custom calibrated model.
+	LatencyModel *model.LatencyModel
+	// SLO defaults to the preset's published objective (150 ms BERT-Base,
+	// 450 ms BERT-Large).
+	SLO time.Duration
+	// NumRuntimes defaults to the staircase choice (max_length/tile, 8
+	// for BERT).
+	NumRuntimes int
+	// Lambda, Alpha, MaxPeek are the Request Scheduler parameters
+	// (defaults 0.85, 0.9, 6).
+	Lambda, Alpha float64
+	MaxPeek       int
+	// AllocPeriod is the Runtime Scheduler period (default 120 s).
+	AllocPeriod time.Duration
+}
+
+// Arlo is a configured system.
+type Arlo struct {
+	// Model is the calibrated latency model.
+	Model *model.LatencyModel
+	// Profile is the offline runtime profile.
+	Profile *profiler.Profile
+	// Solver is the Runtime Scheduler's allocation solver.
+	Solver *allocator.Solver
+
+	lambda      float64
+	alpha       float64
+	maxPeek     int
+	allocPeriod time.Duration
+}
+
+// New builds an Arlo system from options.
+func New(opts Options) (*Arlo, error) {
+	lm := opts.LatencyModel
+	if lm == nil {
+		name := opts.Model
+		if name == "" {
+			name = model.BertBaseArch.Name
+		}
+		lm = model.ByName(name)
+		if lm == nil {
+			return nil, fmt.Errorf("core: unknown model %q", name)
+		}
+	}
+	slo := opts.SLO
+	if slo == 0 {
+		preset, ok := model.SLO(lm.Arch())
+		if !ok {
+			return nil, fmt.Errorf("core: model %q has no preset SLO; set Options.SLO", lm.Arch().Name)
+		}
+		slo = preset
+	}
+	numRt := opts.NumRuntimes
+	if numRt == 0 {
+		numRt = lm.Arch().NumRuntimes()
+	}
+	if numRt <= 0 || lm.Arch().MaxLength%numRt != 0 {
+		return nil, fmt.Errorf("core: %d runtimes must evenly divide max length %d", numRt, lm.Arch().MaxLength)
+	}
+	p, err := profiler.StaticProfile(lm, lm.Arch().RuntimeLengthsN(numRt), slo)
+	if err != nil {
+		return nil, err
+	}
+	solver, err := allocator.NewSolver(p)
+	if err != nil {
+		return nil, err
+	}
+	a := &Arlo{
+		Model:       lm,
+		Profile:     p,
+		Solver:      solver,
+		lambda:      defaultFloat(opts.Lambda, 0.85),
+		alpha:       defaultFloat(opts.Alpha, 0.9),
+		maxPeek:     defaultInt(opts.MaxPeek, 6),
+		allocPeriod: defaultDur(opts.AllocPeriod, 120*time.Second),
+	}
+	// Validate dispatch parameters eagerly.
+	ml, err := queue.NewMultiLevel(p.MaxLengths())
+	if err != nil {
+		return nil, err
+	}
+	if _, err := dispatch.NewRequestSchedulerParams(ml, a.lambda, a.alpha, a.maxPeek); err != nil {
+		return nil, err
+	}
+	return a, nil
+}
+
+func defaultFloat(v, d float64) float64 {
+	if v == 0 {
+		return d
+	}
+	return v
+}
+
+func defaultInt(v, d int) int {
+	if v == 0 {
+		return d
+	}
+	return v
+}
+
+func defaultDur(v, d time.Duration) time.Duration {
+	if v == 0 {
+		return d
+	}
+	return v
+}
+
+// SLO returns the configured service level objective.
+func (a *Arlo) SLO() time.Duration { return a.Profile.SLO }
+
+// DispatcherFactory returns the Request Scheduler factory with this
+// system's parameters.
+func (a *Arlo) DispatcherFactory() sim.DispatcherFactory {
+	return func(ml *queue.MultiLevel) (dispatch.Dispatcher, error) {
+		return dispatch.NewRequestSchedulerParams(ml, a.lambda, a.alpha, a.maxPeek)
+	}
+}
+
+// AllocatorFunc returns the Runtime Scheduler policy as a simulator hook.
+func (a *Arlo) AllocatorFunc() sim.AllocatorFunc {
+	return func(g int, q []float64) ([]int, error) {
+		al, err := a.Solver.Allocate(g, q)
+		if err != nil {
+			return nil, err
+		}
+		return al.N, nil
+	}
+}
+
+// Demand estimates per-runtime demand (requests per SLO window per length
+// bin) from a trace — the Q_i input of the allocation program.
+func (a *Arlo) Demand(tr *trace.Trace) []float64 {
+	return tr.BinDemand(a.Profile.MaxLengths(), a.Profile.SLO)
+}
+
+// Allocate solves the Runtime Scheduler program for g GPUs and demand q.
+func (a *Arlo) Allocate(g int, q []float64) (*allocator.Allocation, error) {
+	return a.Solver.Allocate(g, q)
+}
+
+// SimConfig builds a simulator configuration for a trace on g GPUs: the
+// initial allocation is solved from the first two minutes of the trace
+// (standing in for history) and reallocation runs every AllocPeriod.
+func (a *Arlo) SimConfig(tr *trace.Trace, g int) (sim.Config, error) {
+	if tr == nil {
+		return sim.Config{}, fmt.Errorf("core: nil trace")
+	}
+	warm := tr
+	if a.allocPeriod < tr.Duration {
+		warm = tr.Clip(0, a.allocPeriod)
+	}
+	initial, err := a.Solver.Allocate(g, a.Demand(warm))
+	if err != nil {
+		return sim.Config{}, err
+	}
+	return sim.Config{
+		Profile:           a.Profile,
+		Trace:             tr,
+		InitialAllocation: initial.N,
+		Dispatcher:        a.DispatcherFactory(),
+		Allocate:          a.AllocatorFunc(),
+		AllocPeriod:       a.allocPeriod,
+		ReplacementTime:   time.Second,
+	}, nil
+}
+
+// Simulate runs the discrete-event simulation of this system on a trace
+// with a fixed pool of g GPUs.
+func (a *Arlo) Simulate(tr *trace.Trace, g int) (*sim.Result, error) {
+	cfg, err := a.SimConfig(tr, g)
+	if err != nil {
+		return nil, err
+	}
+	return sim.Run(cfg)
+}
+
+// SimulateAutoScaled runs the simulation starting from g GPUs with the
+// target-tracking auto-scaler enabled (section 4).
+func (a *Arlo) SimulateAutoScaled(tr *trace.Trace, g int) (*sim.Result, error) {
+	cfg, err := a.SimConfig(tr, g)
+	if err != nil {
+		return nil, err
+	}
+	scaler, err := allocator.NewAutoScaler(a.Profile.SLO)
+	if err != nil {
+		return nil, err
+	}
+	cfg.Scaler = scaler
+	cfg.ScalePeriod = time.Second
+	return sim.Run(cfg)
+}
+
+// NewCluster starts a real-time emulated cluster of g GPUs allocated for
+// the given expected demand (nil demand spreads GPUs evenly).
+func (a *Arlo) NewCluster(g int, q []float64) (*cluster.Cluster, error) {
+	var initial []int
+	var err error
+	if q == nil {
+		initial, err = allocator.EvenAllocation(g, len(a.Profile.Runtimes))
+	} else {
+		var al *allocator.Allocation
+		al, err = a.Solver.Allocate(g, q)
+		if al != nil {
+			initial = al.N
+		}
+	}
+	if err != nil {
+		return nil, err
+	}
+	return cluster.New(cluster.Config{
+		Profile:           a.Profile,
+		InitialAllocation: initial,
+		Dispatcher:        a.DispatcherFactory(),
+	})
+}

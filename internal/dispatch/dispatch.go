@@ -1,0 +1,269 @@
+// Package dispatch implements Arlo's Request Scheduler (paper section 3.4,
+// Algorithm 1) and the dispatching baselines it is evaluated against:
+// intra-group load balance (ILB), inter-group greedy (IG), plain
+// least-loaded (ST/DT), and INFaaS-style bin packing. All dispatchers
+// operate on the multi-level queue of package queue and share a common
+// interface so systems can swap policies.
+package dispatch
+
+import (
+	"errors"
+	"fmt"
+
+	"arlo/internal/queue"
+)
+
+// ErrTooLong is returned when a request exceeds every deployed runtime's
+// max_length.
+var ErrTooLong = errors.New("dispatch: request longer than every runtime")
+
+// ErrNoInstances is returned when no instance is deployed for any
+// candidate runtime (e.g. mid-replacement).
+var ErrNoInstances = errors.New("dispatch: no instance available for the request")
+
+// Dispatcher selects an instance for an arriving request and records the
+// dispatch on the multi-level queue (the instance's outstanding count is
+// incremented). Completion must be reported back via the queue's
+// OnComplete.
+type Dispatcher interface {
+	// Dispatch routes one request of the given token length.
+	Dispatch(length int) (*queue.Instance, error)
+	// Name identifies the policy in experiment output.
+	Name() string
+}
+
+// RequestScheduler is Arlo's multi-level-queue heuristic (Algorithm 1).
+// It walks candidate runtimes in increasing max_length order, accepting
+// the first whose least-loaded instance is below a congestion threshold
+// that decays by Alpha per level, peeking at most MaxPeek levels, and
+// falling back to the top (least padding) candidate when every peeked
+// level is congested.
+type RequestScheduler struct {
+	ml *queue.MultiLevel
+	// Lambda is the initial congestion threshold (paper default 0.85).
+	Lambda float64
+	// Alpha is the per-level threshold decay (paper default 0.9).
+	Alpha float64
+	// MaxPeek is L, the maximum number of candidate levels examined
+	// (paper default 6).
+	MaxPeek int
+}
+
+// NewRequestScheduler builds the scheduler over a multi-level queue with
+// the paper's default parameters (lambda 0.85, alpha 0.9, L 6).
+func NewRequestScheduler(ml *queue.MultiLevel) (*RequestScheduler, error) {
+	return NewRequestSchedulerParams(ml, 0.85, 0.9, 6)
+}
+
+// NewRequestSchedulerParams builds the scheduler with explicit parameters.
+func NewRequestSchedulerParams(ml *queue.MultiLevel, lambda, alpha float64, maxPeek int) (*RequestScheduler, error) {
+	if ml == nil {
+		return nil, fmt.Errorf("dispatch: nil multi-level queue")
+	}
+	if lambda <= 0 || lambda > 1 {
+		return nil, fmt.Errorf("dispatch: lambda must be in (0, 1], got %v", lambda)
+	}
+	if alpha <= 0 || alpha > 1 {
+		return nil, fmt.Errorf("dispatch: alpha must be in (0, 1], got %v", alpha)
+	}
+	if maxPeek < 1 {
+		return nil, fmt.Errorf("dispatch: max peek level must be >= 1, got %d", maxPeek)
+	}
+	return &RequestScheduler{ml: ml, Lambda: lambda, Alpha: alpha, MaxPeek: maxPeek}, nil
+}
+
+// Name implements Dispatcher.
+func (rs *RequestScheduler) Name() string { return "RS" }
+
+// Dispatch implements Algorithm 1.
+func (rs *RequestScheduler) Dispatch(length int) (*queue.Instance, error) {
+	cands := rs.ml.CandidateLevels(length) // line 2
+	if len(cands) == 0 {
+		return nil, ErrTooLong
+	}
+	peek := cands
+	if len(peek) > rs.MaxPeek { // lines 3-5
+		peek = peek[:rs.MaxPeek]
+	}
+	lambda := rs.Lambda
+	var chosen *queue.Instance
+	for _, lvl := range peek { // lines 6-17
+		head := rs.ml.Level(lvl).Front()
+		if head == nil {
+			// No instance currently deployed at this level; treat as
+			// fully congested and move on.
+			lambda *= rs.Alpha
+			continue
+		}
+		if head.Congestion() < lambda { // lines 9-13
+			chosen = head
+			break
+		}
+		lambda *= rs.Alpha // line 15
+	}
+	if chosen == nil { // lines 18-20: fall back to the top candidate
+		for _, lvl := range cands {
+			if head := rs.ml.Level(lvl).Front(); head != nil {
+				chosen = head
+				break
+			}
+		}
+	}
+	if chosen == nil {
+		return nil, ErrNoInstances
+	}
+	rs.ml.OnDispatch(chosen) // lines 21-22
+	return chosen, nil
+}
+
+// ILB is the Intra-group Load Balance baseline (Table 4): every request
+// goes to its ideal (least padding) runtime, load-balanced across that
+// runtime's instances, never demoted.
+type ILB struct {
+	ml *queue.MultiLevel
+}
+
+// NewILB builds the baseline over a multi-level queue.
+func NewILB(ml *queue.MultiLevel) (*ILB, error) {
+	if ml == nil {
+		return nil, fmt.Errorf("dispatch: nil multi-level queue")
+	}
+	return &ILB{ml: ml}, nil
+}
+
+// Name implements Dispatcher.
+func (d *ILB) Name() string { return "ILB" }
+
+// Dispatch implements Dispatcher: least-loaded instance of the first
+// candidate level that has instances.
+func (d *ILB) Dispatch(length int) (*queue.Instance, error) {
+	cands := d.ml.CandidateLevels(length)
+	if len(cands) == 0 {
+		return nil, ErrTooLong
+	}
+	for _, lvl := range cands {
+		if head := d.ml.Level(lvl).Front(); head != nil {
+			d.ml.OnDispatch(head)
+			return head, nil
+		}
+	}
+	return nil, ErrNoInstances
+}
+
+// IG is the Inter-groups Greedy baseline (Table 4): every request goes to
+// the least busy instance among all candidate runtimes, regardless of
+// padding cost.
+type IG struct {
+	ml *queue.MultiLevel
+}
+
+// NewIG builds the baseline over a multi-level queue.
+func NewIG(ml *queue.MultiLevel) (*IG, error) {
+	if ml == nil {
+		return nil, fmt.Errorf("dispatch: nil multi-level queue")
+	}
+	return &IG{ml: ml}, nil
+}
+
+// Name implements Dispatcher.
+func (d *IG) Name() string { return "IG" }
+
+// Dispatch implements Dispatcher: global least-outstanding across all
+// candidate levels (each level's head is its least-loaded instance).
+func (d *IG) Dispatch(length int) (*queue.Instance, error) {
+	cands := d.ml.CandidateLevels(length)
+	if len(cands) == 0 {
+		return nil, ErrTooLong
+	}
+	var best *queue.Instance
+	for _, lvl := range cands {
+		head := d.ml.Level(lvl).Front()
+		if head == nil {
+			continue
+		}
+		if best == nil || head.Outstanding < best.Outstanding {
+			best = head
+		}
+	}
+	if best == nil {
+		return nil, ErrNoInstances
+	}
+	d.ml.OnDispatch(best)
+	return best, nil
+}
+
+// BinPacking is the INFaaS-style dispatcher (section 2.3, 5): requests
+// are packed onto already-busy instances that satisfy the length
+// requirement, up to a small per-instance bin depth (INFaaS packs work
+// into batches on as few instances as possible rather than spreading it),
+// spilling to the next instance once a bin fills; with every bin full it
+// degrades to the global least-loaded instance. It is length-feasible but
+// neither padding- nor dynamics-aware — the two deficiencies the paper
+// attributes to INFaaS.
+type BinPacking struct {
+	ml *queue.MultiLevel
+	// PackDepth is the bin size: the outstanding count up to which an
+	// instance keeps accepting packed requests (default 4).
+	PackDepth int
+}
+
+// NewBinPacking builds the INFaaS-style dispatcher.
+func NewBinPacking(ml *queue.MultiLevel) (*BinPacking, error) {
+	if ml == nil {
+		return nil, fmt.Errorf("dispatch: nil multi-level queue")
+	}
+	return &BinPacking{ml: ml, PackDepth: 4}, nil
+}
+
+// Name implements Dispatcher.
+func (d *BinPacking) Name() string { return "INFaaS" }
+
+// Dispatch implements Dispatcher.
+func (d *BinPacking) Dispatch(length int) (*queue.Instance, error) {
+	cands := d.ml.CandidateLevels(length)
+	if len(cands) == 0 {
+		return nil, ErrTooLong
+	}
+	var packed *queue.Instance
+	var fallback *queue.Instance
+	for _, lvl := range cands {
+		for _, in := range d.ml.Level(lvl).Instances() {
+			if in.Outstanding < d.PackDepth {
+				// Fullest bin below the depth wins; earlier (smaller)
+				// levels win ties.
+				if packed == nil || in.Outstanding > packed.Outstanding {
+					packed = in
+				}
+			}
+			if fallback == nil || in.Outstanding < fallback.Outstanding {
+				fallback = in
+			}
+		}
+	}
+	chosen := packed
+	if chosen == nil {
+		chosen = fallback
+	}
+	if chosen == nil {
+		return nil, ErrNoInstances
+	}
+	d.ml.OnDispatch(chosen)
+	return chosen, nil
+}
+
+// New returns the named dispatcher over the multi-level queue: "RS",
+// "ILB", "IG", or "INFaaS".
+func New(name string, ml *queue.MultiLevel) (Dispatcher, error) {
+	switch name {
+	case "RS":
+		return NewRequestScheduler(ml)
+	case "ILB":
+		return NewILB(ml)
+	case "IG":
+		return NewIG(ml)
+	case "INFaaS":
+		return NewBinPacking(ml)
+	default:
+		return nil, fmt.Errorf("dispatch: unknown policy %q", name)
+	}
+}

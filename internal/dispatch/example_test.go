@@ -1,0 +1,42 @@
+package dispatch_test
+
+import (
+	"fmt"
+	"log"
+
+	"arlo/internal/dispatch"
+	"arlo/internal/queue"
+)
+
+// ExampleRequestScheduler_Dispatch replays the paper's Fig. 5 example: a
+// length-200 request skips the congested 256-runtime head (54/60 >= the
+// 0.85 threshold) and is demoted to the 512 head (28/48 < 0.765).
+func ExampleRequestScheduler_Dispatch() {
+	ml, err := queue.NewMultiLevel([]int{64, 128, 256, 512})
+	if err != nil {
+		log.Fatal(err)
+	}
+	instances := []*queue.Instance{
+		{ID: 30, Runtime: 2, Outstanding: 54, MaxCapacity: 60},
+		{ID: 31, Runtime: 2, Outstanding: 58, MaxCapacity: 60},
+		{ID: 40, Runtime: 3, Outstanding: 28, MaxCapacity: 48},
+		{ID: 41, Runtime: 3, Outstanding: 40, MaxCapacity: 48},
+	}
+	for _, in := range instances {
+		if err := ml.Add(in); err != nil {
+			log.Fatal(err)
+		}
+	}
+	rs, err := dispatch.NewRequestSchedulerParams(ml, 0.85, 0.9, 3)
+	if err != nil {
+		log.Fatal(err)
+	}
+	in, err := rs.Dispatch(200)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("instance %d (max_length %d), outstanding now %d\n",
+		in.ID, ml.MaxLength(in.Runtime), in.Outstanding)
+	// Output:
+	// instance 40 (max_length 512), outstanding now 29
+}

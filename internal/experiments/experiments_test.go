@@ -1,0 +1,192 @@
+package experiments
+
+import (
+	"bytes"
+	"io"
+	"strings"
+	"testing"
+	"time"
+
+	"arlo/internal/model"
+	"arlo/internal/trace"
+)
+
+func TestRegistry(t *testing.T) {
+	all := All()
+	if len(all) < 15 {
+		t.Fatalf("only %d experiments registered", len(all))
+	}
+	seen := map[string]bool{}
+	for _, s := range all {
+		if s.ID == "" || s.Title == "" || s.Run == nil {
+			t.Errorf("incomplete spec %+v", s)
+		}
+		if seen[s.ID] {
+			t.Errorf("duplicate experiment id %s", s.ID)
+		}
+		seen[s.ID] = true
+		got, ok := ByID(s.ID)
+		if !ok || got.ID != s.ID {
+			t.Errorf("ByID(%s) failed", s.ID)
+		}
+	}
+	if _, ok := ByID("nope"); ok {
+		t.Error("unknown id should not resolve")
+	}
+	for _, want := range []string{"fig1", "fig2", "fig4", "fig5", "fig6", "fig7", "fig8",
+		"fig9", "fig10", "fig11", "fig12", "table2", "table3", "table4", "calib"} {
+		if !seen[want] {
+			t.Errorf("experiment %s missing from registry", want)
+		}
+	}
+}
+
+// TestFig4MatchesPaper checks the motivating example's exact violation
+// counts: 5 for the ideal policy, 8 for greedy, 0 for the Request
+// Scheduler (paper section 3.2, Fig. 4).
+func TestFig4MatchesPaper(t *testing.T) {
+	out, err := fig4Play()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Ideal != 5 {
+		t.Errorf("ideal policy violations = %d, want 5", out.Ideal)
+	}
+	if out.Greedy != 8 {
+		t.Errorf("greedy policy violations = %d, want 8", out.Greedy)
+	}
+	if out.Arlo != 0 {
+		t.Errorf("Request Scheduler violations = %d, want 0", out.Arlo)
+	}
+	if out.Optimal != 0 {
+		t.Errorf("optimal violations = %d, want 0", out.Optimal)
+	}
+}
+
+// TestCheapExperimentsRun smoke-tests the drivers that finish in well
+// under a second each.
+func TestCheapExperimentsRun(t *testing.T) {
+	for _, id := range []string{"fig1", "fig2", "fig4", "fig5", "fig9"} {
+		spec, ok := ByID(id)
+		if !ok {
+			t.Fatalf("missing %s", id)
+		}
+		var buf bytes.Buffer
+		if err := spec.Run(&buf, Options{Seed: 3}); err != nil {
+			t.Fatalf("%s: %v", id, err)
+		}
+		if buf.Len() == 0 {
+			t.Errorf("%s produced no output", id)
+		}
+	}
+}
+
+// TestFig5OutputNamesTheInstance checks the walk-through lands where the
+// paper's example does.
+func TestFig5OutputNamesTheInstance(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Fig5(&buf, Options{}); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "dispatched to instance 40") {
+		t.Errorf("Fig5 should dispatch to the 28/48 head (instance 40):\n%s", out)
+	}
+}
+
+// TestFig2AnchorsInOutput checks the printed model spans.
+func TestFig2AnchorsInOutput(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Fig2(&buf, Options{}); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"4.23x", "5.25x", "bert-base", "bert-large", "dolly"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Fig2 output missing %q", want)
+		}
+	}
+}
+
+// TestSimExperimentsRun exercises the simulator-backed drivers end to end
+// (quick mode). Skipped with -short: together they take tens of seconds.
+func TestSimExperimentsRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation experiments take tens of seconds")
+	}
+	for _, id := range []string{"fig6", "fig7", "fig10", "fig11", "table2", "table3", "table4", "fig8", "fig12",
+		"ablation-rs", "ablation-failures", "ablation-batch", "ablation-parallel", "ablation-latebinding"} {
+		id := id
+		t.Run(id, func(t *testing.T) {
+			spec, ok := ByID(id)
+			if !ok {
+				t.Fatalf("missing %s", id)
+			}
+			var buf bytes.Buffer
+			if err := spec.Run(&buf, Options{Seed: 5}); err != nil {
+				t.Fatalf("%s: %v", id, err)
+			}
+			if buf.Len() == 0 {
+				t.Errorf("%s produced no output", id)
+			}
+		})
+	}
+}
+
+// TestCalibrationRuns replays a real-time clip; skipped with -short.
+func TestCalibrationRuns(t *testing.T) {
+	if testing.Short() {
+		t.Skip("calibration runs in real time")
+	}
+	var buf bytes.Buffer
+	if err := Calibration(&buf, Options{Seed: 6}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "fixed overhead") {
+		t.Error("calibration output missing the derived overhead")
+	}
+}
+
+// TestFourSystemsShape asserts the headline ordering the evaluation rests
+// on: on a moderate stable load, Arlo's mean beats every baseline.
+func TestFourSystemsShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs four simulations")
+	}
+	tr, err := trace.Generate(trace.Stable(9, 900, 20*time.Second))
+	if err != nil {
+		t.Fatal(err)
+	}
+	systems, err := fourSystems(model.BertBase(), 150*time.Millisecond, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	results, err := runComparison(io.Discard, systems, tr, 10, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	arlo := results["Arlo"].Summary.Mean
+	for _, name := range []string{"ST", "DT", "INFaaS"} {
+		if arlo >= results[name].Summary.Mean {
+			t.Errorf("Arlo mean %v should beat %s mean %v", arlo, name, results[name].Summary.Mean)
+		}
+	}
+}
+
+func TestReductionHelper(t *testing.T) {
+	if got := reduction(100*time.Millisecond, 30*time.Millisecond); got != 70 {
+		t.Errorf("reduction = %v, want 70", got)
+	}
+	if got := reduction(0, time.Second); got != 0 {
+		t.Errorf("zero base should give 0, got %v", got)
+	}
+}
+
+func TestRelDiff(t *testing.T) {
+	if got := relDiff(100*time.Millisecond, 90*time.Millisecond); got != 10 {
+		t.Errorf("relDiff = %v, want 10", got)
+	}
+	if got := relDiff(0, time.Second); got != 0 {
+		t.Errorf("relDiff with zero base = %v, want 0", got)
+	}
+}

@@ -1,0 +1,149 @@
+// Package ilp solves mixed-integer linear programs by branch-and-bound
+// over LP relaxations from package lp. Together they are the pure-Go
+// replacement for the commercial solver the paper invokes (GUROBI,
+// section 3.3); the Runtime Scheduler's allocation program itself is
+// solved by the specialized exact method in package allocator, but this
+// generic substrate is available for the linear formulations and is
+// exercised by Table 2's overhead benchmarks.
+package ilp
+
+import (
+	"fmt"
+	"math"
+
+	"arlo/internal/lp"
+)
+
+// Problem is a linear program plus integrality requirements.
+type Problem struct {
+	LP lp.Problem
+	// Integer marks the variables that must take integer values. A nil
+	// slice makes every variable integral. A shorter slice is padded
+	// with false.
+	Integer []bool
+}
+
+// Options control the branch-and-bound search.
+type Options struct {
+	// MaxNodes bounds explored subproblems; 0 means the default (200000).
+	MaxNodes int
+}
+
+// ErrNodeLimit is returned when the node budget is exhausted before any
+// integral incumbent is found.
+var ErrNodeLimit = fmt.Errorf("ilp: node limit reached without an integral solution")
+
+const intTol = 1e-6
+
+// Solve optimizes the MILP. The returned status mirrors package lp:
+// Optimal with the best integral solution found, Infeasible when no
+// integral point exists, Unbounded when the relaxation is unbounded.
+func Solve(p *Problem, opt Options) (*lp.Solution, lp.Status, error) {
+	if p == nil {
+		return nil, lp.Infeasible, fmt.Errorf("ilp: nil problem")
+	}
+	maxNodes := opt.MaxNodes
+	if maxNodes <= 0 {
+		maxNodes = 200000
+	}
+	isInt := func(j int) bool {
+		if p.Integer == nil {
+			return true
+		}
+		if j < len(p.Integer) {
+			return p.Integer[j]
+		}
+		return false
+	}
+
+	type node struct {
+		extra []lp.Constraint
+	}
+	stack := []node{{}}
+	var best *lp.Solution
+	nodes := 0
+	sawFeasibleRelaxation := false
+
+	for len(stack) > 0 {
+		if nodes >= maxNodes {
+			if best != nil {
+				return best, lp.Optimal, nil
+			}
+			return nil, lp.Infeasible, ErrNodeLimit
+		}
+		nodes++
+		nd := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+
+		sub := lp.Problem{
+			NumVars:     p.LP.NumVars,
+			Objective:   p.LP.Objective,
+			Constraints: append(append([]lp.Constraint{}, p.LP.Constraints...), nd.extra...),
+		}
+		sol, st, err := lp.Solve(&sub)
+		if err != nil {
+			return nil, lp.Infeasible, err
+		}
+		switch st {
+		case lp.Infeasible:
+			continue
+		case lp.Unbounded:
+			// An unbounded relaxation at the root means the MILP is
+			// unbounded or pathological; deeper nodes only add bounds.
+			if len(nd.extra) == 0 {
+				return nil, lp.Unbounded, nil
+			}
+			continue
+		}
+		sawFeasibleRelaxation = true
+		if best != nil && sol.Objective >= best.Objective-1e-9 {
+			continue // bound: relaxation cannot beat the incumbent
+		}
+		// Find the most fractional integer variable.
+		branch := -1
+		worst := intTol
+		for j := 0; j < p.LP.NumVars; j++ {
+			if !isInt(j) {
+				continue
+			}
+			f := math.Abs(sol.X[j] - math.Round(sol.X[j]))
+			if f > worst {
+				worst = f
+				branch = j
+			}
+		}
+		if branch < 0 {
+			// Integral: round off the numerical fuzz and keep as incumbent.
+			snapped := &lp.Solution{X: append([]float64{}, sol.X...), Objective: sol.Objective}
+			for j := range snapped.X {
+				if isInt(j) {
+					snapped.X[j] = math.Round(snapped.X[j])
+				}
+			}
+			best = snapped
+			continue
+		}
+		v := sol.X[branch]
+		lo, hi := math.Floor(v), math.Ceil(v)
+		down := make([]lp.Constraint, len(nd.extra)+1)
+		copy(down, nd.extra)
+		down[len(nd.extra)] = boundConstraint(p.LP.NumVars, branch, lp.LE, lo)
+		up := make([]lp.Constraint, len(nd.extra)+1)
+		copy(up, nd.extra)
+		up[len(nd.extra)] = boundConstraint(p.LP.NumVars, branch, lp.GE, hi)
+		stack = append(stack, node{extra: down}, node{extra: up})
+	}
+	if best == nil {
+		if sawFeasibleRelaxation {
+			return nil, lp.Infeasible, nil
+		}
+		return nil, lp.Infeasible, nil
+	}
+	return best, lp.Optimal, nil
+}
+
+func boundConstraint(n, j int, sense lp.Sense, rhs float64) lp.Constraint {
+	coeffs := make([]float64, n)
+	coeffs[j] = 1
+	return lp.Constraint{Coeffs: coeffs, Sense: sense, RHS: rhs}
+}

@@ -1,0 +1,228 @@
+package ilp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"arlo/internal/lp"
+)
+
+func approx(a, b float64) bool { return math.Abs(a-b) < 1e-6 }
+
+func TestKnapsack(t *testing.T) {
+	// maximize 8a + 11b + 6c + 4d with weights 5,7,4,3 <= 14, binaries.
+	// Optimum: b + c + d = 21 (weight 14) vs a+b (19, w12) vs a+c+d (18).
+	p := &Problem{
+		LP: lp.Problem{
+			NumVars:   4,
+			Objective: []float64{-8, -11, -6, -4},
+			Constraints: []lp.Constraint{
+				{Coeffs: []float64{5, 7, 4, 3}, Sense: lp.LE, RHS: 14},
+				{Coeffs: []float64{1, 0, 0, 0}, Sense: lp.LE, RHS: 1},
+				{Coeffs: []float64{0, 1, 0, 0}, Sense: lp.LE, RHS: 1},
+				{Coeffs: []float64{0, 0, 1, 0}, Sense: lp.LE, RHS: 1},
+				{Coeffs: []float64{0, 0, 0, 1}, Sense: lp.LE, RHS: 1},
+			},
+		},
+	}
+	sol, st, err := Solve(p, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st != lp.Optimal {
+		t.Fatalf("status = %v", st)
+	}
+	if !approx(sol.Objective, -21) {
+		t.Errorf("objective = %v, want -21", sol.Objective)
+	}
+	want := []float64{0, 1, 1, 1}
+	for j := range want {
+		if !approx(sol.X[j], want[j]) {
+			t.Errorf("x = %v, want %v", sol.X, want)
+			break
+		}
+	}
+}
+
+func TestIntegralityChangesOptimum(t *testing.T) {
+	// maximize x + y s.t. 2x + 3y <= 8: LP optimum x=4 (obj 4) already
+	// integral; make it fractional: 3x + 2y <= 7, x <= 1.5 region...
+	// Use: maximize y s.t. 2y <= 5 => LP y=2.5, ILP y=2.
+	p := &Problem{
+		LP: lp.Problem{
+			NumVars:   1,
+			Objective: []float64{-1},
+			Constraints: []lp.Constraint{
+				{Coeffs: []float64{2}, Sense: lp.LE, RHS: 5},
+			},
+		},
+	}
+	sol, st, err := Solve(p, Options{})
+	if err != nil || st != lp.Optimal {
+		t.Fatalf("err=%v st=%v", err, st)
+	}
+	if !approx(sol.X[0], 2) {
+		t.Errorf("x = %v, want 2", sol.X[0])
+	}
+}
+
+func TestMixedInteger(t *testing.T) {
+	// x integer, y continuous. minimize -10x - y s.t. x + y <= 3.7, x<=2.2.
+	// LP relaxation picks x=2.2; the MILP optimum is x=2, y=1.7 (obj -21.7).
+	p := &Problem{
+		LP: lp.Problem{
+			NumVars:   2,
+			Objective: []float64{-10, -1},
+			Constraints: []lp.Constraint{
+				{Coeffs: []float64{1, 1}, Sense: lp.LE, RHS: 3.7},
+				{Coeffs: []float64{1, 0}, Sense: lp.LE, RHS: 2.2},
+			},
+		},
+		Integer: []bool{true, false},
+	}
+	sol, st, err := Solve(p, Options{})
+	if err != nil || st != lp.Optimal {
+		t.Fatalf("err=%v st=%v", err, st)
+	}
+	if !approx(sol.X[0], 2) || !approx(sol.X[1], 1.7) {
+		t.Errorf("x = %v, want [2 1.7]", sol.X)
+	}
+}
+
+func TestIntegerInfeasible(t *testing.T) {
+	// 0.4 <= x <= 0.6 has no integer point.
+	p := &Problem{
+		LP: lp.Problem{
+			NumVars:   1,
+			Objective: []float64{1},
+			Constraints: []lp.Constraint{
+				{Coeffs: []float64{1}, Sense: lp.GE, RHS: 0.4},
+				{Coeffs: []float64{1}, Sense: lp.LE, RHS: 0.6},
+			},
+		},
+	}
+	_, st, err := Solve(p, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st != lp.Infeasible {
+		t.Errorf("status = %v, want infeasible", st)
+	}
+}
+
+func TestUnboundedRoot(t *testing.T) {
+	p := &Problem{
+		LP: lp.Problem{
+			NumVars:   1,
+			Objective: []float64{-1},
+		},
+	}
+	_, st, err := Solve(p, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st != lp.Unbounded {
+		t.Errorf("status = %v, want unbounded", st)
+	}
+}
+
+func TestNilProblem(t *testing.T) {
+	if _, _, err := Solve(nil, Options{}); err == nil {
+		t.Error("nil problem should error")
+	}
+}
+
+func TestNodeLimit(t *testing.T) {
+	// A problem needing more than one node, with budget 1 and no incumbent.
+	p := &Problem{
+		LP: lp.Problem{
+			NumVars:   2,
+			Objective: []float64{-1, -1},
+			Constraints: []lp.Constraint{
+				{Coeffs: []float64{2, 2}, Sense: lp.LE, RHS: 3},
+			},
+		},
+	}
+	_, _, err := Solve(p, Options{MaxNodes: 1})
+	if err != ErrNodeLimit {
+		t.Errorf("err = %v, want ErrNodeLimit", err)
+	}
+}
+
+// TestAgainstBruteForce cross-checks random small pure-integer programs
+// against exhaustive enumeration.
+func TestAgainstBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 40; trial++ {
+		n := 2 + rng.Intn(2) // 2-3 vars, domain 0..6 via box constraints
+		p := &Problem{LP: lp.Problem{NumVars: n, Objective: make([]float64, n)}}
+		for j := range p.LP.Objective {
+			p.LP.Objective[j] = math.Round((rng.Float64()*10-5)*10) / 10
+		}
+		box := 6.0
+		for j := 0; j < n; j++ {
+			coeffs := make([]float64, n)
+			coeffs[j] = 1
+			p.LP.Constraints = append(p.LP.Constraints, lp.Constraint{Coeffs: coeffs, Sense: lp.LE, RHS: box})
+		}
+		nCons := 1 + rng.Intn(2)
+		for k := 0; k < nCons; k++ {
+			coeffs := make([]float64, n)
+			for j := range coeffs {
+				coeffs[j] = math.Round(rng.Float64()*30) / 10
+			}
+			p.LP.Constraints = append(p.LP.Constraints, lp.Constraint{Coeffs: coeffs, Sense: lp.LE, RHS: math.Round(rng.Float64()*100) / 10})
+		}
+		sol, st, err := Solve(p, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Brute force over the integer box.
+		best := math.Inf(1)
+		feasibleExists := false
+		x := make([]int, n)
+		var rec func(j int)
+		rec = func(j int) {
+			if j == n {
+				for _, c := range p.LP.Constraints {
+					lhs := 0.0
+					for jj, v := range c.Coeffs {
+						lhs += v * float64(x[jj])
+					}
+					if lhs > c.RHS+1e-9 {
+						return
+					}
+				}
+				feasibleExists = true
+				v := 0.0
+				for jj, c := range p.LP.Objective {
+					v += c * float64(x[jj])
+				}
+				if v < best {
+					best = v
+				}
+				return
+			}
+			for v := 0; v <= int(box); v++ {
+				x[j] = v
+				rec(j + 1)
+			}
+		}
+		rec(0)
+		if !feasibleExists {
+			if st != lp.Infeasible {
+				t.Errorf("trial %d: brute force infeasible but solver says %v", trial, st)
+			}
+			continue
+		}
+		if st != lp.Optimal {
+			t.Errorf("trial %d: expected optimal, got %v", trial, st)
+			continue
+		}
+		if math.Abs(sol.Objective-best) > 1e-6 {
+			t.Errorf("trial %d: B&B %.4f vs brute force %.4f (obj %v cons %v)",
+				trial, sol.Objective, best, p.LP.Objective, p.LP.Constraints)
+		}
+	}
+}

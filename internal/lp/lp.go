@@ -1,0 +1,393 @@
+// Package lp implements a dense two-phase primal simplex solver for linear
+// programs in the form
+//
+//	minimize    c.x
+//	subject to  A_i.x (<=|=|>=) b_i,  x >= 0.
+//
+// It is the pure-Go substrate standing in for the commercial solver
+// (GUROBI) the paper uses for the Runtime Scheduler's integer program;
+// package ilp adds branch-and-bound integrality on top. Bland's rule is
+// used for anti-cycling, so the solver always terminates.
+package lp
+
+import (
+	"fmt"
+	"math"
+)
+
+// Sense is the relation of one constraint.
+type Sense int
+
+const (
+	// LE is "less than or equal".
+	LE Sense = iota
+	// GE is "greater than or equal".
+	GE
+	// EQ is "equal".
+	EQ
+)
+
+// String returns the relational symbol.
+func (s Sense) String() string {
+	switch s {
+	case LE:
+		return "<="
+	case GE:
+		return ">="
+	case EQ:
+		return "="
+	default:
+		return fmt.Sprintf("Sense(%d)", int(s))
+	}
+}
+
+// Constraint is one linear constraint: Coeffs.x Sense RHS. Coeffs shorter
+// than the variable count are implicitly zero-padded.
+type Constraint struct {
+	Coeffs []float64
+	Sense  Sense
+	RHS    float64
+}
+
+// Problem is a linear program over NumVars non-negative variables.
+type Problem struct {
+	NumVars     int
+	Objective   []float64 // minimized; shorter slices are zero-padded
+	Constraints []Constraint
+}
+
+// Status reports the outcome of a solve.
+type Status int
+
+const (
+	// Optimal means an optimal solution was found.
+	Optimal Status = iota
+	// Infeasible means no point satisfies all constraints.
+	Infeasible
+	// Unbounded means the objective decreases without bound.
+	Unbounded
+)
+
+// String returns the status name.
+func (s Status) String() string {
+	switch s {
+	case Optimal:
+		return "optimal"
+	case Infeasible:
+		return "infeasible"
+	case Unbounded:
+		return "unbounded"
+	default:
+		return fmt.Sprintf("Status(%d)", int(s))
+	}
+}
+
+// Solution is an optimal point.
+type Solution struct {
+	X         []float64
+	Objective float64
+}
+
+const eps = 1e-9
+
+// Solve optimizes the problem. A nil Solution is returned for non-Optimal
+// statuses. An error indicates a malformed problem, not infeasibility.
+func Solve(p *Problem) (*Solution, Status, error) {
+	if p == nil {
+		return nil, Infeasible, fmt.Errorf("lp: nil problem")
+	}
+	if p.NumVars <= 0 {
+		return nil, Infeasible, fmt.Errorf("lp: NumVars must be positive, got %d", p.NumVars)
+	}
+	if len(p.Objective) > p.NumVars {
+		return nil, Infeasible, fmt.Errorf("lp: objective has %d coefficients for %d variables", len(p.Objective), p.NumVars)
+	}
+	for i, c := range p.Constraints {
+		if len(c.Coeffs) > p.NumVars {
+			return nil, Infeasible, fmt.Errorf("lp: constraint %d has %d coefficients for %d variables", i, len(c.Coeffs), p.NumVars)
+		}
+		if math.IsNaN(c.RHS) || math.IsInf(c.RHS, 0) {
+			return nil, Infeasible, fmt.Errorf("lp: constraint %d has invalid RHS %v", i, c.RHS)
+		}
+	}
+
+	t := newTableau(p)
+	// Phase 1: minimize the sum of artificial variables.
+	if t.numArtificial > 0 {
+		t.setPhase1Objective()
+		if st := t.iterate(); st == Unbounded {
+			// Phase-1 objective is bounded below by 0; unbounded here
+			// means numerical trouble, treat as infeasible.
+			return nil, Infeasible, nil
+		}
+		if t.objectiveValue() > 1e-7 {
+			return nil, Infeasible, nil
+		}
+		t.driveOutArtificials()
+	}
+	// Phase 2: the real objective.
+	t.setPhase2Objective(p)
+	if st := t.iterate(); st == Unbounded {
+		return nil, Unbounded, nil
+	}
+	x := t.extract(p.NumVars)
+	obj := 0.0
+	for j, c := range p.Objective {
+		obj += c * x[j]
+	}
+	return &Solution{X: x, Objective: obj}, Optimal, nil
+}
+
+// tableau is the dense simplex tableau. Columns are [structural vars |
+// slack/surplus | artificial | RHS]; the last row is the (negated-cost)
+// objective row.
+type tableau struct {
+	rows          [][]float64 // m constraint rows + 1 objective row
+	basis         []int       // basic variable per constraint row
+	numVars       int         // structural variables
+	numSlack      int
+	numArtificial int
+	artStart      int // column index of the first artificial
+}
+
+func newTableau(p *Problem) *tableau {
+	m := len(p.Constraints)
+	// Count slack and artificial columns.
+	numSlack, numArt := 0, 0
+	for _, c := range p.Constraints {
+		rhs := c.RHS
+		sense := c.Sense
+		if rhs < 0 {
+			sense = flip(sense)
+		}
+		switch sense {
+		case LE:
+			numSlack++
+		case GE:
+			numSlack++ // surplus
+			numArt++
+		case EQ:
+			numArt++
+		}
+	}
+	width := p.NumVars + numSlack + numArt + 1
+	t := &tableau{
+		rows:          make([][]float64, m+1),
+		basis:         make([]int, m),
+		numVars:       p.NumVars,
+		numSlack:      numSlack,
+		numArtificial: numArt,
+		artStart:      p.NumVars + numSlack,
+	}
+	for i := range t.rows {
+		t.rows[i] = make([]float64, width)
+	}
+	slackCol := p.NumVars
+	artCol := t.artStart
+	for i, c := range p.Constraints {
+		row := t.rows[i]
+		sign := 1.0
+		sense := c.Sense
+		if c.RHS < 0 {
+			sign = -1
+			sense = flip(sense)
+		}
+		for j, v := range c.Coeffs {
+			row[j] = sign * v
+		}
+		row[width-1] = sign * c.RHS
+		switch sense {
+		case LE:
+			row[slackCol] = 1
+			t.basis[i] = slackCol
+			slackCol++
+		case GE:
+			row[slackCol] = -1 // surplus
+			slackCol++
+			row[artCol] = 1
+			t.basis[i] = artCol
+			artCol++
+		case EQ:
+			row[artCol] = 1
+			t.basis[i] = artCol
+			artCol++
+		}
+	}
+	return t
+}
+
+func flip(s Sense) Sense {
+	switch s {
+	case LE:
+		return GE
+	case GE:
+		return LE
+	default:
+		return EQ
+	}
+}
+
+func (t *tableau) width() int  { return len(t.rows[0]) }
+func (t *tableau) height() int { return len(t.rows) - 1 }
+
+// setPhase1Objective loads the objective row with the sum of artificials
+// expressed in terms of non-basic variables.
+func (t *tableau) setPhase1Objective() {
+	obj := t.rows[t.height()]
+	for j := range obj {
+		obj[j] = 0
+	}
+	for j := t.artStart; j < t.artStart+t.numArtificial; j++ {
+		obj[j] = 1
+	}
+	// Eliminate basic (artificial) variables from the objective row.
+	for i, b := range t.basis {
+		if obj[b] != 0 {
+			t.addRowMultiple(t.height(), i, -obj[b])
+		}
+	}
+}
+
+// setPhase2Objective loads the real objective, eliminating basic columns,
+// and pins artificial columns so they never re-enter.
+func (t *tableau) setPhase2Objective(p *Problem) {
+	obj := t.rows[t.height()]
+	for j := range obj {
+		obj[j] = 0
+	}
+	for j, c := range p.Objective {
+		obj[j] = c
+	}
+	for i, b := range t.basis {
+		if obj[b] != 0 {
+			t.addRowMultiple(t.height(), i, -obj[b])
+		}
+	}
+}
+
+// addRowMultiple adds factor*rows[src] to rows[dst].
+func (t *tableau) addRowMultiple(dst, src int, factor float64) {
+	d, s := t.rows[dst], t.rows[src]
+	for j := range d {
+		d[j] += factor * s[j]
+	}
+}
+
+// objectiveValue returns the current objective (RHS of the objective row,
+// negated because the row stores reduced costs).
+func (t *tableau) objectiveValue() float64 {
+	return -t.rows[t.height()][t.width()-1]
+}
+
+// iterate runs simplex pivots until optimality or unboundedness.
+func (t *tableau) iterate() Status {
+	m := t.height()
+	obj := t.rows[m]
+	for iter := 0; ; iter++ {
+		// Bland's rule: entering variable = lowest-index column with a
+		// negative reduced cost. Artificials are excluded in phase 2 by
+		// their zeroed columns (driveOutArtificials pins them).
+		enter := -1
+		for j := 0; j < t.width()-1; j++ {
+			if obj[j] < -eps {
+				enter = j
+				break
+			}
+		}
+		if enter < 0 {
+			return Optimal
+		}
+		// Ratio test: lowest-index minimizer (Bland).
+		leave := -1
+		best := math.Inf(1)
+		for i := 0; i < m; i++ {
+			a := t.rows[i][enter]
+			if a > eps {
+				ratio := t.rows[i][t.width()-1] / a
+				if ratio < best-eps || (ratio < best+eps && (leave < 0 || t.basis[i] < t.basis[leave])) {
+					best = ratio
+					leave = i
+				}
+			}
+		}
+		if leave < 0 {
+			return Unbounded
+		}
+		t.pivot(leave, enter)
+	}
+}
+
+// pivot makes column enter basic in row leave.
+func (t *tableau) pivot(leave, enter int) {
+	row := t.rows[leave]
+	p := row[enter]
+	for j := range row {
+		row[j] /= p
+	}
+	for i := range t.rows {
+		if i == leave {
+			continue
+		}
+		if f := t.rows[i][enter]; f != 0 {
+			t.addRowMultiple(i, leave, -f)
+		}
+	}
+	t.basis[leave] = enter
+}
+
+// driveOutArtificials pivots remaining basic artificials out of the basis
+// where possible and zeroes artificial columns so phase 2 ignores them.
+func (t *tableau) driveOutArtificials() {
+	for i, b := range t.basis {
+		if b < t.artStart {
+			continue
+		}
+		// Find a non-artificial column with a non-zero entry to pivot on.
+		pivoted := false
+		for j := 0; j < t.artStart; j++ {
+			if math.Abs(t.rows[i][j]) > eps {
+				t.pivot(i, j)
+				pivoted = true
+				break
+			}
+		}
+		if !pivoted {
+			// Redundant row: the artificial stays basic at value 0; the
+			// row is all-zero over structural columns and harmless.
+			_ = i
+		}
+	}
+	// Pin artificial columns at zero cost and remove them from play.
+	for i := range t.rows {
+		for j := t.artStart; j < t.artStart+t.numArtificial; j++ {
+			if t.basisHas(j) {
+				continue
+			}
+			t.rows[i][j] = 0
+		}
+	}
+}
+
+func (t *tableau) basisHas(col int) bool {
+	for _, b := range t.basis {
+		if b == col {
+			return true
+		}
+	}
+	return false
+}
+
+// extract reads the structural variable values out of the tableau.
+func (t *tableau) extract(n int) []float64 {
+	x := make([]float64, n)
+	for i, b := range t.basis {
+		if b < n {
+			v := t.rows[i][t.width()-1]
+			if v < 0 && v > -1e-7 {
+				v = 0
+			}
+			x[b] = v
+		}
+	}
+	return x
+}

@@ -1,0 +1,288 @@
+package lp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func solveOK(t *testing.T, p *Problem) *Solution {
+	t.Helper()
+	sol, st, err := Solve(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st != Optimal {
+		t.Fatalf("status = %v, want optimal", st)
+	}
+	return sol
+}
+
+func approx(a, b float64) bool { return math.Abs(a-b) < 1e-6 }
+
+func TestSimpleMaximizationAsMin(t *testing.T) {
+	// maximize 3x + 2y s.t. x + y <= 4, x + 3y <= 6  => x=4, y=0, obj 12.
+	p := &Problem{
+		NumVars:   2,
+		Objective: []float64{-3, -2},
+		Constraints: []Constraint{
+			{Coeffs: []float64{1, 1}, Sense: LE, RHS: 4},
+			{Coeffs: []float64{1, 3}, Sense: LE, RHS: 6},
+		},
+	}
+	sol := solveOK(t, p)
+	if !approx(sol.Objective, -12) {
+		t.Errorf("objective = %v, want -12", sol.Objective)
+	}
+	if !approx(sol.X[0], 4) || !approx(sol.X[1], 0) {
+		t.Errorf("x = %v, want [4 0]", sol.X)
+	}
+}
+
+func TestGEConstraintsAndPhase1(t *testing.T) {
+	// minimize 2x + 3y s.t. x + y >= 10, x >= 3  => x=10? No: y free to 0;
+	// cheapest is y=0, x=10 (cost 20) vs x=3,y=7 (6+21=27). Optimal x=10.
+	p := &Problem{
+		NumVars:   2,
+		Objective: []float64{2, 3},
+		Constraints: []Constraint{
+			{Coeffs: []float64{1, 1}, Sense: GE, RHS: 10},
+			{Coeffs: []float64{1, 0}, Sense: GE, RHS: 3},
+		},
+	}
+	sol := solveOK(t, p)
+	if !approx(sol.Objective, 20) {
+		t.Errorf("objective = %v, want 20", sol.Objective)
+	}
+}
+
+func TestEqualityConstraint(t *testing.T) {
+	// minimize x + 2y s.t. x + y = 5, x <= 3 => x=3, y=2, obj 7.
+	p := &Problem{
+		NumVars:   2,
+		Objective: []float64{1, 2},
+		Constraints: []Constraint{
+			{Coeffs: []float64{1, 1}, Sense: EQ, RHS: 5},
+			{Coeffs: []float64{1, 0}, Sense: LE, RHS: 3},
+		},
+	}
+	sol := solveOK(t, p)
+	if !approx(sol.Objective, 7) || !approx(sol.X[0], 3) || !approx(sol.X[1], 2) {
+		t.Errorf("sol = %+v, want x=[3 2] obj 7", sol)
+	}
+}
+
+func TestInfeasible(t *testing.T) {
+	p := &Problem{
+		NumVars:   1,
+		Objective: []float64{1},
+		Constraints: []Constraint{
+			{Coeffs: []float64{1}, Sense: LE, RHS: 1},
+			{Coeffs: []float64{1}, Sense: GE, RHS: 2},
+		},
+	}
+	_, st, err := Solve(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st != Infeasible {
+		t.Errorf("status = %v, want infeasible", st)
+	}
+}
+
+func TestUnbounded(t *testing.T) {
+	// minimize -x with only x >= 0: unbounded below.
+	p := &Problem{
+		NumVars:   1,
+		Objective: []float64{-1},
+		Constraints: []Constraint{
+			{Coeffs: []float64{1}, Sense: GE, RHS: 0},
+		},
+	}
+	_, st, err := Solve(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st != Unbounded {
+		t.Errorf("status = %v, want unbounded", st)
+	}
+}
+
+func TestNegativeRHSNormalization(t *testing.T) {
+	// x - y <= -2 with minimize x + y => y >= x + 2, best x=0, y=2.
+	p := &Problem{
+		NumVars:   2,
+		Objective: []float64{1, 1},
+		Constraints: []Constraint{
+			{Coeffs: []float64{1, -1}, Sense: LE, RHS: -2},
+		},
+	}
+	sol := solveOK(t, p)
+	if !approx(sol.Objective, 2) {
+		t.Errorf("objective = %v, want 2", sol.Objective)
+	}
+}
+
+func TestDegenerateProblemTerminates(t *testing.T) {
+	// A classic cycling-prone problem (Beale); Bland's rule must terminate.
+	p := &Problem{
+		NumVars:   4,
+		Objective: []float64{-0.75, 150, -0.02, 6},
+		Constraints: []Constraint{
+			{Coeffs: []float64{0.25, -60, -1.0 / 25, 9}, Sense: LE, RHS: 0},
+			{Coeffs: []float64{0.5, -90, -1.0 / 50, 3}, Sense: LE, RHS: 0},
+			{Coeffs: []float64{0, 0, 1, 0}, Sense: LE, RHS: 1},
+		},
+	}
+	sol := solveOK(t, p)
+	if !approx(sol.Objective, -0.05) {
+		t.Errorf("Beale objective = %v, want -0.05", sol.Objective)
+	}
+}
+
+func TestMalformedProblems(t *testing.T) {
+	if _, _, err := Solve(nil); err == nil {
+		t.Error("nil problem should error")
+	}
+	if _, _, err := Solve(&Problem{NumVars: 0}); err == nil {
+		t.Error("zero vars should error")
+	}
+	if _, _, err := Solve(&Problem{NumVars: 1, Objective: []float64{1, 2}}); err == nil {
+		t.Error("oversized objective should error")
+	}
+	if _, _, err := Solve(&Problem{NumVars: 1, Constraints: []Constraint{{Coeffs: []float64{1, 2}, Sense: LE, RHS: 1}}}); err == nil {
+		t.Error("oversized constraint should error")
+	}
+	if _, _, err := Solve(&Problem{NumVars: 1, Constraints: []Constraint{{Coeffs: []float64{1}, Sense: LE, RHS: math.NaN()}}}); err == nil {
+		t.Error("NaN RHS should error")
+	}
+}
+
+func TestNoConstraintsMinimizePositiveCost(t *testing.T) {
+	// With x >= 0 and positive costs, optimum is x = 0.
+	p := &Problem{NumVars: 3, Objective: []float64{1, 2, 3}}
+	sol := solveOK(t, p)
+	if !approx(sol.Objective, 0) {
+		t.Errorf("objective = %v, want 0", sol.Objective)
+	}
+}
+
+// TestRandomFeasibilityAgainstBruteForce cross-checks the simplex optimum
+// against a fine grid search on random small LPs.
+func TestRandomFeasibilityAgainstBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(44))
+	for trial := 0; trial < 60; trial++ {
+		// Two vars, box-bounded, random <= constraints: grid-checkable.
+		nCons := 1 + rng.Intn(3)
+		p := &Problem{
+			NumVars:   2,
+			Objective: []float64{rng.Float64()*4 - 2, rng.Float64()*4 - 2},
+			Constraints: []Constraint{
+				{Coeffs: []float64{1, 0}, Sense: LE, RHS: 10},
+				{Coeffs: []float64{0, 1}, Sense: LE, RHS: 10},
+			},
+		}
+		for k := 0; k < nCons; k++ {
+			p.Constraints = append(p.Constraints, Constraint{
+				Coeffs: []float64{rng.Float64(), rng.Float64()},
+				Sense:  LE,
+				RHS:    rng.Float64() * 10,
+			})
+		}
+		sol, st, err := Solve(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st != Optimal {
+			t.Fatalf("trial %d: status %v", trial, st)
+		}
+		// Grid search lower bound check.
+		best := math.Inf(1)
+		for xi := 0.0; xi <= 10.0; xi += 0.05 {
+			for yi := 0.0; yi <= 10.0; yi += 0.05 {
+				ok := true
+				for _, c := range p.Constraints {
+					if c.Coeffs[0]*xi+c.Coeffs[1]*yi > c.RHS+1e-9 {
+						ok = false
+						break
+					}
+				}
+				if ok {
+					v := p.Objective[0]*xi + p.Objective[1]*yi
+					if v < best {
+						best = v
+					}
+				}
+			}
+		}
+		if sol.Objective > best+1e-6 {
+			t.Errorf("trial %d: simplex %.6f worse than grid %.6f", trial, sol.Objective, best)
+		}
+		// Solution must satisfy all constraints.
+		for ci, c := range p.Constraints {
+			if c.Coeffs[0]*sol.X[0]+c.Coeffs[1]*sol.X[1] > c.RHS+1e-6 {
+				t.Errorf("trial %d: constraint %d violated", trial, ci)
+			}
+		}
+	}
+}
+
+func TestSolutionAlwaysFeasibleQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(4)
+		m := 1 + rng.Intn(5)
+		p := &Problem{NumVars: n, Objective: make([]float64, n)}
+		for j := range p.Objective {
+			p.Objective[j] = rng.Float64()*2 - 0.5
+		}
+		for i := 0; i < m; i++ {
+			coeffs := make([]float64, n)
+			for j := range coeffs {
+				coeffs[j] = rng.Float64()
+			}
+			p.Constraints = append(p.Constraints, Constraint{Coeffs: coeffs, Sense: LE, RHS: 1 + rng.Float64()*5})
+		}
+		// Add a box so negative costs stay bounded.
+		for j := 0; j < n; j++ {
+			coeffs := make([]float64, n)
+			coeffs[j] = 1
+			p.Constraints = append(p.Constraints, Constraint{Coeffs: coeffs, Sense: LE, RHS: 20})
+		}
+		sol, st, err := Solve(p)
+		if err != nil || st != Optimal {
+			return false
+		}
+		for _, c := range p.Constraints {
+			lhs := 0.0
+			for j, v := range c.Coeffs {
+				lhs += v * sol.X[j]
+			}
+			if lhs > c.RHS+1e-6 {
+				return false
+			}
+		}
+		for _, v := range sol.X {
+			if v < -1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestStatusAndSenseStrings(t *testing.T) {
+	if Optimal.String() != "optimal" || Infeasible.String() != "infeasible" || Unbounded.String() != "unbounded" {
+		t.Error("bad status strings")
+	}
+	if LE.String() != "<=" || GE.String() != ">=" || EQ.String() != "=" {
+		t.Error("bad sense strings")
+	}
+	if Status(42).String() == "" || Sense(42).String() == "" {
+		t.Error("unknown values should still print")
+	}
+}

@@ -1,0 +1,238 @@
+package metrics
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestRecorderEmpty(t *testing.T) {
+	var r Recorder
+	if r.Count() != 0 || r.Mean() != 0 || r.P98() != 0 || r.Max() != 0 || r.Min() != 0 {
+		t.Error("empty recorder should report zeros")
+	}
+	if c, f := r.SLOViolations(time.Second); c != 0 || f != 0 {
+		t.Error("empty recorder should report no violations")
+	}
+	if r.CDF(10) != nil {
+		t.Error("empty recorder CDF should be nil")
+	}
+}
+
+func TestRecorderBasicStats(t *testing.T) {
+	r := NewRecorder(4)
+	for _, ms := range []int{40, 10, 30, 20} {
+		r.Record(time.Duration(ms) * time.Millisecond)
+	}
+	if got := r.Mean(); got != 25*time.Millisecond {
+		t.Errorf("mean = %v, want 25ms", got)
+	}
+	if got := r.Min(); got != 10*time.Millisecond {
+		t.Errorf("min = %v, want 10ms", got)
+	}
+	if got := r.Max(); got != 40*time.Millisecond {
+		t.Errorf("max = %v, want 40ms", got)
+	}
+	if got := r.Percentile(0.5); got != 20*time.Millisecond {
+		t.Errorf("p50 = %v, want 20ms (nearest rank)", got)
+	}
+	if got := r.Percentile(0); got != 10*time.Millisecond {
+		t.Errorf("p0 = %v, want min", got)
+	}
+	if got := r.Percentile(1); got != 40*time.Millisecond {
+		t.Errorf("p100 = %v, want max", got)
+	}
+}
+
+func TestPercentileNearestRank(t *testing.T) {
+	r := NewRecorder(100)
+	for i := 1; i <= 100; i++ {
+		r.Record(time.Duration(i) * time.Millisecond)
+	}
+	if got := r.P98(); got != 98*time.Millisecond {
+		t.Errorf("p98 of 1..100ms = %v, want 98ms", got)
+	}
+	if got := r.Percentile(0.50); got != 50*time.Millisecond {
+		t.Errorf("p50 = %v, want 50ms", got)
+	}
+}
+
+func TestSLOViolations(t *testing.T) {
+	r := NewRecorder(10)
+	for i := 1; i <= 10; i++ {
+		r.Record(time.Duration(i*10) * time.Millisecond)
+	}
+	c, f := r.SLOViolations(70 * time.Millisecond)
+	if c != 3 {
+		t.Errorf("violations = %d, want 3 (80,90,100ms)", c)
+	}
+	if f != 0.3 {
+		t.Errorf("fraction = %v, want 0.3", f)
+	}
+	// Boundary: exactly-at-SLO is not a violation.
+	c, _ = r.SLOViolations(100 * time.Millisecond)
+	if c != 0 {
+		t.Errorf("at-SLO sample counted as violation: %d", c)
+	}
+}
+
+func TestRecordInterleavedWithReads(t *testing.T) {
+	var r Recorder
+	r.Record(10 * time.Millisecond)
+	_ = r.Max() // forces a sort
+	r.Record(5 * time.Millisecond)
+	if got := r.Min(); got != 5*time.Millisecond {
+		t.Errorf("min after interleaved record = %v, want 5ms", got)
+	}
+}
+
+func TestCDFProperties(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	r := NewRecorder(1000)
+	for i := 0; i < 1000; i++ {
+		r.Record(time.Duration(rng.Intn(1e6)) * time.Microsecond)
+	}
+	for _, maxPts := range []int{1, 2, 17, 100, 1000, 0, 5000} {
+		cdf := r.CDF(maxPts)
+		if len(cdf) == 0 {
+			t.Fatalf("maxPoints=%d produced empty CDF", maxPts)
+		}
+		if want := maxPts; want > 0 && want <= 1000 && len(cdf) != want {
+			t.Errorf("maxPoints=%d: got %d points", maxPts, len(cdf))
+		}
+		last := cdf[len(cdf)-1]
+		if last.F != 1 {
+			t.Errorf("maxPoints=%d: CDF must end at F=1, got %v", maxPts, last.F)
+		}
+		if last.Latency != r.Max() {
+			t.Errorf("maxPoints=%d: CDF must end at the max latency", maxPts)
+		}
+		if !sort.SliceIsSorted(cdf, func(i, j int) bool { return cdf[i].F < cdf[j].F }) {
+			// Equal F values can only arise from duplicate indices, which
+			// the proportional spacing avoids for maxPoints <= n.
+			for i := 1; i < len(cdf); i++ {
+				if cdf[i].F < cdf[i-1].F || cdf[i].Latency < cdf[i-1].Latency {
+					t.Fatalf("maxPoints=%d: CDF not monotone at %d", maxPts, i)
+				}
+			}
+		}
+	}
+}
+
+func TestRecorderQuickMeanBounds(t *testing.T) {
+	f := func(raw []uint32) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		var r Recorder
+		for _, v := range raw {
+			r.Record(time.Duration(v % 1e9))
+		}
+		m := r.Mean()
+		return m >= r.Min() && m <= r.Max() && r.P98() <= r.Max() && r.P98() >= r.Percentile(0.5)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRecorderReset(t *testing.T) {
+	var r Recorder
+	r.Record(time.Second)
+	r.Reset()
+	if r.Count() != 0 || r.Mean() != 0 {
+		t.Error("reset should clear samples")
+	}
+	r.Record(2 * time.Second)
+	if r.Mean() != 2*time.Second {
+		t.Error("recorder unusable after reset")
+	}
+}
+
+func TestSnapshotIsSortedCopy(t *testing.T) {
+	var r Recorder
+	r.Record(3)
+	r.Record(1)
+	r.Record(2)
+	s := r.Snapshot()
+	if len(s) != 3 || s[0] != 1 || s[1] != 2 || s[2] != 3 {
+		t.Errorf("snapshot = %v, want sorted [1 2 3]", s)
+	}
+	s[0] = 99
+	if r.Min() != 1 {
+		t.Error("mutating snapshot must not affect recorder")
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	var r Recorder
+	for i := 1; i <= 50; i++ {
+		r.Record(time.Duration(i) * time.Millisecond)
+	}
+	s := r.Summarize(40 * time.Millisecond)
+	if s.Count != 50 || s.SLOViolations != 10 {
+		t.Errorf("summary = %+v, want count 50, 10 violations", s)
+	}
+	if s.String() == "" {
+		t.Error("summary string should be non-empty")
+	}
+	noSLO := r.Summarize(0)
+	if noSLO.SLOViolations != 0 || noSLO.SLOFraction != 0 {
+		t.Error("slo=0 should disable violation accounting")
+	}
+}
+
+func TestTimeWeightedAverage(t *testing.T) {
+	var w TimeWeighted
+	if w.Average(time.Minute) != 0 {
+		t.Error("empty series average should be 0")
+	}
+	w.Set(0, 5)              // 5 GPUs for 10s
+	w.Set(10*time.Second, 8) // 8 GPUs for 20s
+	w.Set(30*time.Second, 6) // 6 GPUs for 10s
+	got := w.Average(40 * time.Second)
+	want := (5.0*10 + 8.0*20 + 6.0*10) / 40
+	if got != want {
+		t.Errorf("time-weighted avg = %v, want %v", got, want)
+	}
+	if w.Last() != 6 {
+		t.Errorf("last = %v, want 6", w.Last())
+	}
+}
+
+func TestTimeWeightedClampsOutOfOrder(t *testing.T) {
+	var w TimeWeighted
+	w.Set(10*time.Second, 2)
+	w.Set(5*time.Second, 4) // out of order: treated as at 10s
+	if got := w.Average(20 * time.Second); got != 4 {
+		t.Errorf("avg = %v, want 4 (value 2 held for zero time)", got)
+	}
+}
+
+func TestTimeWeightedSeriesDeduplicates(t *testing.T) {
+	var w TimeWeighted
+	w.Set(0, 3)
+	w.Set(time.Second, 3) // no change: no new point
+	w.Set(2*time.Second, 4)
+	pts := w.Series()
+	if len(pts) != 2 {
+		t.Fatalf("series has %d points, want 2", len(pts))
+	}
+	if pts[1].Value != 4 || pts[1].At != 2*time.Second {
+		t.Errorf("unexpected second point %+v", pts[1])
+	}
+	pts[0].Value = 99
+	if w.Series()[0].Value == 99 {
+		t.Error("Series must return a copy")
+	}
+}
+
+func TestTimeWeightedAverageBeforeEnd(t *testing.T) {
+	var w TimeWeighted
+	w.Set(0, 7)
+	if got := w.Average(0); got != 7 {
+		t.Errorf("zero-span average = %v, want the value itself", got)
+	}
+}

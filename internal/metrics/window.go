@@ -1,0 +1,97 @@
+package metrics
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// Window is a thread-safe sliding-window latency recorder: it keeps only
+// the samples recorded within the trailing Span and answers percentile
+// queries over them. The online control plane observes "the 98%ile
+// latency of recently executed requests" (paper section 4) through one of
+// these.
+type Window struct {
+	mu   sync.Mutex
+	span time.Duration
+	// samples are (recorded-at, latency) pairs in arrival order.
+	at   []time.Time
+	lat  []time.Duration
+	head int // index of the oldest retained sample
+}
+
+// NewWindow returns a Window covering the trailing span (default 10 s for
+// non-positive values).
+func NewWindow(span time.Duration) *Window {
+	if span <= 0 {
+		span = 10 * time.Second
+	}
+	return &Window{span: span}
+}
+
+// Record adds one sample timestamped now.
+func (w *Window) Record(lat time.Duration) { w.RecordAt(time.Now(), lat) }
+
+// RecordAt adds one sample with an explicit timestamp (must be
+// non-decreasing across calls for eviction to behave).
+func (w *Window) RecordAt(at time.Time, lat time.Duration) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.at = append(w.at, at)
+	w.lat = append(w.lat, lat)
+	w.evict(at)
+}
+
+// evict drops samples older than the span and compacts occasionally.
+func (w *Window) evict(now time.Time) {
+	cut := now.Add(-w.span)
+	for w.head < len(w.at) && w.at[w.head].Before(cut) {
+		w.head++
+	}
+	if w.head > 4096 && w.head*2 > len(w.at) {
+		n := copy(w.at, w.at[w.head:])
+		w.at = w.at[:n]
+		m := copy(w.lat, w.lat[w.head:])
+		w.lat = w.lat[:m]
+		w.head = 0
+	}
+}
+
+// Count returns the number of samples currently inside the window.
+func (w *Window) Count() int {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.evict(time.Now())
+	return len(w.lat) - w.head
+}
+
+// Percentile returns the p-quantile (nearest rank) of the samples inside
+// the window as of now, or 0 when the window is empty.
+func (w *Window) Percentile(p float64) time.Duration {
+	return w.PercentileAt(time.Now(), p)
+}
+
+// PercentileAt is Percentile with an explicit evaluation time.
+func (w *Window) PercentileAt(now time.Time, p float64) time.Duration {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.evict(now)
+	live := w.lat[w.head:]
+	if len(live) == 0 {
+		return 0
+	}
+	sorted := make([]time.Duration, len(live))
+	copy(sorted, live)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	idx := int(p*float64(len(sorted))+0.5) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return sorted[idx]
+}
+
+// P98 returns the window's 98th percentile.
+func (w *Window) P98() time.Duration { return w.Percentile(0.98) }

@@ -1,0 +1,86 @@
+package metrics
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestWindowEvictsOldSamples(t *testing.T) {
+	w := NewWindow(10 * time.Second)
+	base := time.Unix(1000, 0)
+	w.RecordAt(base, 100*time.Millisecond)
+	w.RecordAt(base.Add(5*time.Second), 200*time.Millisecond)
+	w.RecordAt(base.Add(12*time.Second), 300*time.Millisecond)
+	// At t=12s the first sample (age 12s) is out; the other two remain.
+	if got := w.PercentileAt(base.Add(12*time.Second), 1.0); got != 300*time.Millisecond {
+		t.Errorf("max in window = %v, want 300ms", got)
+	}
+	if got := w.PercentileAt(base.Add(12*time.Second), 0.0); got != 200*time.Millisecond {
+		t.Errorf("min in window = %v, want 200ms (100ms evicted)", got)
+	}
+	// Much later everything is gone.
+	if got := w.PercentileAt(base.Add(time.Hour), 0.98); got != 0 {
+		t.Errorf("expired window should report 0, got %v", got)
+	}
+}
+
+func TestWindowPercentile(t *testing.T) {
+	w := NewWindow(time.Minute)
+	base := time.Unix(2000, 0)
+	for i := 1; i <= 100; i++ {
+		w.RecordAt(base, time.Duration(i)*time.Millisecond)
+	}
+	if got := w.PercentileAt(base, 0.98); got != 98*time.Millisecond {
+		t.Errorf("p98 = %v, want 98ms", got)
+	}
+	if got := w.PercentileAt(base, 0.5); got != 50*time.Millisecond {
+		t.Errorf("p50 = %v, want 50ms", got)
+	}
+}
+
+func TestWindowDefaultSpan(t *testing.T) {
+	w := NewWindow(0)
+	if w.span != 10*time.Second {
+		t.Errorf("default span = %v, want 10s", w.span)
+	}
+}
+
+func TestWindowCompaction(t *testing.T) {
+	w := NewWindow(time.Millisecond)
+	base := time.Unix(3000, 0)
+	// Push far more than the compaction threshold with advancing time so
+	// almost everything evicts and the buffers compact.
+	for i := 0; i < 20000; i++ {
+		w.RecordAt(base.Add(time.Duration(i)*time.Millisecond), time.Duration(i))
+	}
+	if len(w.at) > 10000 {
+		t.Errorf("buffers never compacted: %d entries retained", len(w.at))
+	}
+	last := base.Add(19999 * time.Millisecond)
+	if got := w.PercentileAt(last, 1.0); got != 19999 {
+		t.Errorf("latest sample lost after compaction: %v", got)
+	}
+}
+
+func TestWindowConcurrent(t *testing.T) {
+	w := NewWindow(time.Minute)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				w.Record(time.Duration(g*1000 + i))
+				if i%50 == 0 {
+					_ = w.P98()
+					_ = w.Count()
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if got := w.Count(); got != 4000 {
+		t.Errorf("count = %d, want 4000", got)
+	}
+}

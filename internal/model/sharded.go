@@ -1,0 +1,39 @@
+package model
+
+import (
+	"fmt"
+	"time"
+)
+
+// Sharded derives the latency model of the same architecture executed
+// with intra-operator model parallelism across k GPUs — the paper's
+// "large models with multiple GPUs" setting (section 6): the computation
+// still depends on the input shape, so Arlo schedules k-GPU instances
+// exactly like single-GPU ones, just with scaled latencies.
+//
+// Per-request latency scales by (1 + commFraction*(k-1)) / k: ideal
+// k-way speedup discounted by the all-reduce communication that grows
+// with the shard count (commFraction is the communication share of one
+// step, typically 0.1-0.2 for tensor parallelism).
+func (m *LatencyModel) Sharded(k int, commFraction float64) (*LatencyModel, error) {
+	if k < 1 {
+		return nil, fmt.Errorf("model %s: shard count must be >= 1, got %d", m.arch.Name, k)
+	}
+	if commFraction < 0 || commFraction >= 1 {
+		return nil, fmt.Errorf("model %s: communication fraction must be in [0, 1), got %v", m.arch.Name, commFraction)
+	}
+	if k == 1 {
+		clone := *m
+		return &clone, nil
+	}
+	scale := (1 + commFraction*float64(k-1)) / float64(k)
+	sharded := *m
+	sharded.arch.Name = fmt.Sprintf("%s-tp%d", m.arch.Name, k)
+	sharded.base = scaleDuration(m.base, scale)
+	sharded.perToken = scaleDuration(m.perToken, scale)
+	return &sharded, nil
+}
+
+func scaleDuration(d time.Duration, scale float64) time.Duration {
+	return time.Duration(float64(d) * scale)
+}

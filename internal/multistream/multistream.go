@@ -1,0 +1,191 @@
+// Package multistream extends Arlo to the multiple-request-stream setting
+// sketched in the paper's Discussion (section 6): each stream (a model +
+// SLO + traffic pattern) runs its own dedicated Arlo, and a coordinator
+// shares the GPU pool among the streams. The coordinator splits the pool
+// by greedy marginal cost: every GPU goes to the stream whose predicted
+// objective (the same Eq. 1-7 program each stream's Runtime Scheduler
+// solves) improves the most, so a stream with heavier or longer-sequence
+// traffic receives a larger share. Within its share, each stream
+// schedules independently — exactly the paper's "dedicated Arlo per
+// stream" deployment.
+package multistream
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"arlo/internal/core"
+	"arlo/internal/sim"
+	"arlo/internal/trace"
+)
+
+// Stream couples one Arlo system with its traffic.
+type Stream struct {
+	// Name labels the stream in results.
+	Name string
+	// System is the stream's dedicated Arlo.
+	System *core.Arlo
+	// Trace is the stream's request stream.
+	Trace *trace.Trace
+}
+
+// Validate reports whether the stream is usable.
+func (s *Stream) Validate() error {
+	switch {
+	case s == nil:
+		return fmt.Errorf("multistream: nil stream")
+	case s.Name == "":
+		return fmt.Errorf("multistream: stream without a name")
+	case s.System == nil:
+		return fmt.Errorf("multistream: stream %s has no system", s.Name)
+	case s.Trace == nil:
+		return fmt.Errorf("multistream: stream %s has no trace", s.Name)
+	}
+	return nil
+}
+
+// demand returns the stream's per-runtime demand estimate.
+func (s *Stream) demand() []float64 { return s.System.Demand(s.Trace) }
+
+// minGPUs returns the smallest pool the stream's allocation program
+// accepts without relaxing its SLO bounds.
+func minGPUs(st *Stream, q []float64) int {
+	for g := 1; ; g++ {
+		al, err := st.System.Allocate(g, q)
+		if err == nil && !al.Relaxed {
+			return g
+		}
+		if g > 1<<20 {
+			return g // unreachable guard
+		}
+	}
+}
+
+// Partition splits g GPUs across the streams by greedy marginal cost.
+// Each stream first receives its SLO-feasible minimum; remaining GPUs go
+// one at a time to the stream with the largest predicted objective
+// improvement. It returns the per-stream GPU counts, aligned with
+// streams.
+func Partition(g int, streams []*Stream) ([]int, error) {
+	if len(streams) == 0 {
+		return nil, fmt.Errorf("multistream: no streams")
+	}
+	demands := make([][]float64, len(streams))
+	shares := make([]int, len(streams))
+	costs := make([]float64, len(streams))
+	used := 0
+	for i, st := range streams {
+		if err := st.Validate(); err != nil {
+			return nil, err
+		}
+		demands[i] = st.demand()
+		shares[i] = minGPUs(st, demands[i])
+		used += shares[i]
+	}
+	if used > g {
+		return nil, fmt.Errorf("multistream: %d GPUs cannot satisfy the streams' SLO minima (%d needed)", g, used)
+	}
+	for i, st := range streams {
+		al, err := st.System.Allocate(shares[i], demands[i])
+		if err != nil {
+			return nil, err
+		}
+		costs[i] = al.Cost
+	}
+	for ; used < g; used++ {
+		bestIdx, bestGain := -1, -math.MaxFloat64
+		bestCost := 0.0
+		for i, st := range streams {
+			al, err := st.System.Allocate(shares[i]+1, demands[i])
+			if err != nil {
+				continue
+			}
+			gain := costs[i] - al.Cost
+			if gain > bestGain {
+				bestIdx, bestGain, bestCost = i, gain, al.Cost
+			}
+		}
+		if bestIdx < 0 {
+			return nil, fmt.Errorf("multistream: no stream accepts more GPUs")
+		}
+		shares[bestIdx]++
+		costs[bestIdx] = bestCost
+	}
+	return shares, nil
+}
+
+// EvenPartition splits g GPUs evenly (leftovers to the later streams) —
+// the naive baseline Partition is compared against.
+func EvenPartition(g, numStreams int) ([]int, error) {
+	if numStreams <= 0 {
+		return nil, fmt.Errorf("multistream: no streams")
+	}
+	if g < numStreams {
+		return nil, fmt.Errorf("multistream: %d GPUs for %d streams", g, numStreams)
+	}
+	out := make([]int, numStreams)
+	base, rem := g/numStreams, g%numStreams
+	for i := range out {
+		out[i] = base
+		if i >= numStreams-rem {
+			out[i]++
+		}
+	}
+	return out, nil
+}
+
+// StreamResult is one stream's outcome under a partition.
+type StreamResult struct {
+	Name string
+	GPUs int
+	Res  *sim.Result
+}
+
+// Run partitions g GPUs across the streams (using Partition when shares
+// is nil) and simulates every stream within its share. Streams are
+// independent once partitioned, exactly as in the paper's dedicated-Arlo
+// deployment.
+func Run(g int, streams []*Stream, shares []int) ([]StreamResult, error) {
+	var err error
+	if shares == nil {
+		shares, err = Partition(g, streams)
+		if err != nil {
+			return nil, err
+		}
+	}
+	if len(shares) != len(streams) {
+		return nil, fmt.Errorf("multistream: %d shares for %d streams", len(shares), len(streams))
+	}
+	total := 0
+	for _, s := range shares {
+		total += s
+	}
+	if total != g {
+		return nil, fmt.Errorf("multistream: shares sum to %d, want %d", total, g)
+	}
+	out := make([]StreamResult, len(streams))
+	for i, st := range streams {
+		res, err := st.System.Simulate(st.Trace, shares[i])
+		if err != nil {
+			return nil, fmt.Errorf("multistream: stream %s: %w", st.Name, err)
+		}
+		out[i] = StreamResult{Name: st.Name, GPUs: shares[i], Res: res}
+	}
+	return out, nil
+}
+
+// WeightedMean returns the request-weighted mean latency across the
+// streams' results — the pool-level objective the coordinator minimizes.
+func WeightedMean(results []StreamResult) time.Duration {
+	var total time.Duration
+	n := 0
+	for _, r := range results {
+		total += r.Res.Summary.Mean * time.Duration(r.Res.Completed)
+		n += r.Res.Completed
+	}
+	if n == 0 {
+		return 0
+	}
+	return total / time.Duration(n)
+}

@@ -1,0 +1,191 @@
+package multistream
+
+import (
+	"testing"
+	"time"
+
+	"arlo/internal/core"
+	"arlo/internal/trace"
+)
+
+func twoStreams(t testing.TB, baseRate, largeRate float64, d time.Duration) []*Stream {
+	t.Helper()
+	base, err := core.New(core.Options{Model: "bert-base"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	large, err := core.New(core.Options{Model: "bert-large"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	trBase, err := trace.Generate(trace.Stable(31, baseRate, d))
+	if err != nil {
+		t.Fatal(err)
+	}
+	trLarge, err := trace.Generate(trace.Stable(33, largeRate, d))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return []*Stream{
+		{Name: "bert-base", System: base, Trace: trBase},
+		{Name: "bert-large", System: large, Trace: trLarge},
+	}
+}
+
+func TestStreamValidate(t *testing.T) {
+	var nilStream *Stream
+	if err := nilStream.Validate(); err == nil {
+		t.Error("nil stream should fail")
+	}
+	a, err := core.New(core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := &trace.Trace{Duration: time.Second}
+	cases := []*Stream{
+		{System: a, Trace: tr},
+		{Name: "x", Trace: tr},
+		{Name: "x", System: a},
+	}
+	for i, s := range cases {
+		if err := s.Validate(); err == nil {
+			t.Errorf("case %d should fail validation", i)
+		}
+	}
+}
+
+func TestPartitionConservesAndFavorsHeavyStream(t *testing.T) {
+	// Same model, very different loads: the loaded stream must get more.
+	a1, err := core.New(core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a2, err := core.New(core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	light, err := trace.Generate(trace.Stable(1, 200, 10*time.Second))
+	if err != nil {
+		t.Fatal(err)
+	}
+	heavy, err := trace.Generate(trace.Stable(2, 2000, 10*time.Second))
+	if err != nil {
+		t.Fatal(err)
+	}
+	streams := []*Stream{
+		{Name: "light", System: a1, Trace: light},
+		{Name: "heavy", System: a2, Trace: heavy},
+	}
+	const g = 12
+	shares, err := Partition(g, streams)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if shares[0]+shares[1] != g {
+		t.Fatalf("shares %v do not sum to %d", shares, g)
+	}
+	if shares[1] <= shares[0] {
+		t.Errorf("heavy stream should receive more GPUs: %v", shares)
+	}
+}
+
+func TestPartitionErrors(t *testing.T) {
+	if _, err := Partition(4, nil); err == nil {
+		t.Error("no streams should fail")
+	}
+	streams := twoStreams(t, 3000, 3000, 10*time.Second)
+	if _, err := Partition(1, streams); err == nil {
+		t.Error("pool below the SLO minima should fail")
+	}
+}
+
+func TestEvenPartition(t *testing.T) {
+	got, err := EvenPartition(7, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int{2, 2, 3}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("EvenPartition(7,3) = %v, want %v", got, want)
+		}
+	}
+	if _, err := EvenPartition(2, 3); err == nil {
+		t.Error("too few GPUs should fail")
+	}
+	if _, err := EvenPartition(2, 0); err == nil {
+		t.Error("zero streams should fail")
+	}
+}
+
+func TestRunEndToEnd(t *testing.T) {
+	streams := twoStreams(t, 1200, 400, 15*time.Second)
+	const g = 14
+	results, err := Run(g, streams, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 2 {
+		t.Fatalf("got %d results", len(results))
+	}
+	totalGPUs := 0
+	for _, r := range results {
+		totalGPUs += r.GPUs
+		if r.Res.Completed == 0 {
+			t.Errorf("stream %s completed nothing", r.Name)
+		}
+	}
+	if totalGPUs != g {
+		t.Errorf("results use %d GPUs, want %d", totalGPUs, g)
+	}
+	if WeightedMean(results) <= 0 {
+		t.Error("weighted mean should be positive")
+	}
+}
+
+func TestRunShareValidation(t *testing.T) {
+	streams := twoStreams(t, 500, 300, 5*time.Second)
+	if _, err := Run(10, streams, []int{5}); err == nil {
+		t.Error("share dimension mismatch should fail")
+	}
+	if _, err := Run(10, streams, []int{4, 4}); err == nil {
+		t.Error("shares not summing to pool should fail")
+	}
+}
+
+// TestCoordinatedBeatsEvenSplit is the extension's headline: the demand-
+// aware partition achieves a lower pool-wide weighted mean than the naive
+// even split when streams have asymmetric loads.
+func TestCoordinatedBeatsEvenSplit(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs four simulations")
+	}
+	streams := twoStreams(t, 2600, 250, 20*time.Second)
+	const g = 14
+	coordShares, err := Partition(g, streams)
+	if err != nil {
+		t.Fatal(err)
+	}
+	coord, err := Run(g, streams, coordShares)
+	if err != nil {
+		t.Fatal(err)
+	}
+	evenShares, err := EvenPartition(g, len(streams))
+	if err != nil {
+		t.Fatal(err)
+	}
+	even, err := Run(g, streams, evenShares)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if WeightedMean(coord) >= WeightedMean(even) {
+		t.Errorf("coordinated partition %v (mean %v) should beat even %v (mean %v)",
+			coordShares, WeightedMean(coord), evenShares, WeightedMean(even))
+	}
+}
+
+func TestWeightedMeanEmpty(t *testing.T) {
+	if WeightedMean(nil) != 0 {
+		t.Error("empty results should give zero")
+	}
+}

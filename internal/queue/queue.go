@@ -1,0 +1,229 @@
+// Package queue provides the scheduling data structures of Arlo's Request
+// Scheduler (paper section 3.4, Fig. 5): a per-runtime priority queue of
+// instances keyed by outstanding load, and the multi-level queue that
+// stacks one such priority queue per runtime in increasing max_length
+// order. The instance with the least ongoing load always sits at the head
+// of its level.
+package queue
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// Instance is the scheduler-side view of one deployed runtime instance.
+type Instance struct {
+	// ID is unique across the cluster.
+	ID int
+	// Runtime is the index of the runtime this instance serves (sorted by
+	// increasing max_length).
+	Runtime int
+	// Outstanding counts dispatched-but-not-completed requests.
+	Outstanding int
+	// MaxCapacity is M_i: the largest queue the instance can drain within
+	// the SLO.
+	MaxCapacity int
+
+	heapIndex int // position in its level's heap; -1 when detached
+}
+
+// Congestion returns the instance's congestion level P = outstanding /
+// capacity used by Algorithm 1 (lines 7-9).
+func (in *Instance) Congestion() float64 {
+	if in.MaxCapacity <= 0 {
+		return 1
+	}
+	return float64(in.Outstanding) / float64(in.MaxCapacity)
+}
+
+// instanceHeap is a min-heap of instances ordered by outstanding load,
+// breaking ties by ID for determinism.
+type instanceHeap []*Instance
+
+func (h instanceHeap) Len() int { return len(h) }
+func (h instanceHeap) Less(i, j int) bool {
+	if h[i].Outstanding != h[j].Outstanding {
+		return h[i].Outstanding < h[j].Outstanding
+	}
+	return h[i].ID < h[j].ID
+}
+func (h instanceHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].heapIndex = i
+	h[j].heapIndex = j
+}
+func (h *instanceHeap) Push(x any) {
+	in := x.(*Instance)
+	in.heapIndex = len(*h)
+	*h = append(*h, in)
+}
+func (h *instanceHeap) Pop() any {
+	old := *h
+	n := len(old)
+	in := old[n-1]
+	old[n-1] = nil
+	in.heapIndex = -1
+	*h = old[:n-1]
+	return in
+}
+
+// Level is the priority queue of one runtime's instances.
+type Level struct {
+	h instanceHeap
+}
+
+// Len returns the number of instances at this level.
+func (l *Level) Len() int { return len(l.h) }
+
+// Front returns the least-loaded instance, or nil when the level is empty.
+func (l *Level) Front() *Instance {
+	if len(l.h) == 0 {
+		return nil
+	}
+	return l.h[0]
+}
+
+// Add inserts an instance into the level.
+func (l *Level) Add(in *Instance) {
+	heap.Push(&l.h, in)
+}
+
+// Remove detaches an instance from the level. It reports whether the
+// instance was present.
+func (l *Level) Remove(in *Instance) bool {
+	if in.heapIndex < 0 || in.heapIndex >= len(l.h) || l.h[in.heapIndex] != in {
+		return false
+	}
+	heap.Remove(&l.h, in.heapIndex)
+	return true
+}
+
+// Update restores heap order after an instance's Outstanding changed.
+func (l *Level) Update(in *Instance) {
+	if in.heapIndex >= 0 && in.heapIndex < len(l.h) && l.h[in.heapIndex] == in {
+		heap.Fix(&l.h, in.heapIndex)
+	}
+}
+
+// Instances returns all instances at this level in unspecified order.
+func (l *Level) Instances() []*Instance {
+	out := make([]*Instance, len(l.h))
+	copy(out, l.h)
+	return out
+}
+
+// MultiLevel is the Request Scheduler's multi-level queue: level k holds
+// the instances of runtime k, with runtimes sorted by increasing
+// max_length.
+type MultiLevel struct {
+	levels     []Level
+	maxLengths []int // per level, increasing
+	byID       map[int]*Instance
+}
+
+// NewMultiLevel creates a multi-level queue for runtimes with the given
+// max_lengths, which must be strictly increasing.
+func NewMultiLevel(maxLengths []int) (*MultiLevel, error) {
+	if len(maxLengths) == 0 {
+		return nil, fmt.Errorf("queue: need at least one runtime level")
+	}
+	for i := 1; i < len(maxLengths); i++ {
+		if maxLengths[i] <= maxLengths[i-1] {
+			return nil, fmt.Errorf("queue: max_lengths must be strictly increasing, got %v", maxLengths)
+		}
+	}
+	ls := make([]int, len(maxLengths))
+	copy(ls, maxLengths)
+	return &MultiLevel{
+		levels:     make([]Level, len(maxLengths)),
+		maxLengths: ls,
+		byID:       make(map[int]*Instance),
+	}, nil
+}
+
+// NumLevels returns the number of runtime levels.
+func (m *MultiLevel) NumLevels() int { return len(m.levels) }
+
+// MaxLength returns the max_length of runtime level k.
+func (m *MultiLevel) MaxLength(k int) int { return m.maxLengths[k] }
+
+// Level returns level k.
+func (m *MultiLevel) Level(k int) *Level { return &m.levels[k] }
+
+// Add registers an instance under its runtime's level. It returns an error
+// for an out-of-range runtime index or duplicate instance ID.
+func (m *MultiLevel) Add(in *Instance) error {
+	if in.Runtime < 0 || in.Runtime >= len(m.levels) {
+		return fmt.Errorf("queue: instance %d has runtime %d outside [0, %d)", in.ID, in.Runtime, len(m.levels))
+	}
+	if _, dup := m.byID[in.ID]; dup {
+		return fmt.Errorf("queue: duplicate instance ID %d", in.ID)
+	}
+	m.levels[in.Runtime].Add(in)
+	m.byID[in.ID] = in
+	return nil
+}
+
+// Remove detaches an instance by ID, returning it (nil if unknown).
+func (m *MultiLevel) Remove(id int) *Instance {
+	in, ok := m.byID[id]
+	if !ok {
+		return nil
+	}
+	m.levels[in.Runtime].Remove(in)
+	delete(m.byID, id)
+	return in
+}
+
+// Get returns the instance with the given ID, or nil.
+func (m *MultiLevel) Get(id int) *Instance { return m.byID[id] }
+
+// Size returns the total number of registered instances.
+func (m *MultiLevel) Size() int { return len(m.byID) }
+
+// CandidateLevels returns the indexes of all runtime levels whose
+// max_length can accommodate a request of the given length, in increasing
+// max_length order (the candidate set Q_e of Algorithm 1, line 2). The
+// result is empty when the request exceeds every runtime.
+func (m *MultiLevel) CandidateLevels(length int) []int {
+	out := make([]int, 0, len(m.levels))
+	for k, ml := range m.maxLengths {
+		if ml >= length {
+			out = append(out, k)
+		}
+	}
+	return out
+}
+
+// OnDispatch records a dispatch to the instance: its outstanding count is
+// incremented and its level's heap order restored (Algorithm 1, line 22).
+func (m *MultiLevel) OnDispatch(in *Instance) {
+	in.Outstanding++
+	m.levels[in.Runtime].Update(in)
+}
+
+// OnComplete records a request completion on the instance.
+func (m *MultiLevel) OnComplete(in *Instance) {
+	if in.Outstanding > 0 {
+		in.Outstanding--
+	}
+	m.levels[in.Runtime].Update(in)
+}
+
+// Instances returns every registered instance in unspecified order.
+func (m *MultiLevel) Instances() []*Instance {
+	out := make([]*Instance, 0, len(m.byID))
+	for _, in := range m.byID {
+		out = append(out, in)
+	}
+	return out
+}
+
+// TotalOutstanding sums outstanding requests across all instances.
+func (m *MultiLevel) TotalOutstanding() int {
+	total := 0
+	for _, in := range m.byID {
+		total += in.Outstanding
+	}
+	return total
+}

@@ -1,0 +1,231 @@
+package queue
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestLevelFrontIsLeastLoaded(t *testing.T) {
+	var l Level
+	if l.Front() != nil {
+		t.Error("empty level front should be nil")
+	}
+	a := &Instance{ID: 1, Outstanding: 5, MaxCapacity: 10}
+	b := &Instance{ID: 2, Outstanding: 2, MaxCapacity: 10}
+	c := &Instance{ID: 3, Outstanding: 8, MaxCapacity: 10}
+	l.Add(a)
+	l.Add(b)
+	l.Add(c)
+	if l.Front() != b {
+		t.Errorf("front = %d, want instance 2", l.Front().ID)
+	}
+	b.Outstanding = 9
+	l.Update(b)
+	if l.Front() != a {
+		t.Errorf("after update front = %d, want instance 1", l.Front().ID)
+	}
+	if !l.Remove(a) {
+		t.Error("remove of member should succeed")
+	}
+	if l.Remove(a) {
+		t.Error("double remove should fail")
+	}
+	if l.Front() != c {
+		t.Errorf("after removal front = %d, want instance 3", l.Front().ID)
+	}
+	if l.Len() != 2 {
+		t.Errorf("level len = %d, want 2", l.Len())
+	}
+}
+
+func TestLevelTieBreaksByID(t *testing.T) {
+	var l Level
+	l.Add(&Instance{ID: 9, Outstanding: 3})
+	l.Add(&Instance{ID: 2, Outstanding: 3})
+	if l.Front().ID != 2 {
+		t.Errorf("tie should break toward smaller ID, got %d", l.Front().ID)
+	}
+}
+
+func TestLevelHeapInvariantUnderChurn(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		var l Level
+		live := map[int]*Instance{}
+		next := 0
+		for op := 0; op < 300; op++ {
+			switch rng.Intn(4) {
+			case 0, 1: // add
+				in := &Instance{ID: next, Outstanding: rng.Intn(50), MaxCapacity: 50}
+				next++
+				l.Add(in)
+				live[in.ID] = in
+			case 2: // mutate a random instance
+				for _, in := range live {
+					in.Outstanding = rng.Intn(50)
+					l.Update(in)
+					break
+				}
+			case 3: // remove
+				for id, in := range live {
+					l.Remove(in)
+					delete(live, id)
+					break
+				}
+			}
+			// Invariant: front has the minimal outstanding count.
+			if front := l.Front(); front != nil {
+				for _, in := range live {
+					if in.Outstanding < front.Outstanding {
+						return false
+					}
+				}
+			} else if len(live) != 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNewMultiLevelValidation(t *testing.T) {
+	if _, err := NewMultiLevel(nil); err == nil {
+		t.Error("empty levels should fail")
+	}
+	if _, err := NewMultiLevel([]int{64, 64}); err == nil {
+		t.Error("non-increasing max_lengths should fail")
+	}
+	if _, err := NewMultiLevel([]int{128, 64}); err == nil {
+		t.Error("decreasing max_lengths should fail")
+	}
+}
+
+func mustML(t *testing.T, lens []int) *MultiLevel {
+	t.Helper()
+	m, err := NewMultiLevel(lens)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestMultiLevelAddRemove(t *testing.T) {
+	m := mustML(t, []int{64, 128, 256, 512})
+	if m.NumLevels() != 4 {
+		t.Fatalf("levels = %d, want 4", m.NumLevels())
+	}
+	in := &Instance{ID: 7, Runtime: 2, MaxCapacity: 40}
+	if err := m.Add(in); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Add(&Instance{ID: 7, Runtime: 1}); err == nil {
+		t.Error("duplicate ID should fail")
+	}
+	if err := m.Add(&Instance{ID: 8, Runtime: 9}); err == nil {
+		t.Error("out-of-range runtime should fail")
+	}
+	if err := m.Add(&Instance{ID: 9, Runtime: -1}); err == nil {
+		t.Error("negative runtime should fail")
+	}
+	if m.Get(7) != in || m.Size() != 1 {
+		t.Error("instance lookup failed")
+	}
+	if m.Level(2).Front() != in {
+		t.Error("instance should head its level")
+	}
+	if got := m.Remove(7); got != in {
+		t.Error("remove should return the instance")
+	}
+	if m.Remove(7) != nil {
+		t.Error("double remove should return nil")
+	}
+	if m.Size() != 0 || m.Level(2).Front() != nil {
+		t.Error("level should be empty after removal")
+	}
+}
+
+func TestCandidateLevels(t *testing.T) {
+	m := mustML(t, []int{64, 128, 256, 512})
+	cases := []struct {
+		length int
+		want   []int
+	}{
+		{1, []int{0, 1, 2, 3}},
+		{64, []int{0, 1, 2, 3}},
+		{65, []int{1, 2, 3}},
+		{200, []int{2, 3}},
+		{512, []int{3}},
+		{513, []int{}},
+	}
+	for _, tc := range cases {
+		got := m.CandidateLevels(tc.length)
+		if len(got) != len(tc.want) {
+			t.Errorf("CandidateLevels(%d) = %v, want %v", tc.length, got, tc.want)
+			continue
+		}
+		for i := range got {
+			if got[i] != tc.want[i] {
+				t.Errorf("CandidateLevels(%d) = %v, want %v", tc.length, got, tc.want)
+				break
+			}
+		}
+	}
+}
+
+func TestDispatchCompleteCycle(t *testing.T) {
+	m := mustML(t, []int{64, 128})
+	a := &Instance{ID: 1, Runtime: 0, MaxCapacity: 10}
+	b := &Instance{ID: 2, Runtime: 0, MaxCapacity: 10}
+	for _, in := range []*Instance{a, b} {
+		if err := m.Add(in); err != nil {
+			t.Fatal(err)
+		}
+	}
+	m.OnDispatch(a)
+	m.OnDispatch(a)
+	if m.Level(0).Front() != b {
+		t.Error("least-loaded should rotate to b after dispatching to a")
+	}
+	if m.TotalOutstanding() != 2 {
+		t.Errorf("outstanding = %d, want 2", m.TotalOutstanding())
+	}
+	m.OnComplete(a)
+	m.OnComplete(a)
+	m.OnComplete(a) // extra completion is clamped at zero
+	if a.Outstanding != 0 {
+		t.Errorf("outstanding clamped at 0, got %d", a.Outstanding)
+	}
+	if m.TotalOutstanding() != 0 {
+		t.Errorf("total outstanding = %d, want 0", m.TotalOutstanding())
+	}
+}
+
+func TestCongestion(t *testing.T) {
+	in := &Instance{Outstanding: 54, MaxCapacity: 60}
+	if got := in.Congestion(); got != 0.9 {
+		t.Errorf("congestion = %v, want 0.9", got)
+	}
+	broken := &Instance{Outstanding: 3, MaxCapacity: 0}
+	if got := broken.Congestion(); got != 1 {
+		t.Errorf("zero-capacity congestion = %v, want 1 (saturated)", got)
+	}
+}
+
+func TestInstancesEnumeration(t *testing.T) {
+	m := mustML(t, []int{64, 128})
+	for i := 0; i < 5; i++ {
+		if err := m.Add(&Instance{ID: i, Runtime: i % 2, MaxCapacity: 10}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := len(m.Instances()); got != 5 {
+		t.Errorf("Instances() returned %d, want 5", got)
+	}
+	if got := len(m.Level(0).Instances()); got != 3 {
+		t.Errorf("level 0 has %d instances, want 3", got)
+	}
+}

@@ -1,0 +1,243 @@
+// Package serve provides the HTTP serving front end standing in for the
+// paper's Triton integration: a JSON inference endpoint that tokenizes the
+// request text, dispatches it by sequence length through an Arlo-scheduled
+// emulated cluster, and reports the measured latency. The classifier
+// output itself is emulated (deterministic over the token ids) — the
+// system under study is the scheduler, not the model.
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"arlo/internal/cluster"
+	"arlo/internal/metrics"
+	"arlo/internal/tokenizer"
+)
+
+// InferRequest is the body of POST /v1/infer.
+type InferRequest struct {
+	// Text is the input to classify.
+	Text string `json:"text"`
+}
+
+// InferResponse is the reply of POST /v1/infer.
+type InferResponse struct {
+	// Label is the (emulated) classification.
+	Label string `json:"label"`
+	// SequenceLength is the tokenized input length Arlo dispatched on.
+	SequenceLength int `json:"sequence_length"`
+	// LatencyMS is the measured serving latency in milliseconds.
+	LatencyMS float64 `json:"latency_ms"`
+}
+
+// Stats is the reply of GET /v1/stats. Latency percentiles cover the
+// trailing 60 seconds.
+type Stats struct {
+	Served    int64   `json:"served"`
+	Rejected  int64   `json:"rejected"`
+	Instances int     `json:"instances"`
+	P50MS     float64 `json:"p50_ms"`
+	P98MS     float64 `json:"p98_ms"`
+}
+
+// Observer receives every served request's tokenized length and measured
+// latency — the hook Arlo's online control plane (core.Controller) feeds
+// its demand and latency estimates from.
+type Observer interface {
+	Observe(length int, lat time.Duration)
+}
+
+// Server routes inference requests into a cluster.
+type Server struct {
+	tok      *tokenizer.Tokenizer
+	cluster  *cluster.Cluster
+	maxLen   int
+	mux      *http.ServeMux
+	served   atomic.Int64
+	rejected atomic.Int64
+
+	window *metrics.Window
+
+	obsMu    sync.RWMutex
+	observer Observer
+}
+
+// SetObserver installs (or clears, with nil) the served-request observer.
+// Safe to call while serving.
+func (s *Server) SetObserver(o Observer) {
+	s.obsMu.Lock()
+	s.observer = o
+	s.obsMu.Unlock()
+}
+
+func (s *Server) notify(length int, lat time.Duration) {
+	s.obsMu.RLock()
+	o := s.observer
+	s.obsMu.RUnlock()
+	if o != nil {
+		o.Observe(length, lat)
+	}
+}
+
+// NewServer wires a tokenizer and a running cluster into an HTTP handler.
+// maxLen caps the encoded sequence length (the model's maximum input).
+func NewServer(tok *tokenizer.Tokenizer, cl *cluster.Cluster, maxLen int) (*Server, error) {
+	if tok == nil {
+		return nil, fmt.Errorf("serve: nil tokenizer")
+	}
+	if cl == nil {
+		return nil, fmt.Errorf("serve: nil cluster")
+	}
+	if maxLen < 2 {
+		return nil, fmt.Errorf("serve: max length must be >= 2, got %d", maxLen)
+	}
+	s := &Server{
+		tok:     tok,
+		cluster: cl,
+		maxLen:  maxLen,
+		mux:     http.NewServeMux(),
+		window:  metrics.NewWindow(60 * time.Second),
+	}
+	s.mux.HandleFunc("/v1/infer", s.handleInfer)
+	s.mux.HandleFunc("/v1/stats", s.handleStats)
+	s.mux.HandleFunc("/healthz", s.handleHealth)
+	return s, nil
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+func (s *Server) handleInfer(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST required", http.StatusMethodNotAllowed)
+		return
+	}
+	body, err := io.ReadAll(io.LimitReader(r.Body, 1<<20))
+	if err != nil {
+		http.Error(w, "read error", http.StatusBadRequest)
+		return
+	}
+	var req InferRequest
+	if err := json.Unmarshal(body, &req); err != nil {
+		http.Error(w, "invalid JSON", http.StatusBadRequest)
+		return
+	}
+	if req.Text == "" {
+		http.Error(w, "empty text", http.StatusBadRequest)
+		return
+	}
+	ids := s.tok.Encode(req.Text, s.maxLen)
+	lat, err := s.cluster.Submit(len(ids))
+	if err != nil {
+		s.rejected.Add(1)
+		http.Error(w, fmt.Sprintf("dispatch failed: %v", err), http.StatusServiceUnavailable)
+		return
+	}
+	s.served.Add(1)
+	s.window.Record(lat)
+	s.notify(len(ids), lat)
+	writeJSON(w, InferResponse{
+		Label:          classify(ids),
+		SequenceLength: len(ids),
+		LatencyMS:      float64(lat) / float64(time.Millisecond),
+	})
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "GET required", http.StatusMethodNotAllowed)
+		return
+	}
+	writeJSON(w, Stats{
+		Served:    s.served.Load(),
+		Rejected:  s.rejected.Load(),
+		Instances: s.cluster.Instances(),
+		P50MS:     float64(s.window.Percentile(0.50)) / float64(time.Millisecond),
+		P98MS:     float64(s.window.P98()) / float64(time.Millisecond),
+	})
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
+	w.WriteHeader(http.StatusOK)
+	fmt.Fprintln(w, "ok")
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	_ = enc.Encode(v)
+}
+
+// classify is the emulated discriminative head: a deterministic label over
+// the token ids (FNV-style fold), standing in for BERT's classifier. Two
+// identical inputs always classify identically.
+func classify(ids []int) string {
+	labels := [3]string{"negative", "neutral", "positive"}
+	h := uint64(14695981039346656037)
+	for _, id := range ids {
+		h ^= uint64(id)
+		h *= 1099511628211
+	}
+	return labels[h%3]
+}
+
+// Client is a minimal typed client for the server's API.
+type Client struct {
+	// BaseURL like "http://127.0.0.1:8080".
+	BaseURL string
+	// HTTPClient defaults to http.DefaultClient.
+	HTTPClient *http.Client
+}
+
+// Infer posts one inference request.
+func (c *Client) Infer(text string) (*InferResponse, error) {
+	body, err := json.Marshal(InferRequest{Text: text})
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.httpClient().Post(c.BaseURL+"/v1/infer", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		return nil, fmt.Errorf("serve: infer returned %d: %s", resp.StatusCode, bytes.TrimSpace(msg))
+	}
+	var out InferResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Stats fetches the server counters.
+func (c *Client) Stats() (*Stats, error) {
+	resp, err := c.httpClient().Get(c.BaseURL + "/v1/stats")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("serve: stats returned %d", resp.StatusCode)
+	}
+	var out Stats
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+func (c *Client) httpClient() *http.Client {
+	if c.HTTPClient != nil {
+		return c.HTTPClient
+	}
+	return http.DefaultClient
+}

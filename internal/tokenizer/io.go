@@ -1,0 +1,43 @@
+package tokenizer
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// SaveVocab writes the vocabulary one token per line in id order — the
+// same format BERT vocab.txt files use, so a tokenizer round-trips
+// through standard tooling.
+func (t *Tokenizer) SaveVocab(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	for _, tok := range t.ids {
+		if _, err := fmt.Fprintln(bw, tok); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// LoadVocab builds a tokenizer from a one-token-per-line vocabulary
+// stream (BERT vocab.txt format). Blank lines are rejected; the special
+// tokens must be present.
+func LoadVocab(r io.Reader) (*Tokenizer, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	var vocab []string
+	line := 0
+	for sc.Scan() {
+		line++
+		tok := strings.TrimRight(sc.Text(), "\r")
+		if tok == "" {
+			return nil, fmt.Errorf("tokenizer: blank vocabulary entry at line %d", line)
+		}
+		vocab = append(vocab, tok)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("tokenizer: reading vocabulary: %w", err)
+	}
+	return NewFromVocab(vocab)
+}

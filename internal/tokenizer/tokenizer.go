@@ -1,0 +1,207 @@
+// Package tokenizer implements a greedy longest-match WordPiece tokenizer
+// in the style of BERT's, with a compact built-in vocabulary. The paper
+// excludes tokenization from its latency accounting (modern tokenizers
+// process gigabytes per second, section 5); this package exists so the
+// serving path — text in, sequence length out, dispatch by length — is
+// end-to-end real in the examples and the HTTP front end.
+package tokenizer
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// Special token names.
+const (
+	PadToken = "[PAD]"
+	UnkToken = "[UNK]"
+	ClsToken = "[CLS]"
+	SepToken = "[SEP]"
+)
+
+// Tokenizer splits text into WordPiece tokens and maps them to vocabulary
+// ids. It is safe for concurrent use after construction.
+type Tokenizer struct {
+	vocab map[string]int
+	ids   []string
+	pad   int
+	unk   int
+	cls   int
+	sep   int
+	// maxWordLen caps per-word matching work, as in BERT's reference
+	// implementation (longer words become [UNK]).
+	maxWordLen int
+}
+
+// NewFromVocab builds a tokenizer from an explicit vocabulary. The
+// vocabulary must contain the four special tokens and no duplicates;
+// continuation pieces are spelled with the "##" prefix.
+func NewFromVocab(vocab []string) (*Tokenizer, error) {
+	if len(vocab) == 0 {
+		return nil, fmt.Errorf("tokenizer: empty vocabulary")
+	}
+	t := &Tokenizer{
+		vocab:      make(map[string]int, len(vocab)),
+		ids:        make([]string, len(vocab)),
+		maxWordLen: 100,
+	}
+	for i, tok := range vocab {
+		if tok == "" {
+			return nil, fmt.Errorf("tokenizer: empty token at index %d", i)
+		}
+		if _, dup := t.vocab[tok]; dup {
+			return nil, fmt.Errorf("tokenizer: duplicate token %q", tok)
+		}
+		t.vocab[tok] = i
+		t.ids[i] = tok
+	}
+	var ok bool
+	if t.pad, ok = t.vocab[PadToken]; !ok {
+		return nil, fmt.Errorf("tokenizer: vocabulary missing %s", PadToken)
+	}
+	if t.unk, ok = t.vocab[UnkToken]; !ok {
+		return nil, fmt.Errorf("tokenizer: vocabulary missing %s", UnkToken)
+	}
+	if t.cls, ok = t.vocab[ClsToken]; !ok {
+		return nil, fmt.Errorf("tokenizer: vocabulary missing %s", ClsToken)
+	}
+	if t.sep, ok = t.vocab[SepToken]; !ok {
+		return nil, fmt.Errorf("tokenizer: vocabulary missing %s", SepToken)
+	}
+	return t, nil
+}
+
+// New returns a tokenizer over the built-in vocabulary.
+func New() *Tokenizer {
+	t, err := NewFromVocab(builtinVocab())
+	if err != nil {
+		panic(err) // the built-in vocabulary is a compile-time constant
+	}
+	return t
+}
+
+// VocabSize returns the vocabulary size.
+func (t *Tokenizer) VocabSize() int { return len(t.ids) }
+
+// PadID returns the [PAD] id.
+func (t *Tokenizer) PadID() int { return t.pad }
+
+// Tokenize splits text into WordPiece tokens: lowercase basic
+// (whitespace + punctuation) tokenization followed by greedy
+// longest-match subword splitting.
+func (t *Tokenizer) Tokenize(text string) []string {
+	words := basicTokenize(text)
+	out := make([]string, 0, len(words)+8)
+	for _, w := range words {
+		out = append(out, t.wordPiece(w)...)
+	}
+	return out
+}
+
+// wordPiece splits one lowercase word into vocabulary pieces, or [UNK].
+func (t *Tokenizer) wordPiece(word string) []string {
+	if len(word) > t.maxWordLen {
+		return []string{UnkToken}
+	}
+	var pieces []string
+	runes := []rune(word)
+	start := 0
+	for start < len(runes) {
+		end := len(runes)
+		var match string
+		for end > start {
+			sub := string(runes[start:end])
+			if start > 0 {
+				sub = "##" + sub
+			}
+			if _, ok := t.vocab[sub]; ok {
+				match = sub
+				break
+			}
+			end--
+		}
+		if match == "" {
+			return []string{UnkToken} // any unmatchable span voids the word
+		}
+		pieces = append(pieces, match)
+		start = end
+	}
+	return pieces
+}
+
+// Encode tokenizes text and maps it to ids wrapped in [CLS] ... [SEP],
+// truncating to maxLen total ids (maxLen <= 0 disables truncation; the
+// minimum useful maxLen is 2). The returned length is the model's input
+// sequence length — what Arlo dispatches on.
+func (t *Tokenizer) Encode(text string, maxLen int) []int {
+	toks := t.Tokenize(text)
+	ids := make([]int, 0, len(toks)+2)
+	ids = append(ids, t.cls)
+	for _, tok := range toks {
+		id, ok := t.vocab[tok]
+		if !ok {
+			id = t.unk
+		}
+		ids = append(ids, id)
+	}
+	ids = append(ids, t.sep)
+	if maxLen > 1 && len(ids) > maxLen {
+		ids = ids[:maxLen-1]
+		ids = append(ids, t.sep)
+	}
+	return ids
+}
+
+// SequenceLength returns the encoded length of text without truncation —
+// the request length Arlo's schedulers consume.
+func (t *Tokenizer) SequenceLength(text string) int {
+	return len(t.Encode(text, 0))
+}
+
+// Pad extends ids with [PAD] up to maxLen — what a static-shape runtime
+// requires of its inputs (section 2.2, uniform zero-padding).
+func (t *Tokenizer) Pad(ids []int, maxLen int) []int {
+	if len(ids) >= maxLen {
+		return ids
+	}
+	out := make([]int, maxLen)
+	copy(out, ids)
+	for i := len(ids); i < maxLen; i++ {
+		out[i] = t.pad
+	}
+	return out
+}
+
+// Decode maps ids back to their token strings ([UNK] for out-of-range).
+func (t *Tokenizer) Decode(ids []int) []string {
+	out := make([]string, len(ids))
+	for i, id := range ids {
+		if id < 0 || id >= len(t.ids) {
+			out[i] = UnkToken
+			continue
+		}
+		out[i] = t.ids[id]
+	}
+	return out
+}
+
+// basicTokenize lowercases, strips accents-free punctuation into separate
+// tokens, and splits on whitespace.
+func basicTokenize(text string) []string {
+	var b strings.Builder
+	b.Grow(len(text) + 16)
+	for _, r := range text {
+		switch {
+		case unicode.IsSpace(r):
+			b.WriteRune(' ')
+		case unicode.IsPunct(r) || unicode.IsSymbol(r):
+			b.WriteRune(' ')
+			b.WriteRune(unicode.ToLower(r))
+			b.WriteRune(' ')
+		default:
+			b.WriteRune(unicode.ToLower(r))
+		}
+	}
+	return strings.Fields(b.String())
+}

@@ -1,0 +1,248 @@
+package tokenizer
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestBuiltinVocabValid(t *testing.T) {
+	tok := New()
+	if tok.VocabSize() < 300 {
+		t.Errorf("built-in vocab suspiciously small: %d", tok.VocabSize())
+	}
+}
+
+func TestNewFromVocabValidation(t *testing.T) {
+	if _, err := NewFromVocab(nil); err == nil {
+		t.Error("empty vocab should fail")
+	}
+	if _, err := NewFromVocab([]string{PadToken, UnkToken, ClsToken, SepToken, ""}); err == nil {
+		t.Error("empty token should fail")
+	}
+	if _, err := NewFromVocab([]string{PadToken, UnkToken, ClsToken, SepToken, "a", "a"}); err == nil {
+		t.Error("duplicate token should fail")
+	}
+	for _, missing := range []string{PadToken, UnkToken, ClsToken, SepToken} {
+		v := []string{}
+		for _, s := range []string{PadToken, UnkToken, ClsToken, SepToken} {
+			if s != missing {
+				v = append(v, s)
+			}
+		}
+		if _, err := NewFromVocab(v); err == nil {
+			t.Errorf("vocab missing %s should fail", missing)
+		}
+	}
+}
+
+func TestTokenizeKnownWords(t *testing.T) {
+	tok := New()
+	got := tok.Tokenize("The quick data")
+	// "the" and "data" are vocabulary words; "quick" splits into pieces.
+	if got[0] != "the" {
+		t.Errorf("first token = %q, want %q", got[0], "the")
+	}
+	if got[len(got)-1] != "data" {
+		t.Errorf("last token = %q, want %q", got[len(got)-1], "data")
+	}
+	joined := strings.Join(got, " ")
+	if strings.Contains(joined, UnkToken) {
+		t.Errorf("ASCII text should never produce UNK with single-char fallback: %v", got)
+	}
+}
+
+func TestWordPieceGreedyLongestMatch(t *testing.T) {
+	tok, err := NewFromVocab([]string{
+		PadToken, UnkToken, ClsToken, SepToken,
+		"un", "##aff", "##able", "##ffa", "##b", "##le", "u", "##n",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := tok.Tokenize("unaffable")
+	want := []string{"un", "##aff", "##able"}
+	if len(got) != len(want) {
+		t.Fatalf("tokens = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("tokens = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestUnmatchableWordBecomesUnk(t *testing.T) {
+	tok, err := NewFromVocab([]string{PadToken, UnkToken, ClsToken, SepToken, "a"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := tok.Tokenize("ab")
+	if len(got) != 1 || got[0] != UnkToken {
+		t.Errorf("tokens = %v, want [%s]", got, UnkToken)
+	}
+}
+
+func TestVeryLongWordBecomesUnk(t *testing.T) {
+	tok := New()
+	long := strings.Repeat("a", 150)
+	got := tok.Tokenize(long)
+	if len(got) != 1 || got[0] != UnkToken {
+		t.Errorf("150-char word should be UNK, got %d tokens", len(got))
+	}
+}
+
+func TestEncodeWrapsAndTruncates(t *testing.T) {
+	tok := New()
+	ids := tok.Encode("hello world", 0)
+	dec := tok.Decode(ids)
+	if dec[0] != ClsToken || dec[len(dec)-1] != SepToken {
+		t.Errorf("encode should wrap in CLS/SEP, got %v", dec)
+	}
+	// Truncation preserves the trailing SEP.
+	long := strings.Repeat("data news today ", 100)
+	capped := tok.Encode(long, 32)
+	if len(capped) != 32 {
+		t.Errorf("truncated length = %d, want 32", len(capped))
+	}
+	decCap := tok.Decode(capped)
+	if decCap[31] != SepToken {
+		t.Errorf("truncated sequence must end with SEP, got %q", decCap[31])
+	}
+}
+
+func TestSequenceLengthMatchesEncode(t *testing.T) {
+	tok := New()
+	texts := []string{"", "hi", "the quick brown fox jumps", "OMG!!! Check this out @user #tag"}
+	for _, s := range texts {
+		if got, want := tok.SequenceLength(s), len(tok.Encode(s, 0)); got != want {
+			t.Errorf("SequenceLength(%q) = %d, want %d", s, got, want)
+		}
+	}
+	if tok.SequenceLength("") != 2 {
+		t.Errorf("empty text should encode to [CLS][SEP], length 2")
+	}
+}
+
+func TestPad(t *testing.T) {
+	tok := New()
+	ids := tok.Encode("hello", 0)
+	padded := tok.Pad(ids, 16)
+	if len(padded) != 16 {
+		t.Fatalf("padded length = %d, want 16", len(padded))
+	}
+	for i := len(ids); i < 16; i++ {
+		if padded[i] != tok.PadID() {
+			t.Fatalf("position %d = %d, want PAD", i, padded[i])
+		}
+	}
+	// Already long enough: unchanged.
+	same := tok.Pad(ids, len(ids)-1)
+	if len(same) != len(ids) {
+		t.Error("over-length input should be returned unchanged")
+	}
+}
+
+func TestDecodeOutOfRange(t *testing.T) {
+	tok := New()
+	got := tok.Decode([]int{-1, 1 << 20})
+	if got[0] != UnkToken || got[1] != UnkToken {
+		t.Errorf("out-of-range ids should decode to UNK, got %v", got)
+	}
+}
+
+func TestPunctuationSplitting(t *testing.T) {
+	tok := New()
+	got := tok.Tokenize("hi,there!")
+	// Punctuation becomes its own token.
+	found := 0
+	for _, tk := range got {
+		if tk == "," || tk == "!" {
+			found++
+		}
+	}
+	if found != 2 {
+		t.Errorf("expected , and ! as separate tokens, got %v", got)
+	}
+}
+
+func TestTokenizeNeverPanicsQuick(t *testing.T) {
+	tok := New()
+	f := func(s string) bool {
+		ids := tok.Encode(s, 128)
+		return len(ids) >= 2 && len(ids) <= 128
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRoundTripKnownTokens(t *testing.T) {
+	tok := New()
+	ids := tok.Encode("the data team", 0)
+	dec := tok.Decode(ids)
+	want := []string{ClsToken, "the", "data", "team", SepToken}
+	if len(dec) != len(want) {
+		t.Fatalf("decode = %v, want %v", dec, want)
+	}
+	for i := range want {
+		if dec[i] != want[i] {
+			t.Fatalf("decode = %v, want %v", dec, want)
+		}
+	}
+}
+
+func TestVocabRoundTrip(t *testing.T) {
+	orig := New()
+	var buf strings.Builder
+	if err := orig.SaveVocab(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadVocab(strings.NewReader(buf.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.VocabSize() != orig.VocabSize() {
+		t.Fatalf("vocab size %d, want %d", loaded.VocabSize(), orig.VocabSize())
+	}
+	// Identical tokenization behaviour.
+	for _, text := range []string{"the data team", "OMG!!! unaffordable things", ""} {
+		a := orig.Encode(text, 64)
+		b := loaded.Encode(text, 64)
+		if len(a) != len(b) {
+			t.Fatalf("encode length mismatch for %q", text)
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("encode mismatch for %q at %d", text, i)
+			}
+		}
+	}
+}
+
+func TestLoadVocabErrors(t *testing.T) {
+	if _, err := LoadVocab(strings.NewReader("")); err == nil {
+		t.Error("empty stream should fail")
+	}
+	if _, err := LoadVocab(strings.NewReader("[PAD]\n\n[UNK]")); err == nil {
+		t.Error("blank line should fail")
+	}
+	if _, err := LoadVocab(strings.NewReader("just\nsome\ntokens")); err == nil {
+		t.Error("missing specials should fail")
+	}
+}
+
+func TestLoadVocabHandlesCRLF(t *testing.T) {
+	in := "[PAD]\r\n[UNK]\r\n[CLS]\r\n[SEP]\r\nhello\r\n"
+	tok, err := LoadVocab(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tok.VocabSize() != 5 {
+		t.Errorf("vocab size = %d, want 5", tok.VocabSize())
+	}
+	got := tok.Tokenize("hello")
+	if len(got) != 1 || got[0] != "hello" {
+		t.Errorf("tokenize = %v", got)
+	}
+}

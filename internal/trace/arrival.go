@@ -1,0 +1,117 @@
+package trace
+
+import (
+	"math/rand"
+	"time"
+)
+
+// ArrivalProcess generates request arrival timestamps over a trace window.
+type ArrivalProcess interface {
+	// Arrivals returns sorted arrival offsets in [0, duration).
+	Arrivals(rng *rand.Rand, duration time.Duration) []time.Duration
+}
+
+// Poisson is a homogeneous Poisson arrival process — the paper's stable
+// pattern ("Twitter-Stable"). Inter-arrival gaps are exponential with mean
+// 1/Rate.
+type Poisson struct {
+	// Rate is the average arrival rate in requests per second.
+	Rate float64
+}
+
+// Arrivals implements ArrivalProcess.
+func (p Poisson) Arrivals(rng *rand.Rand, duration time.Duration) []time.Duration {
+	if p.Rate <= 0 || duration <= 0 {
+		return nil
+	}
+	expected := p.Rate * duration.Seconds()
+	out := make([]time.Duration, 0, int(expected)+16)
+	t := time.Duration(0)
+	for {
+		gap := time.Duration(rng.ExpFloat64() / p.Rate * float64(time.Second))
+		if gap <= 0 {
+			gap = time.Nanosecond
+		}
+		t += gap
+		if t >= duration {
+			return out
+		}
+		out = append(out, t)
+	}
+}
+
+// MMPP is a two-state Markov-modulated Poisson process — the paper's bursty
+// pattern ("Twitter-Bursty"). The process alternates between a low-rate and
+// a high-rate state with exponentially distributed sojourn times.
+type MMPP struct {
+	// LowRate and HighRate are the per-state arrival rates (req/s).
+	LowRate, HighRate float64
+	// MeanLow and MeanHigh are the mean sojourn times in each state.
+	MeanLow, MeanHigh time.Duration
+}
+
+// MeanRate returns the long-run average arrival rate of the process.
+func (m MMPP) MeanRate() float64 {
+	wl := m.MeanLow.Seconds()
+	wh := m.MeanHigh.Seconds()
+	if wl+wh <= 0 {
+		return 0
+	}
+	return (m.LowRate*wl + m.HighRate*wh) / (wl + wh)
+}
+
+// Arrivals implements ArrivalProcess.
+func (m MMPP) Arrivals(rng *rand.Rand, duration time.Duration) []time.Duration {
+	if duration <= 0 || m.MeanRate() <= 0 {
+		return nil
+	}
+	out := make([]time.Duration, 0, int(m.MeanRate()*duration.Seconds())+16)
+	t := time.Duration(0)
+	high := rng.Intn(2) == 1 // random initial state
+	for t < duration {
+		rate, meanStay := m.LowRate, m.MeanLow
+		if high {
+			rate, meanStay = m.HighRate, m.MeanHigh
+		}
+		stay := time.Duration(rng.ExpFloat64() * float64(meanStay))
+		end := t + stay
+		if end > duration {
+			end = duration
+		}
+		if rate > 0 {
+			at := t
+			for {
+				gap := time.Duration(rng.ExpFloat64() / rate * float64(time.Second))
+				if gap <= 0 {
+					gap = time.Nanosecond
+				}
+				at += gap
+				if at >= end {
+					break
+				}
+				out = append(out, at)
+			}
+		}
+		t = end
+		high = !high
+	}
+	return out
+}
+
+// BurstyAround returns an MMPP whose long-run average rate equals rate,
+// alternating between a calm state and ~1.8x bursts of a few seconds.
+// This is the default "Twitter-Bursty" construction: same average load as
+// the stable trace but strongly modulated in the short term, with burst
+// excursions sized so a reasonably provisioned cluster is pushed past
+// capacity transiently rather than buried for tens of seconds.
+func BurstyAround(rate float64) MMPP {
+	// Weights: low 22s of every ~28s, high 6s:
+	// mean = (0.7*22 + 1.6*6)/28 = 25/28 of the base rate.
+	base := rate * 28.0 / 25.0
+	return MMPP{
+		LowRate:  0.7 * base,
+		HighRate: 1.6 * base,
+		MeanLow:  22 * time.Second,
+		MeanHigh: 6 * time.Second,
+	}
+}
