@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-short race bench experiments experiments-full vet fmt clean
+.PHONY: all build test test-short race bench bench-dispatch experiments experiments-full vet fmt clean
 
 all: build test
 
@@ -16,10 +16,15 @@ test-short:
 	$(GO) test -short ./...
 
 race:
-	$(GO) test -race ./internal/cluster/ ./internal/serve/ ./internal/core/ ./internal/multistream/ ./internal/metrics/
+	$(GO) test -race ./internal/queue/ ./internal/dispatch/ ./internal/cluster/ ./internal/serve/ ./internal/core/ ./internal/multistream/ ./internal/metrics/ ./internal/tokenizer/
 
 bench:
 	$(GO) test -bench=. -benchmem -run=^$$ .
+
+# The lock-striped dispatch path under increasing parallelism (Fig. 9
+# family; the GlobalMutex variant is the pre-striping baseline).
+bench-dispatch:
+	$(GO) test -bench 'Fig9' -benchmem -cpu 1,4,8 -run=^$$ .
 
 # Regenerate every table and figure of the paper (quick mode, ~1 min).
 experiments:

@@ -10,6 +10,8 @@ package arlo_test
 import (
 	"io"
 	"math"
+	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -167,6 +169,77 @@ func BenchmarkFig9Dispatch1200L12(b *testing.B)       { benchDispatch(b, 1200, 1
 
 func benchDispatch(b *testing.B, instances, L int) {
 	b.Helper()
+	rs, ml := benchScheduler(b, instances, L)
+	lengths := benchLengths()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		in, err := rs.Dispatch(lengths[i%len(lengths)])
+		if err != nil {
+			b.Fatal(err)
+		}
+		ml.OnComplete(in) // keep load steady across iterations
+	}
+}
+
+// BenchmarkFig9DispatchParallel measures the same per-dispatch overhead
+// with every core dispatching at once — the concurrent serving path the
+// lock-striped queue exists for. Run with -cpu 1,4,8 to see scaling.
+func BenchmarkFig9DispatchParallel200Instances(b *testing.B)  { benchDispatchParallel(b, 200, 6) }
+func BenchmarkFig9DispatchParallel1200Instances(b *testing.B) { benchDispatchParallel(b, 1200, 6) }
+func BenchmarkFig9DispatchParallel1200L12(b *testing.B)       { benchDispatchParallel(b, 1200, 12) }
+
+func benchDispatchParallel(b *testing.B, instances, L int) {
+	b.Helper()
+	rs, ml := benchScheduler(b, instances, L)
+	lengths := benchLengths()
+	var gid atomic.Int64
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		// Stagger each goroutine's walk through the length cycle so the
+		// benchmark models independent request streams, not eight clients
+		// replaying identical traffic in lockstep.
+		i := int(gid.Add(1)) * 509
+		for pb.Next() {
+			in, err := rs.Dispatch(lengths[i%len(lengths)])
+			if err != nil {
+				b.Error(err)
+				return
+			}
+			ml.OnComplete(in)
+			i++
+		}
+	})
+}
+
+// BenchmarkFig9DispatchParallelGlobalMutex is the pre-striping baseline:
+// identical work, but every dispatch+complete serialized through one
+// global mutex the way cluster.Cluster used to. The gap between this and
+// BenchmarkFig9DispatchParallel1200L12 at -cpu 8 is the tentpole's win.
+func BenchmarkFig9DispatchParallelGlobalMutex(b *testing.B) {
+	rs, ml := benchScheduler(b, 1200, 12)
+	lengths := benchLengths()
+	var mu sync.Mutex
+	var gid atomic.Int64
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		i := int(gid.Add(1)) * 509 // same stagger as the striped variant
+		for pb.Next() {
+			mu.Lock()
+			in, err := rs.Dispatch(lengths[i%len(lengths)])
+			if err != nil {
+				mu.Unlock()
+				b.Error(err)
+				return
+			}
+			ml.OnComplete(in)
+			mu.Unlock()
+			i++
+		}
+	})
+}
+
+func benchScheduler(b *testing.B, instances, L int) (*dispatch.RequestScheduler, *queue.MultiLevel) {
+	b.Helper()
 	maxLens := make([]int, 12)
 	for i := range maxLens {
 		maxLens[i] = 64 * (i + 1)
@@ -176,7 +249,7 @@ func benchDispatch(b *testing.B, instances, L int) {
 		b.Fatal(err)
 	}
 	for id := 0; id < instances; id++ {
-		if err := ml.Add(&queue.Instance{ID: id, Runtime: id % 12, Outstanding: id % 40, MaxCapacity: 60}); err != nil {
+		if err := ml.Add(queue.NewInstance(id, id%12, id%40, 60)); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -184,18 +257,15 @@ func benchDispatch(b *testing.B, instances, L int) {
 	if err != nil {
 		b.Fatal(err)
 	}
+	return rs, ml
+}
+
+func benchLengths() []int {
 	lengths := make([]int, 4096)
 	for i := range lengths {
 		lengths[i] = 1 + (i*193)%768
 	}
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		in, err := rs.Dispatch(lengths[i%len(lengths)])
-		if err != nil {
-			b.Fatal(err)
-		}
-		ml.OnComplete(in) // keep load steady across iterations
-	}
+	return lengths
 }
 
 // BenchmarkFig10LargeScale measures the Bert-Large large-scale simulation

@@ -5,6 +5,16 @@
 // runs through the same multi-level queue and policies as the simulator.
 // The section 5.2.1 calibration experiment replays one trace through both
 // this prototype and the simulator and compares the distributions.
+//
+// The dispatch hot path is concurrent: submissions hold only a shared
+// (read) lock on the cluster's topology, so any number of goroutines can
+// dispatch in parallel while synchronization happens inside the
+// lock-striped multi-level queue. The exclusive side of the lock is
+// reserved for topology changes — adding or removing workers and Close —
+// which also makes Submit-after-Close race-free: Close cannot close a
+// worker channel while a submission holding the read lock is sending on
+// it. Completions decrement the queue's atomic counters without any
+// cluster-level lock.
 package cluster
 
 import (
@@ -42,21 +52,43 @@ type Config struct {
 // Cluster is a running set of emulated GPU workers.
 type Cluster struct {
 	cfg      Config
-	mu       sync.Mutex
 	ml       *queue.MultiLevel
 	disp     dispatch.Dispatcher
-	workers  map[int]*worker
-	nextID   int
-	closed   bool
-	wg       sync.WaitGroup
 	overhead time.Duration
 	scale    float64
+	depth    int
+
+	// mu guards topology only: the workers map, nextID and closed.
+	// Submissions hold it shared across dispatch + channel send; worker
+	// add/remove and Close hold it exclusively. Dispatch decisions and
+	// completion accounting synchronize inside the multi-level queue.
+	mu      sync.RWMutex
+	workers map[int]*worker
+	nextID  int
+	closed  bool
+
+	wg sync.WaitGroup
 }
 
 type job struct {
 	length  int
 	started time.Time
 	done    chan time.Duration
+}
+
+// jobPool recycles job structs together with their completion channels so
+// the steady-state submit path allocates nothing. The buffered channel is
+// used for exactly one send and one receive per lease, so a recycled
+// channel is always empty.
+var jobPool = sync.Pool{
+	New: func() any { return &job{done: make(chan time.Duration, 1)} },
+}
+
+func newJob(length int) *job {
+	j := jobPool.Get().(*job)
+	j.length = length
+	j.started = time.Now()
+	return j
 }
 
 type worker struct {
@@ -118,26 +150,31 @@ func New(cfg Config) (*Cluster, error) {
 		workers:  make(map[int]*worker),
 		overhead: overhead,
 		scale:    scale,
+		depth:    depth,
 	}
+	c.mu.Lock()
 	for rtIdx, n := range cfg.InitialAllocation {
 		for k := 0; k < n; k++ {
-			if err := c.addWorker(rtIdx, depth); err != nil {
+			if err := c.addWorker(rtIdx); err != nil {
+				c.mu.Unlock()
 				c.Close()
 				return nil, err
 			}
 		}
 	}
+	c.mu.Unlock()
 	return c, nil
 }
 
-func (c *Cluster) addWorker(rtIdx, depth int) error {
+// addWorker provisions one worker; caller holds c.mu exclusively.
+func (c *Cluster) addWorker(rtIdx int) error {
 	rt := c.cfg.Profile.Runtimes[rtIdx]
 	inst := &queue.Instance{ID: c.nextID, Runtime: rtIdx, MaxCapacity: rt.Capacity}
 	c.nextID++
 	if err := c.ml.Add(inst); err != nil {
 		return err
 	}
-	w := &worker{inst: inst, ch: make(chan *job, depth)}
+	w := &worker{inst: inst, ch: make(chan *job, c.depth)}
 	c.workers[inst.ID] = w
 	c.wg.Add(1)
 	go c.runWorker(w, rt)
@@ -152,6 +189,7 @@ const spinGuard = 200 * time.Microsecond
 
 // runWorker executes the worker's queue sequentially, emulating the scaled
 // modeled computation time per request (sleep + spin to the deadline).
+// Completion accounting is lock-free (atomic decrement on the instance).
 func (c *Cluster) runWorker(w *worker, rt profiler.Runtime) {
 	defer c.wg.Done()
 	for j := range w.ch {
@@ -167,57 +205,73 @@ func (c *Cluster) runWorker(w *worker, rt profiler.Runtime) {
 		// Report in modeled time: un-scale the measured wall time so a
 		// compressed run still yields model-scale latencies.
 		lat = time.Duration(float64(lat) / c.scale)
-		c.mu.Lock()
 		c.ml.OnComplete(w.inst)
-		c.mu.Unlock()
 		j.done <- lat + c.overhead
 	}
 }
 
 // Submit dispatches one request of the given token length and blocks until
 // it completes, returning its modeled latency (queueing + compute +
-// overhead).
+// overhead). The job and its completion channel come from a pool, so the
+// steady-state path is allocation-free.
 func (c *Cluster) Submit(length int) (time.Duration, error) {
-	ch, err := c.SubmitAsync(length)
-	if err != nil {
+	j := newJob(length)
+	if err := c.submit(j); err != nil {
+		jobPool.Put(j)
 		return 0, err
 	}
-	return <-ch, nil
+	lat := <-j.done
+	jobPool.Put(j)
+	return lat, nil
 }
 
 // SubmitAsync dispatches one request and returns a channel that yields its
-// latency on completion.
+// latency on completion. The channel escapes to the caller and is not
+// pooled; latency-sensitive callers that wait inline should prefer Submit.
 func (c *Cluster) SubmitAsync(length int) (<-chan time.Duration, error) {
 	j := &job{length: length, started: time.Now(), done: make(chan time.Duration, 1)}
-	c.mu.Lock()
-	if c.closed {
-		c.mu.Unlock()
-		return nil, ErrClosed
-	}
-	inst, err := c.disp.Dispatch(length)
-	if err != nil {
-		c.mu.Unlock()
+	if err := c.submit(j); err != nil {
 		return nil, err
-	}
-	w := c.workers[inst.ID]
-	c.mu.Unlock()
-	select {
-	case w.ch <- j:
-	default:
-		// Worker queue overflow: account the drop and fail loudly rather
-		// than distorting latency by blocking the caller.
-		c.mu.Lock()
-		c.ml.OnComplete(w.inst)
-		c.mu.Unlock()
-		return nil, fmt.Errorf("cluster: worker %d queue overflow", inst.ID)
 	}
 	return j.done, nil
 }
 
+// submit routes one job to a worker. It holds the topology lock shared so
+// submissions run concurrently with each other (the queue stripes its own
+// locks) while Close and worker removal are excluded — the channel send
+// can never race a close.
+func (c *Cluster) submit(j *job) error {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	if c.closed {
+		return ErrClosed
+	}
+	inst, err := c.disp.Dispatch(j.length)
+	if err != nil {
+		return err
+	}
+	w := c.workers[inst.ID]
+	if w == nil {
+		// The dispatcher chose an instance whose worker is gone (a
+		// concurrent removal between the queue walk and the pick).
+		c.ml.OnComplete(inst)
+		return fmt.Errorf("cluster: instance %d no longer deployed", inst.ID)
+	}
+	select {
+	case w.ch <- j:
+		return nil
+	default:
+		// Worker queue overflow: account the drop and fail loudly rather
+		// than distorting latency by blocking the caller.
+		c.ml.OnComplete(w.inst)
+		return fmt.Errorf("cluster: worker %d queue overflow", inst.ID)
+	}
+}
+
 // Instances returns the current instance count.
 func (c *Cluster) Instances() int {
-	c.mu.Lock()
-	defer c.mu.Unlock()
+	c.mu.RLock()
+	defer c.mu.RUnlock()
 	return len(c.workers)
 }
 
@@ -246,7 +300,8 @@ type ReplayResult struct {
 // Replay drives the cluster with a trace in (scaled) real time: each
 // request is submitted at its scaled arrival offset from a driver
 // goroutine and measured to completion. Replay blocks until every request
-// finishes.
+// finishes. Jobs are pooled: each completion goroutine returns its job
+// after recording the latency.
 func (c *Cluster) Replay(tr *trace.Trace) (*ReplayResult, error) {
 	if tr == nil {
 		return nil, fmt.Errorf("cluster: nil trace")
@@ -264,8 +319,9 @@ func (c *Cluster) Replay(tr *trace.Trace) (*ReplayResult, error) {
 		if wait := time.Until(start.Add(at)); wait > 0 {
 			time.Sleep(wait)
 		}
-		ch, err := c.SubmitAsync(r.Length)
-		if err != nil {
+		j := newJob(r.Length)
+		if err := c.submit(j); err != nil {
+			jobPool.Put(j)
 			mu.Lock()
 			rejected++
 			mu.Unlock()
@@ -274,7 +330,8 @@ func (c *Cluster) Replay(tr *trace.Trace) (*ReplayResult, error) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			lat := <-ch
+			lat := <-j.done
+			jobPool.Put(j)
 			mu.Lock()
 			rec.Record(lat)
 			mu.Unlock()

@@ -266,3 +266,95 @@ func TestInstances(t *testing.T) {
 		t.Errorf("instances = %d, want 3", got)
 	}
 }
+
+// TestConcurrentSubmitClose races many submitters against Close. The
+// RWMutex submission protocol must make this safe: every Submit either
+// completes or reports ErrClosed — never a send on a closed channel.
+func TestConcurrentSubmitClose(t *testing.T) {
+	p := testProfile(t, []int{512})
+	c, err := New(Config{
+		Profile:           p,
+		InitialAllocation: []int{4},
+		Dispatcher:        rsFactory,
+		TimeScale:         0.01,
+		Overhead:          -1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	start := make(chan struct{})
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			<-start
+			for i := 0; i < 50; i++ {
+				if _, err := c.Submit(1 + i%512); err != nil {
+					if err == ErrClosed {
+						return
+					}
+					continue // overflow etc. is fine; crashes are not
+				}
+			}
+		}()
+	}
+	close(start)
+	time.Sleep(2 * time.Millisecond)
+	c.Close()
+	wg.Wait()
+	if _, err := c.Submit(10); err != ErrClosed {
+		t.Errorf("Submit after Close = %v, want ErrClosed", err)
+	}
+}
+
+// TestConcurrentSubmitTopologyChurn races submitters against instance
+// add/remove churn — the auto-scaler reshaping the cluster mid-traffic.
+func TestConcurrentSubmitTopologyChurn(t *testing.T) {
+	p := testProfile(t, []int{256, 512})
+	c, err := New(Config{
+		Profile:           p,
+		InitialAllocation: []int{2, 2},
+		Dispatcher:        rsFactory,
+		TimeScale:         0.01,
+		Overhead:          -1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				// Errors (overflow, instance no longer deployed) are
+				// legitimate under churn; panics and races are the bug.
+				_, _ = c.Submit(1 + (g*131+i)%512)
+			}
+		}(g)
+	}
+	for i := 0; i < 40; i++ {
+		rt := i % 2
+		if _, err := c.AddInstance(rt); err != nil {
+			t.Errorf("AddInstance: %v", err)
+			break
+		}
+		if _, err := c.RemoveInstance(rt); err != nil {
+			t.Errorf("RemoveInstance: %v", err)
+			break
+		}
+	}
+	close(stop)
+	wg.Wait()
+	if got := c.Instances(); got != 4 {
+		t.Errorf("instances after churn = %d, want 4", got)
+	}
+}

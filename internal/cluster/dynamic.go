@@ -17,12 +17,8 @@ func (c *Cluster) AddInstance(rtIdx int) (int, error) {
 	if rtIdx < 0 || rtIdx >= len(c.cfg.Profile.Runtimes) {
 		return 0, fmt.Errorf("cluster: runtime %d outside [0, %d)", rtIdx, len(c.cfg.Profile.Runtimes))
 	}
-	depth := c.cfg.QueueDepth
-	if depth <= 0 {
-		depth = 8192
-	}
 	id := c.nextID
-	if err := c.addWorker(rtIdx, depth); err != nil {
+	if err := c.addWorker(rtIdx); err != nil {
 		return 0, err
 	}
 	return id, nil
@@ -39,13 +35,15 @@ func (c *Cluster) RemoveInstance(rtIdx int) (int, error) {
 		return 0, ErrClosed
 	}
 	var victim *worker
+	victimOut := 0
 	for _, w := range c.workers {
 		if rtIdx >= 0 && w.inst.Runtime != rtIdx {
 			continue
 		}
-		if victim == nil || w.inst.Outstanding < victim.inst.Outstanding ||
-			(w.inst.Outstanding == victim.inst.Outstanding && w.inst.ID < victim.inst.ID) {
-			victim = w
+		o := w.inst.Outstanding()
+		if victim == nil || o < victimOut ||
+			(o == victimOut && w.inst.ID < victim.inst.ID) {
+			victim, victimOut = w, o
 		}
 	}
 	if victim == nil {
@@ -73,8 +71,8 @@ func (c *Cluster) Replace(from, to int, swapDelay time.Duration) (int, error) {
 
 // Allocation returns the current per-runtime worker counts.
 func (c *Cluster) Allocation() []int {
-	c.mu.Lock()
-	defer c.mu.Unlock()
+	c.mu.RLock()
+	defer c.mu.RUnlock()
 	out := make([]int, len(c.cfg.Profile.Runtimes))
 	for _, w := range c.workers {
 		out[w.inst.Runtime]++
@@ -83,8 +81,7 @@ func (c *Cluster) Allocation() []int {
 }
 
 // Outstanding returns the total dispatched-but-unfinished request count.
+// The sum reads the queue's atomic counters; no cluster lock is taken.
 func (c *Cluster) Outstanding() int {
-	c.mu.Lock()
-	defer c.mu.Unlock()
 	return c.ml.TotalOutstanding()
 }

@@ -1,9 +1,17 @@
 // Package dispatch implements Arlo's Request Scheduler (paper section 3.4,
 // Algorithm 1) and the dispatching baselines it is evaluated against:
-// intra-group load balance (ILB), inter-group greedy (IG), plain
-// least-loaded (ST/DT), and INFaaS-style bin packing. All dispatchers
-// operate on the multi-level queue of package queue and share a common
-// interface so systems can swap policies.
+// intra-group load balance (ILB), inter-group greedy (IG), plain global
+// least-loaded (LL, the ST/DT policy), and INFaaS-style bin packing. All
+// dispatchers operate on the multi-level queue of package queue and share
+// a common interface so systems can swap policies.
+//
+// Every dispatcher is safe for concurrent use: policies hold only
+// read-only configuration and delegate all synchronization to the
+// lock-striped multi-level queue, so a cluster can run Dispatch from many
+// goroutines without a global lock. Candidate levels are walked in
+// ascending level index — the package-wide lock order — and no policy
+// holds more than one level stripe at a time, so concurrent dispatches
+// cannot deadlock.
 package dispatch
 
 import (
@@ -24,7 +32,7 @@ var ErrNoInstances = errors.New("dispatch: no instance available for the request
 // Dispatcher selects an instance for an arriving request and records the
 // dispatch on the multi-level queue (the instance's outstanding count is
 // incremented). Completion must be reported back via the queue's
-// OnComplete.
+// OnComplete. Implementations are safe for concurrent use.
 type Dispatcher interface {
 	// Dispatch routes one request of the given token length.
 	Dispatch(length int) (*queue.Instance, error)
@@ -75,7 +83,9 @@ func NewRequestSchedulerParams(ml *queue.MultiLevel, lambda, alpha float64, maxP
 // Name implements Dispatcher.
 func (rs *RequestScheduler) Name() string { return "RS" }
 
-// Dispatch implements Algorithm 1.
+// Dispatch implements Algorithm 1. The multi-level peek walk (lines 6-17)
+// reads level heads lock-free in ascending level order; only the final
+// OnDispatch takes the chosen instance's level stripe.
 func (rs *RequestScheduler) Dispatch(length int) (*queue.Instance, error) {
 	cands := rs.ml.CandidateLevels(length) // line 2
 	if len(cands) == 0 {
@@ -170,19 +180,70 @@ func (d *IG) Name() string { return "IG" }
 
 // Dispatch implements Dispatcher: global least-outstanding across all
 // candidate levels (each level's head is its least-loaded instance).
+// Ties keep the earlier (smaller max_length) level's head.
 func (d *IG) Dispatch(length int) (*queue.Instance, error) {
 	cands := d.ml.CandidateLevels(length)
 	if len(cands) == 0 {
 		return nil, ErrTooLong
 	}
 	var best *queue.Instance
+	bestOut := 0
 	for _, lvl := range cands {
 		head := d.ml.Level(lvl).Front()
 		if head == nil {
 			continue
 		}
-		if best == nil || head.Outstanding < best.Outstanding {
-			best = head
+		// Snapshot the count once so the comparison and the recorded
+		// choice agree even while completions race.
+		if o := head.Outstanding(); best == nil || o < bestOut {
+			best, bestOut = head, o
+		}
+	}
+	if best == nil {
+		return nil, ErrNoInstances
+	}
+	d.ml.OnDispatch(best)
+	return best, nil
+}
+
+// LeastLoaded is the plain global least-loaded policy the single-runtime
+// baselines (ST/DT) degenerate to: route to the least busy length-feasible
+// instance, breaking ties by instance ID across all candidate levels. It
+// differs from IG only in the tie-break — IG prefers the earlier level's
+// head, LeastLoaded the globally smallest ID — which makes it the natural
+// policy when levels carry no padding-cost meaning (one runtime, or
+// homogeneous replicas).
+type LeastLoaded struct {
+	ml *queue.MultiLevel
+}
+
+// NewLeastLoaded builds the baseline over a multi-level queue.
+func NewLeastLoaded(ml *queue.MultiLevel) (*LeastLoaded, error) {
+	if ml == nil {
+		return nil, fmt.Errorf("dispatch: nil multi-level queue")
+	}
+	return &LeastLoaded{ml: ml}, nil
+}
+
+// Name implements Dispatcher.
+func (d *LeastLoaded) Name() string { return "LL" }
+
+// Dispatch implements Dispatcher.
+func (d *LeastLoaded) Dispatch(length int) (*queue.Instance, error) {
+	cands := d.ml.CandidateLevels(length)
+	if len(cands) == 0 {
+		return nil, ErrTooLong
+	}
+	var best *queue.Instance
+	bestOut := 0
+	for _, lvl := range cands {
+		head := d.ml.Level(lvl).Front()
+		if head == nil {
+			continue
+		}
+		o := head.Outstanding()
+		if best == nil || o < bestOut || (o == bestOut && head.ID < best.ID) {
+			best, bestOut = head, o
 		}
 	}
 	if best == nil {
@@ -218,25 +279,36 @@ func NewBinPacking(ml *queue.MultiLevel) (*BinPacking, error) {
 // Name implements Dispatcher.
 func (d *BinPacking) Name() string { return "INFaaS" }
 
-// Dispatch implements Dispatcher.
+// Dispatch implements Dispatcher. Selection is fully deterministic:
+// earlier (smaller max_length) levels win ties, and within a level ties
+// break toward the smaller instance ID — independent of the heaps'
+// internal array order.
 func (d *BinPacking) Dispatch(length int) (*queue.Instance, error) {
 	cands := d.ml.CandidateLevels(length)
 	if len(cands) == 0 {
 		return nil, ErrTooLong
 	}
-	var packed *queue.Instance
-	var fallback *queue.Instance
+	var (
+		packed, fallback       *queue.Instance
+		packedOut, fallbackOut int
+		buf                    [64]*queue.Instance
+		scan                   = buf[:0]
+	)
 	for _, lvl := range cands {
-		for _, in := range d.ml.Level(lvl).Instances() {
-			if in.Outstanding < d.PackDepth {
+		scan = d.ml.Level(lvl).AppendInstances(scan[:0])
+		for _, in := range scan {
+			o := in.Outstanding()
+			if o < d.PackDepth {
 				// Fullest bin below the depth wins; earlier (smaller)
-				// levels win ties.
-				if packed == nil || in.Outstanding > packed.Outstanding {
-					packed = in
+				// levels win ties, then smaller IDs.
+				if packed == nil || o > packedOut ||
+					(o == packedOut && in.Runtime == packed.Runtime && in.ID < packed.ID) {
+					packed, packedOut = in, o
 				}
 			}
-			if fallback == nil || in.Outstanding < fallback.Outstanding {
-				fallback = in
+			if fallback == nil || o < fallbackOut ||
+				(o == fallbackOut && in.Runtime == fallback.Runtime && in.ID < fallback.ID) {
+				fallback, fallbackOut = in, o
 			}
 		}
 	}
@@ -252,7 +324,7 @@ func (d *BinPacking) Dispatch(length int) (*queue.Instance, error) {
 }
 
 // New returns the named dispatcher over the multi-level queue: "RS",
-// "ILB", "IG", or "INFaaS".
+// "ILB", "IG", "LL", or "INFaaS".
 func New(name string, ml *queue.MultiLevel) (Dispatcher, error) {
 	switch name {
 	case "RS":
@@ -261,6 +333,8 @@ func New(name string, ml *queue.MultiLevel) (Dispatcher, error) {
 		return NewILB(ml)
 	case "IG":
 		return NewIG(ml)
+	case "LL":
+		return NewLeastLoaded(ml)
 	case "INFaaS":
 		return NewBinPacking(ml)
 	default:

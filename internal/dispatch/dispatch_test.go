@@ -18,7 +18,7 @@ func fig5Queue(t *testing.T) *queue.MultiLevel {
 	}
 	add := func(id, runtime, outstanding, capacity int) {
 		t.Helper()
-		if err := ml.Add(&queue.Instance{ID: id, Runtime: runtime, Outstanding: outstanding, MaxCapacity: capacity}); err != nil {
+		if err := ml.Add(queue.NewInstance(id, runtime, outstanding, capacity)); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -51,8 +51,8 @@ func TestAlgorithm1PaperExample(t *testing.T) {
 	if in.ID != 40 {
 		t.Errorf("dispatched to instance %d, want 40 (512 head)", in.ID)
 	}
-	if in.Outstanding != 29 {
-		t.Errorf("outstanding = %d, want 29 after dispatch", in.Outstanding)
+	if in.Outstanding() != 29 {
+		t.Errorf("outstanding = %d, want 29 after dispatch", in.Outstanding())
 	}
 }
 
@@ -60,7 +60,7 @@ func TestAlgorithm1TakesIdealWhenUncongested(t *testing.T) {
 	ml := fig5Queue(t)
 	// Relieve the 256 head below the threshold.
 	head := ml.Get(30)
-	head.Outstanding = 10
+	head.SetOutstanding(10)
 	ml.Level(2).Update(head)
 	rs, err := NewRequestScheduler(ml)
 	if err != nil {
@@ -81,7 +81,7 @@ func TestAlgorithm1FallbackToTopCandidate(t *testing.T) {
 	ml := fig5Queue(t)
 	for _, id := range []int{30, 31, 40, 41} {
 		in := ml.Get(id)
-		in.Outstanding = in.MaxCapacity
+		in.SetOutstanding(in.MaxCapacity)
 		ml.Level(in.Runtime).Update(in)
 	}
 	rs, err := NewRequestScheduler(ml)
@@ -120,7 +120,7 @@ func TestAlgorithm1SkipsEmptyLevels(t *testing.T) {
 		t.Fatal(err)
 	}
 	// Only the 256 runtime has an instance.
-	if err := ml.Add(&queue.Instance{ID: 1, Runtime: 2, Outstanding: 0, MaxCapacity: 10}); err != nil {
+	if err := ml.Add(queue.NewInstance(1, 2, 0, 10)); err != nil {
 		t.Fatal(err)
 	}
 	rs, err := NewRequestScheduler(ml)
@@ -160,7 +160,7 @@ func TestILBNeverDemotes(t *testing.T) {
 	// Even with the ideal runtime saturated, ILB keeps piling on it.
 	for _, id := range []int{30, 31} {
 		in := ml.Get(id)
-		in.Outstanding = in.MaxCapacity
+		in.SetOutstanding(in.MaxCapacity)
 		ml.Level(in.Runtime).Update(in)
 	}
 	d, err := NewILB(ml)
@@ -339,7 +339,7 @@ func TestThresholdDecaySequence(t *testing.T) {
 		t.Fatal(err)
 	}
 	for i := 0; i < 3; i++ {
-		if err := ml.Add(&queue.Instance{ID: i, Runtime: i, Outstanding: 8, MaxCapacity: 10}); err != nil {
+		if err := ml.Add(queue.NewInstance(i, i, 8, 10)); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -356,7 +356,7 @@ func TestThresholdDecaySequence(t *testing.T) {
 	}
 	// Now level 0's head is at 0.9.
 	in0 := ml.Get(0)
-	in0.Outstanding = 9
+	in0.SetOutstanding(9)
 	ml.Level(0).Update(in0)
 	in, err = rs.Dispatch(10)
 	if err != nil {
@@ -381,12 +381,7 @@ func TestDispatchersNeverMisplaceQuick(t *testing.T) {
 		}
 		n := 1 + rng.Intn(12)
 		for id := 0; id < n; id++ {
-			if err := ml.Add(&queue.Instance{
-				ID:          id,
-				Runtime:     rng.Intn(len(maxLens)),
-				Outstanding: rng.Intn(50),
-				MaxCapacity: 10 + rng.Intn(50),
-			}); err != nil {
+			if err := ml.Add(queue.NewInstance(id, rng.Intn(len(maxLens)), rng.Intn(50), 10+rng.Intn(50))); err != nil {
 				return false
 			}
 		}

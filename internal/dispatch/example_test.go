@@ -17,10 +17,10 @@ func ExampleRequestScheduler_Dispatch() {
 		log.Fatal(err)
 	}
 	instances := []*queue.Instance{
-		{ID: 30, Runtime: 2, Outstanding: 54, MaxCapacity: 60},
-		{ID: 31, Runtime: 2, Outstanding: 58, MaxCapacity: 60},
-		{ID: 40, Runtime: 3, Outstanding: 28, MaxCapacity: 48},
-		{ID: 41, Runtime: 3, Outstanding: 40, MaxCapacity: 48},
+		queue.NewInstance(30, 2, 54, 60),
+		queue.NewInstance(31, 2, 58, 60),
+		queue.NewInstance(40, 3, 28, 48),
+		queue.NewInstance(41, 3, 40, 48),
 	}
 	for _, in := range instances {
 		if err := ml.Add(in); err != nil {
@@ -36,7 +36,7 @@ func ExampleRequestScheduler_Dispatch() {
 		log.Fatal(err)
 	}
 	fmt.Printf("instance %d (max_length %d), outstanding now %d\n",
-		in.ID, ml.MaxLength(in.Runtime), in.Outstanding)
+		in.ID, ml.MaxLength(in.Runtime), in.Outstanding())
 	// Output:
 	// instance 40 (max_length 512), outstanding now 29
 }

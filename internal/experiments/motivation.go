@@ -97,10 +97,10 @@ func fig4Run(policy string) (int, error) {
 	// GPU0/GPU1: 128-runtimes nearly full (3 free slots in total);
 	// GPU2: 256-runtime with 12 free slots; GPU3: 512-runtime, 14 slots.
 	setup := []*queue.Instance{
-		{ID: 0, Runtime: 0, Outstanding: 18, MaxCapacity: 20},
-		{ID: 1, Runtime: 0, Outstanding: 19, MaxCapacity: 20},
-		{ID: 2, Runtime: 1, Outstanding: 8, MaxCapacity: 20},
-		{ID: 3, Runtime: 2, Outstanding: 0, MaxCapacity: 14},
+		queue.NewInstance(0, 0, 18, 20),
+		queue.NewInstance(1, 0, 19, 20),
+		queue.NewInstance(2, 1, 8, 20),
+		queue.NewInstance(3, 2, 0, 14),
 	}
 	for _, in := range setup {
 		if err := ml.Add(in); err != nil {
@@ -124,7 +124,7 @@ func fig4Run(policy string) (int, error) {
 	}
 	violations := 0
 	for _, in := range setup {
-		if over := in.Outstanding - in.MaxCapacity; over > 0 {
+		if over := in.Outstanding() - in.MaxCapacity; over > 0 {
 			violations += over
 		}
 	}
@@ -177,12 +177,12 @@ func Fig5(w io.Writer, _ Options) error {
 		return err
 	}
 	instances := []*queue.Instance{
-		{ID: 10, Runtime: 0, Outstanding: 30, MaxCapacity: 120},
-		{ID: 20, Runtime: 1, Outstanding: 40, MaxCapacity: 80},
-		{ID: 30, Runtime: 2, Outstanding: 54, MaxCapacity: 60},
-		{ID: 31, Runtime: 2, Outstanding: 58, MaxCapacity: 60},
-		{ID: 40, Runtime: 3, Outstanding: 28, MaxCapacity: 48},
-		{ID: 41, Runtime: 3, Outstanding: 40, MaxCapacity: 48},
+		queue.NewInstance(10, 0, 30, 120),
+		queue.NewInstance(20, 1, 40, 80),
+		queue.NewInstance(30, 2, 54, 60),
+		queue.NewInstance(31, 2, 58, 60),
+		queue.NewInstance(40, 3, 28, 48),
+		queue.NewInstance(41, 3, 40, 48),
 	}
 	for _, in := range instances {
 		if err := ml.Add(in); err != nil {
@@ -194,7 +194,7 @@ func Fig5(w io.Writer, _ Options) error {
 	for _, lvl := range ml.CandidateLevels(200) {
 		head := ml.Level(lvl).Front()
 		fmt.Fprintf(w, "level %d (max_length %d): head %d/%d = %.3f vs threshold %.3f -> ",
-			lvl, ml.MaxLength(lvl), head.Outstanding, head.MaxCapacity, head.Congestion(), lambda)
+			lvl, ml.MaxLength(lvl), head.Outstanding(), head.MaxCapacity, head.Congestion(), lambda)
 		if head.Congestion() < lambda {
 			fmt.Fprintf(w, "dispatch to instance %d\n", head.ID)
 			break

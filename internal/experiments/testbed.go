@@ -280,12 +280,7 @@ func fig9Burst(maxLens []int, instances, requests, L int, seed int64) (time.Dura
 	}
 	rng := rand.New(rand.NewSource(seed))
 	for id := 0; id < instances; id++ {
-		in := &queue.Instance{
-			ID:          id,
-			Runtime:     id % len(maxLens),
-			Outstanding: rng.Intn(40),
-			MaxCapacity: 60,
-		}
+		in := queue.NewInstance(id, id%len(maxLens), rng.Intn(40), 60)
 		if err := ml.Add(in); err != nil {
 			return 0, err
 		}

@@ -1,8 +1,10 @@
 package metrics
 
 import (
+	"runtime"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -11,22 +13,48 @@ import (
 // queries over them. The online control plane observes "the 98%ile
 // latency of recently executed requests" (paper section 4) through one of
 // these.
+//
+// Record is striped across GOMAXPROCS sub-windows so the serving hot
+// path never funnels through one mutex; queries lock the shards in
+// ascending index order, merge the live samples into a reused scratch
+// buffer and sort in place — no per-query allocation in steady state.
 type Window struct {
-	mu   sync.Mutex
-	span time.Duration
+	span   time.Duration
+	next   atomic.Uint32 // round-robin shard cursor for Record
+	shards []windowShard
+
+	// qmu serializes queries and guards the scratch buffer they reuse.
+	qmu     sync.Mutex
+	scratch []time.Duration
+}
+
+// windowShard is one stripe of samples. Padded so two shards' mutexes
+// never share a cache line.
+type windowShard struct {
+	mu sync.Mutex
 	// samples are (recorded-at, latency) pairs in arrival order.
 	at   []time.Time
 	lat  []time.Duration
 	head int // index of the oldest retained sample
+	_    [64]byte
 }
 
 // NewWindow returns a Window covering the trailing span (default 10 s for
 // non-positive values).
 func NewWindow(span time.Duration) *Window {
+	return newWindowShards(span, runtime.GOMAXPROCS(0))
+}
+
+// newWindowShards builds a Window with an explicit stripe count (tests
+// pin it to make eviction deterministic).
+func newWindowShards(span time.Duration, n int) *Window {
 	if span <= 0 {
 		span = 10 * time.Second
 	}
-	return &Window{span: span}
+	if n < 1 {
+		n = 1
+	}
+	return &Window{span: span, shards: make([]windowShard, n)}
 }
 
 // Record adds one sample timestamped now.
@@ -35,34 +63,42 @@ func (w *Window) Record(lat time.Duration) { w.RecordAt(time.Now(), lat) }
 // RecordAt adds one sample with an explicit timestamp (must be
 // non-decreasing across calls for eviction to behave).
 func (w *Window) RecordAt(at time.Time, lat time.Duration) {
-	w.mu.Lock()
-	defer w.mu.Unlock()
-	w.at = append(w.at, at)
-	w.lat = append(w.lat, lat)
-	w.evict(at)
+	s := &w.shards[w.next.Add(1)%uint32(len(w.shards))]
+	s.mu.Lock()
+	s.at = append(s.at, at)
+	s.lat = append(s.lat, lat)
+	s.evict(at, w.span)
+	s.mu.Unlock()
 }
 
-// evict drops samples older than the span and compacts occasionally.
-func (w *Window) evict(now time.Time) {
-	cut := now.Add(-w.span)
-	for w.head < len(w.at) && w.at[w.head].Before(cut) {
-		w.head++
+// evict drops samples older than the span and compacts occasionally;
+// caller holds s.mu.
+func (s *windowShard) evict(now time.Time, span time.Duration) {
+	cut := now.Add(-span)
+	for s.head < len(s.at) && s.at[s.head].Before(cut) {
+		s.head++
 	}
-	if w.head > 4096 && w.head*2 > len(w.at) {
-		n := copy(w.at, w.at[w.head:])
-		w.at = w.at[:n]
-		m := copy(w.lat, w.lat[w.head:])
-		w.lat = w.lat[:m]
-		w.head = 0
+	if s.head > 1024 && s.head*2 > len(s.at) {
+		n := copy(s.at, s.at[s.head:])
+		s.at = s.at[:n]
+		m := copy(s.lat, s.lat[s.head:])
+		s.lat = s.lat[:m]
+		s.head = 0
 	}
 }
 
 // Count returns the number of samples currently inside the window.
 func (w *Window) Count() int {
-	w.mu.Lock()
-	defer w.mu.Unlock()
-	w.evict(time.Now())
-	return len(w.lat) - w.head
+	now := time.Now()
+	total := 0
+	for i := range w.shards {
+		s := &w.shards[i]
+		s.mu.Lock()
+		s.evict(now, w.span)
+		total += len(s.lat) - s.head
+		s.mu.Unlock()
+	}
+	return total
 }
 
 // Percentile returns the p-quantile (nearest rank) of the samples inside
@@ -73,24 +109,29 @@ func (w *Window) Percentile(p float64) time.Duration {
 
 // PercentileAt is Percentile with an explicit evaluation time.
 func (w *Window) PercentileAt(now time.Time, p float64) time.Duration {
-	w.mu.Lock()
-	defer w.mu.Unlock()
-	w.evict(now)
-	live := w.lat[w.head:]
-	if len(live) == 0 {
+	w.qmu.Lock()
+	defer w.qmu.Unlock()
+	merged := w.scratch[:0]
+	for i := range w.shards {
+		s := &w.shards[i]
+		s.mu.Lock()
+		s.evict(now, w.span)
+		merged = append(merged, s.lat[s.head:]...)
+		s.mu.Unlock()
+	}
+	w.scratch = merged // keep the grown capacity for the next query
+	if len(merged) == 0 {
 		return 0
 	}
-	sorted := make([]time.Duration, len(live))
-	copy(sorted, live)
-	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
-	idx := int(p*float64(len(sorted))+0.5) - 1
+	sort.Slice(merged, func(i, j int) bool { return merged[i] < merged[j] })
+	idx := int(p*float64(len(merged))+0.5) - 1
 	if idx < 0 {
 		idx = 0
 	}
-	if idx >= len(sorted) {
-		idx = len(sorted) - 1
+	if idx >= len(merged) {
+		idx = len(merged) - 1
 	}
-	return sorted[idx]
+	return merged[idx]
 }
 
 // P98 returns the window's 98th percentile.

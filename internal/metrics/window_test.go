@@ -2,6 +2,7 @@ package metrics
 
 import (
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 )
@@ -47,19 +48,75 @@ func TestWindowDefaultSpan(t *testing.T) {
 }
 
 func TestWindowCompaction(t *testing.T) {
-	w := NewWindow(time.Millisecond)
+	w := newWindowShards(time.Millisecond, 1)
 	base := time.Unix(3000, 0)
 	// Push far more than the compaction threshold with advancing time so
 	// almost everything evicts and the buffers compact.
 	for i := 0; i < 20000; i++ {
 		w.RecordAt(base.Add(time.Duration(i)*time.Millisecond), time.Duration(i))
 	}
-	if len(w.at) > 10000 {
-		t.Errorf("buffers never compacted: %d entries retained", len(w.at))
+	if got := len(w.shards[0].at); got > 10000 {
+		t.Errorf("buffers never compacted: %d entries retained", got)
 	}
 	last := base.Add(19999 * time.Millisecond)
 	if got := w.PercentileAt(last, 1.0); got != 19999 {
 		t.Errorf("latest sample lost after compaction: %v", got)
+	}
+}
+
+// TestWindowStripedMerge checks a query merges samples across stripes.
+func TestWindowStripedMerge(t *testing.T) {
+	w := newWindowShards(time.Minute, 4)
+	base := time.Now()
+	for i := 1; i <= 100; i++ {
+		w.RecordAt(base, time.Duration(i)*time.Millisecond)
+	}
+	if got := w.Count(); got != 100 {
+		t.Errorf("count = %d, want 100 across 4 stripes", got)
+	}
+	if got := w.PercentileAt(base, 0.98); got != 98*time.Millisecond {
+		t.Errorf("p98 = %v, want 98ms", got)
+	}
+}
+
+// BenchmarkWindowRecordParallel measures the striped Record path under
+// full-core contention — the serving hot path's per-request cost.
+func BenchmarkWindowRecordParallel(b *testing.B) {
+	w := NewWindow(time.Minute)
+	b.ReportAllocs()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			w.Record(time.Millisecond)
+		}
+	})
+}
+
+// BenchmarkWindowMixedParallel mixes a querying control loop into the
+// recording traffic, the controller-plus-servers pattern.
+func BenchmarkWindowMixedParallel(b *testing.B) {
+	w := NewWindow(time.Minute)
+	b.ReportAllocs()
+	var i atomic.Int64
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			if i.Add(1)%1024 == 0 {
+				_ = w.P98()
+			} else {
+				w.Record(time.Millisecond)
+			}
+		}
+	})
+}
+
+func BenchmarkWindowPercentile(b *testing.B) {
+	w := NewWindow(time.Minute)
+	for i := 0; i < 10000; i++ {
+		w.Record(time.Duration(i))
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = w.P98()
 	}
 }
 

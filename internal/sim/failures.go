@@ -73,10 +73,10 @@ func (s *Simulator) onFailure(f *Failure) {
 	// in-flight computation, unlike a graceful replacement.
 	executing := victim.executing
 	victim.executing = nil
-	for range executing {
-		if victim.sched.Outstanding > 0 {
-			victim.sched.Outstanding--
-		}
+	if o := victim.sched.Outstanding() - len(executing); o > 0 {
+		victim.sched.SetOutstanding(o)
+	} else {
+		victim.sched.SetOutstanding(0)
 	}
 	s.retire(victim)
 	delete(s.insts, victim.sched.ID)
@@ -106,8 +106,8 @@ func (s *Simulator) mostLoadedOf(rtIdx int) *simInstance {
 		if si.retired || si.sched.Runtime != rtIdx {
 			continue
 		}
-		if worst == nil || si.sched.Outstanding > worst.sched.Outstanding ||
-			(si.sched.Outstanding == worst.sched.Outstanding && si.sched.ID < worst.sched.ID) {
+		if worst == nil || si.sched.Outstanding() > worst.sched.Outstanding() ||
+			(si.sched.Outstanding() == worst.sched.Outstanding() && si.sched.ID < worst.sched.ID) {
 			worst = si
 		}
 	}
@@ -121,8 +121,8 @@ func (s *Simulator) mostLoadedAny() *simInstance {
 		if si.retired {
 			continue
 		}
-		if worst == nil || si.sched.Outstanding > worst.sched.Outstanding ||
-			(si.sched.Outstanding == worst.sched.Outstanding && si.sched.ID < worst.sched.ID) {
+		if worst == nil || si.sched.Outstanding() > worst.sched.Outstanding() ||
+			(si.sched.Outstanding() == worst.sched.Outstanding() && si.sched.ID < worst.sched.ID) {
 			worst = si
 		}
 	}

@@ -351,7 +351,7 @@ func (s *Simulator) dispatchRequest(req *pendingRequest) {
 		s.waiting = append(s.waiting, req)
 		return
 	}
-	if s.cfg.LateBinding && in.Outstanding > in.MaxCapacity {
+	if s.cfg.LateBinding && in.Outstanding() > in.MaxCapacity {
 		// Every candidate is past its SLO capacity (the dispatcher picked
 		// this one as the best available): hold the request centrally and
 		// bind it when capacity frees up, rather than committing it to a
@@ -388,7 +388,7 @@ func (s *Simulator) drainBuffer() {
 			kept = append(kept, req)
 			continue
 		}
-		if in.Outstanding > in.MaxCapacity {
+		if in.Outstanding() > in.MaxCapacity {
 			s.ml.OnComplete(in)
 			kept = append(kept, req)
 			continue
@@ -561,10 +561,10 @@ func (s *Simulator) retire(si *simInstance) {
 	si.fifo = nil
 	// The retired instance's outstanding count drops to just the
 	// executing request.
-	for range queued {
-		if si.sched.Outstanding > 0 {
-			si.sched.Outstanding--
-		}
+	if o := si.sched.Outstanding() - len(queued); o > 0 {
+		si.sched.SetOutstanding(o)
+	} else {
+		si.sched.SetOutstanding(0)
 	}
 	if si.executing == nil {
 		delete(s.insts, si.sched.ID)
@@ -582,8 +582,8 @@ func (s *Simulator) leastLoadedOf(rtIdx int) *simInstance {
 		if si.retired || si.sched.Runtime != rtIdx {
 			continue
 		}
-		if best == nil || si.sched.Outstanding < best.sched.Outstanding ||
-			(si.sched.Outstanding == best.sched.Outstanding && si.sched.ID < best.sched.ID) {
+		if best == nil || si.sched.Outstanding() < best.sched.Outstanding() ||
+			(si.sched.Outstanding() == best.sched.Outstanding() && si.sched.ID < best.sched.ID) {
 			best = si
 		}
 	}
@@ -597,8 +597,8 @@ func (s *Simulator) leastLoadedAny() *simInstance {
 		if si.retired {
 			continue
 		}
-		if best == nil || si.sched.Outstanding < best.sched.Outstanding ||
-			(si.sched.Outstanding == best.sched.Outstanding && si.sched.ID < best.sched.ID) {
+		if best == nil || si.sched.Outstanding() < best.sched.Outstanding() ||
+			(si.sched.Outstanding() == best.sched.Outstanding() && si.sched.ID < best.sched.ID) {
 			best = si
 		}
 	}
@@ -681,7 +681,7 @@ func (s *Simulator) onScaleTick() {
 func (s *Simulator) utilization() float64 {
 	outstanding, capacity := 0, 0
 	for _, in := range s.ml.Instances() {
-		outstanding += in.Outstanding
+		outstanding += in.Outstanding()
 		capacity += in.MaxCapacity
 	}
 	if capacity == 0 {

@@ -8,8 +8,9 @@ package tokenizer
 
 import (
 	"fmt"
-	"strings"
+	"sync"
 	"unicode"
+	"unicode/utf8"
 )
 
 // Special token names.
@@ -87,64 +88,158 @@ func (t *Tokenizer) VocabSize() int { return len(t.ids) }
 // PadID returns the [PAD] id.
 func (t *Tokenizer) PadID() int { return t.pad }
 
+// scratch holds per-call working buffers so the hot tokenize/encode path
+// allocates nothing beyond its output slice. Pooled because tokenization
+// runs on every request goroutine in the front end.
+type scratch struct {
+	word     []rune // current basic token, lowercased
+	buf      []byte // "##" + utf8(word): the matching arena
+	offs     []int  // buf offset of each rune in word, plus end sentinel
+	pieceIDs []int  // vocabulary ids of the current word's pieces
+}
+
+var scratchPool = sync.Pool{New: func() any { return new(scratch) }}
+
 // Tokenize splits text into WordPiece tokens: lowercase basic
 // (whitespace + punctuation) tokenization followed by greedy
 // longest-match subword splitting.
 func (t *Tokenizer) Tokenize(text string) []string {
-	words := basicTokenize(text)
-	out := make([]string, 0, len(words)+8)
-	for _, w := range words {
-		out = append(out, t.wordPiece(w)...)
-	}
+	sc := scratchPool.Get().(*scratch)
+	out := make([]string, 0, len(text)/5+4)
+	t.eachWord(text, sc, func() {
+		if t.matchWord(sc) {
+			for _, id := range sc.pieceIDs {
+				out = append(out, t.ids[id]) // canonical spelling, no alloc
+			}
+		} else {
+			out = append(out, UnkToken)
+		}
+	})
+	scratchPool.Put(sc)
 	return out
 }
 
-// wordPiece splits one lowercase word into vocabulary pieces, or [UNK].
-func (t *Tokenizer) wordPiece(word string) []string {
-	if len(word) > t.maxWordLen {
-		return []string{UnkToken}
-	}
-	var pieces []string
-	runes := []rune(word)
-	start := 0
-	for start < len(runes) {
-		end := len(runes)
-		var match string
-		for end > start {
-			sub := string(runes[start:end])
-			if start > 0 {
-				sub = "##" + sub
+// eachWord performs basic tokenization — lowercase, split on whitespace,
+// punctuation and symbols as standalone single-rune words — accumulating
+// each word into sc.word and invoking flush for it. Unlike a
+// Builder+Fields pass it never copies the text.
+func (t *Tokenizer) eachWord(text string, sc *scratch, flush func()) {
+	sc.word = sc.word[:0]
+	for _, r := range text {
+		// ASCII fast path dodges the unicode range tables that dominate
+		// the per-rune cost on typical English input.
+		if r < utf8.RuneSelf {
+			switch {
+			case r == ' ' || r == '\t' || r == '\n' || r == '\r' ||
+				r == '\v' || r == '\f':
+				if len(sc.word) > 0 {
+					flush()
+					sc.word = sc.word[:0]
+				}
+			case r >= 'a' && r <= 'z' || r >= '0' && r <= '9':
+				sc.word = append(sc.word, r)
+			case r >= 'A' && r <= 'Z':
+				sc.word = append(sc.word, r+('a'-'A'))
+			default: // ASCII punctuation and symbols
+				if len(sc.word) > 0 {
+					flush()
+				}
+				sc.word = append(sc.word[:0], r)
+				flush()
+				sc.word = sc.word[:0]
 			}
-			if _, ok := t.vocab[sub]; ok {
-				match = sub
+			continue
+		}
+		switch {
+		case unicode.IsSpace(r):
+			if len(sc.word) > 0 {
+				flush()
+				sc.word = sc.word[:0]
+			}
+		case unicode.IsPunct(r) || unicode.IsSymbol(r):
+			if len(sc.word) > 0 {
+				flush()
+			}
+			sc.word = append(sc.word[:0], unicode.ToLower(r))
+			flush()
+			sc.word = sc.word[:0]
+		default:
+			sc.word = append(sc.word, unicode.ToLower(r))
+		}
+	}
+	if len(sc.word) > 0 {
+		flush()
+		sc.word = sc.word[:0]
+	}
+}
+
+// matchWord greedily splits sc.word into vocabulary pieces, filling
+// sc.pieceIDs. It reports false when any span is unmatchable or the word
+// exceeds maxWordLen — the callers emit a single [UNK] then.
+//
+// The candidate substrings are carved from one reused byte arena laid out
+// as "##" + utf8(word). A span starting at rune i with the continuation
+// prefix is buf[offs[i]-2 : offs[j]] after stomping the two bytes before
+// offs[i] with '#' — safe because matching only moves forward, so those
+// bytes (tail of the already-consumed prefix, or the seed "##" itself)
+// are never read again. Map lookups use the vocab[string(bytes)] form the
+// compiler compiles without a string allocation.
+func (t *Tokenizer) matchWord(sc *scratch) bool {
+	sc.buf = append(sc.buf[:0], '#', '#')
+	sc.offs = sc.offs[:0]
+	for _, r := range sc.word {
+		sc.offs = append(sc.offs, len(sc.buf))
+		sc.buf = utf8.AppendRune(sc.buf, r)
+	}
+	sc.offs = append(sc.offs, len(sc.buf))
+	if len(sc.buf)-2 > t.maxWordLen {
+		return false
+	}
+	sc.pieceIDs = sc.pieceIDs[:0]
+	n := len(sc.word)
+	start := 0
+	for start < n {
+		found := -1
+		for end := n; end > start; end-- {
+			var key []byte
+			if start == 0 {
+				key = sc.buf[2:sc.offs[end]]
+			} else {
+				sc.buf[sc.offs[start]-2] = '#'
+				sc.buf[sc.offs[start]-1] = '#'
+				key = sc.buf[sc.offs[start]-2 : sc.offs[end]]
+			}
+			if id, ok := t.vocab[string(key)]; ok {
+				found = id
+				start = end
 				break
 			}
-			end--
 		}
-		if match == "" {
-			return []string{UnkToken} // any unmatchable span voids the word
+		if found < 0 {
+			return false // any unmatchable span voids the word
 		}
-		pieces = append(pieces, match)
-		start = end
+		sc.pieceIDs = append(sc.pieceIDs, found)
 	}
-	return pieces
+	return true
 }
 
 // Encode tokenizes text and maps it to ids wrapped in [CLS] ... [SEP],
 // truncating to maxLen total ids (maxLen <= 0 disables truncation; the
 // minimum useful maxLen is 2). The returned length is the model's input
-// sequence length — what Arlo dispatches on.
+// sequence length — what Arlo dispatches on. It goes straight from text
+// to ids without materializing the intermediate token strings.
 func (t *Tokenizer) Encode(text string, maxLen int) []int {
-	toks := t.Tokenize(text)
-	ids := make([]int, 0, len(toks)+2)
+	sc := scratchPool.Get().(*scratch)
+	ids := make([]int, 0, len(text)/5+6)
 	ids = append(ids, t.cls)
-	for _, tok := range toks {
-		id, ok := t.vocab[tok]
-		if !ok {
-			id = t.unk
+	t.eachWord(text, sc, func() {
+		if t.matchWord(sc) {
+			ids = append(ids, sc.pieceIDs...)
+		} else {
+			ids = append(ids, t.unk)
 		}
-		ids = append(ids, id)
-	}
+	})
+	scratchPool.Put(sc)
 	ids = append(ids, t.sep)
 	if maxLen > 1 && len(ids) > maxLen {
 		ids = ids[:maxLen-1]
@@ -154,9 +249,21 @@ func (t *Tokenizer) Encode(text string, maxLen int) []int {
 }
 
 // SequenceLength returns the encoded length of text without truncation —
-// the request length Arlo's schedulers consume.
+// the request length Arlo's schedulers consume. It counts pieces without
+// building the id slice, so the dispatch path's length probe is
+// allocation-free.
 func (t *Tokenizer) SequenceLength(text string) int {
-	return len(t.Encode(text, 0))
+	sc := scratchPool.Get().(*scratch)
+	n := 2 // [CLS] and [SEP]
+	t.eachWord(text, sc, func() {
+		if t.matchWord(sc) {
+			n += len(sc.pieceIDs)
+		} else {
+			n++
+		}
+	})
+	scratchPool.Put(sc)
+	return n
 }
 
 // Pad extends ids with [PAD] up to maxLen — what a static-shape runtime
@@ -184,24 +291,4 @@ func (t *Tokenizer) Decode(ids []int) []string {
 		out[i] = t.ids[id]
 	}
 	return out
-}
-
-// basicTokenize lowercases, strips accents-free punctuation into separate
-// tokens, and splits on whitespace.
-func basicTokenize(text string) []string {
-	var b strings.Builder
-	b.Grow(len(text) + 16)
-	for _, r := range text {
-		switch {
-		case unicode.IsSpace(r):
-			b.WriteRune(' ')
-		case unicode.IsPunct(r) || unicode.IsSymbol(r):
-			b.WriteRune(' ')
-			b.WriteRune(unicode.ToLower(r))
-			b.WriteRune(' ')
-		default:
-			b.WriteRune(unicode.ToLower(r))
-		}
-	}
-	return strings.Fields(b.String())
 }

@@ -246,3 +246,47 @@ func TestLoadVocabHandlesCRLF(t *testing.T) {
 		t.Errorf("tokenize = %v", got)
 	}
 }
+
+// benchText is representative request text: mixed known words, subword
+// splits, punctuation and casing.
+var benchText = strings.Repeat(
+	"The quick brown fox jumps over the lazy dog, affable and unbelievable! ", 8)
+
+func BenchmarkTokenize(b *testing.B) {
+	tok := New()
+	b.ReportAllocs()
+	b.SetBytes(int64(len(benchText)))
+	for i := 0; i < b.N; i++ {
+		_ = tok.Tokenize(benchText)
+	}
+}
+
+func BenchmarkEncode(b *testing.B) {
+	tok := New()
+	b.ReportAllocs()
+	b.SetBytes(int64(len(benchText)))
+	for i := 0; i < b.N; i++ {
+		_ = tok.Encode(benchText, 0)
+	}
+}
+
+func BenchmarkSequenceLength(b *testing.B) {
+	tok := New()
+	b.ReportAllocs()
+	b.SetBytes(int64(len(benchText)))
+	for i := 0; i < b.N; i++ {
+		_ = tok.SequenceLength(benchText)
+	}
+}
+
+// BenchmarkEncodeParallel exercises the pooled scratch path the way the
+// HTTP front end does: many goroutines encoding concurrently.
+func BenchmarkEncodeParallel(b *testing.B) {
+	tok := New()
+	b.ReportAllocs()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			_ = tok.Encode(benchText, 0)
+		}
+	})
+}
