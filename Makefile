@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-short race bench bench-dispatch experiments experiments-full vet fmt clean
+.PHONY: all build test test-short race bench bench-dispatch bench-obs experiments experiments-full vet staticcheck lint fmt clean
 
 all: build test
 
@@ -16,7 +16,7 @@ test-short:
 	$(GO) test -short ./...
 
 race:
-	$(GO) test -race ./internal/queue/ ./internal/dispatch/ ./internal/cluster/ ./internal/serve/ ./internal/core/ ./internal/multistream/ ./internal/metrics/ ./internal/tokenizer/
+	$(GO) test -race ./internal/queue/ ./internal/dispatch/ ./internal/cluster/ ./internal/serve/ ./internal/core/ ./internal/multistream/ ./internal/metrics/ ./internal/tokenizer/ ./internal/obs/
 
 bench:
 	$(GO) test -bench=. -benchmem -run=^$$ .
@@ -25,6 +25,13 @@ bench:
 # family; the GlobalMutex variant is the pre-striping baseline).
 bench-dispatch:
 	$(GO) test -bench 'Fig9' -benchmem -cpu 1,4,8 -run=^$$ .
+
+# Observability overhead guard: the Fig. 9 dispatch hot path with the
+# observer plane disabled (nil recorder) must stay within ~10% of the
+# plain dispatch benchmark, and the On/Off gap is the price of enabling
+# metrics. Compare the three ns/op lines by eye or in CI.
+bench-obs:
+	$(GO) test -bench 'Fig9Dispatch1200Instances|Fig9DispatchObserver' -benchmem -count 3 -run=^$$ .
 
 # Regenerate every table and figure of the paper (quick mode, ~1 min).
 experiments:
@@ -36,6 +43,17 @@ experiments-full:
 
 vet:
 	$(GO) vet ./...
+
+# staticcheck is optional tooling: run it when installed, skip quietly
+# in environments that only have the Go toolchain.
+staticcheck:
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./... ; \
+	else \
+		echo "staticcheck not installed; skipping" ; \
+	fi
+
+lint: vet staticcheck
 
 fmt:
 	gofmt -w .

@@ -8,6 +8,7 @@
 package arlo_test
 
 import (
+	"context"
 	"io"
 	"math"
 	"sync"
@@ -21,6 +22,7 @@ import (
 	"arlo/internal/dispatch"
 	"arlo/internal/experiments"
 	"arlo/internal/model"
+	"arlo/internal/obs"
 	"arlo/internal/profiler"
 	"arlo/internal/queue"
 	"arlo/internal/sim"
@@ -209,6 +211,50 @@ func benchDispatchParallel(b *testing.B, instances, L int) {
 			i++
 		}
 	})
+}
+
+// BenchmarkFig9DispatchObserver measures the Fig. 9 dispatch decision
+// plus everything the observability plane adds to the hot path: a submit
+// count, the context-first dispatch (Decision by value), a demotion
+// count when taken, and a span fold into the striped histograms. The Off
+// variant runs the identical code against a nil recorder — the gap
+// between the two IS the cost of enabling observability, and Off vs
+// BenchmarkFig9Dispatch1200Instances is the cost of having the plane
+// compiled in at all (`make bench-obs` prints all three).
+func BenchmarkFig9DispatchObserverOff(b *testing.B) { benchDispatchObserver(b, nil) }
+func BenchmarkFig9DispatchObserverOn(b *testing.B) {
+	benchDispatchObserver(b, obs.NewRecorder(12))
+}
+
+func benchDispatchObserver(b *testing.B, rec *obs.Recorder) {
+	b.Helper()
+	rs, ml := benchScheduler(b, 1200, 6)
+	lengths := benchLengths()
+	ctx := context.Background()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		length := lengths[i%len(lengths)]
+		rec.RecordSubmit()
+		in, dec, err := rs.DispatchCtx(ctx, length)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if dec.Level > dec.IdealLevel {
+			rec.RecordDemotion(dec.IdealLevel, dec.Level)
+		}
+		ml.OnComplete(in)
+		span := obs.Span{
+			Length:     length,
+			Queue:      50 * time.Microsecond,
+			Exec:       2 * time.Millisecond,
+			Total:      2050 * time.Microsecond,
+			IdealLevel: dec.IdealLevel,
+			Level:      dec.Level,
+			Instance:   in.ID,
+			Peeked:     dec.Peeked,
+		}
+		rec.RecordSpan(&span)
+	}
 }
 
 // BenchmarkFig9DispatchParallelGlobalMutex is the pre-striping baseline:

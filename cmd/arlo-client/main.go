@@ -37,12 +37,20 @@ func main() {
 		duration = flag.Duration("duration", 10*time.Second, "load duration")
 		seed     = flag.Int64("seed", 1, "workload seed")
 		workers  = flag.Int("workers", 64, "maximum concurrent requests")
+		timeout  = flag.Duration("timeout", 0, "per-attempt request timeout (0 disables)")
+		retries  = flag.Int("retries", 0, "retries per request on transient failures")
+		backoff  = flag.Duration("backoff", 50*time.Millisecond, "initial retry backoff (doubles per retry)")
 	)
 	flag.Parse()
 
 	rng := rand.New(rand.NewSource(*seed))
 	lengths := trace.TwitterRecalibrated(*seed)
-	client := &serve.Client{BaseURL: *url}
+	client := &serve.Client{
+		BaseURL:    *url,
+		Timeout:    *timeout,
+		MaxRetries: *retries,
+		Backoff:    *backoff,
+	}
 
 	var (
 		mu   sync.Mutex

@@ -29,12 +29,15 @@ func main() {
 		addr        = flag.String("addr", ":8080", "listen address")
 		model       = flag.String("model", "bert-base", "model preset (bert-base, bert-large)")
 		gpus        = flag.Int("gpus", 8, "emulated GPU count")
+		policy      = flag.String("policy", "RS", "dispatch policy (RS, ILB, IG, LL, INFaaS)")
 		adaptive    = flag.Bool("adaptive", false, "run the online control plane (periodic reallocation + auto-scaling)")
 		allocPeriod = flag.Duration("alloc-period", 30*time.Second, "reallocation period in adaptive mode")
+		reqTimeout  = flag.Duration("request-timeout", 0, "server-side per-request timeout (0 disables)")
+		pprofOn     = flag.Bool("pprof", false, "expose /debug/pprof/ runtime profiles")
 	)
 	flag.Parse()
 
-	a, err := core.New(core.Options{Model: *model})
+	a, err := core.NewSystem(core.WithModel(*model), core.WithDispatchPolicy(*policy))
 	if err != nil {
 		log.Fatalf("arlo-server: %v", err)
 	}
@@ -50,7 +53,14 @@ func main() {
 	}
 	defer cl.Close()
 
-	srv, err := serve.NewServer(tokenizer.New(), cl, a.Model.Arch().MaxLength)
+	srvOpts := []serve.Option{serve.WithMaxLength(a.Model.Arch().MaxLength)}
+	if *reqTimeout > 0 {
+		srvOpts = append(srvOpts, serve.WithRequestTimeout(*reqTimeout))
+	}
+	if *pprofOn {
+		srvOpts = append(srvOpts, serve.WithPprof())
+	}
+	srv, err := serve.New(tokenizer.New(), cl, srvOpts...)
 	if err != nil {
 		log.Fatalf("arlo-server: %v", err)
 	}
@@ -82,8 +92,8 @@ func main() {
 		<-sig
 		httpSrv.Close()
 	}()
-	fmt.Printf("arlo-server: %s on %s with %d emulated GPUs (%d runtimes, SLO %v)\n",
-		*model, *addr, *gpus, len(a.Profile.Runtimes), a.SLO())
+	fmt.Printf("arlo-server: %s on %s with %d emulated GPUs (%d runtimes, policy %s, SLO %v); metrics at /metrics\n",
+		*model, *addr, *gpus, len(a.Profile.Runtimes), *policy, a.SLO())
 	if err := httpSrv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
 		log.Fatalf("arlo-server: %v", err)
 	}

@@ -16,7 +16,7 @@ import (
 )
 
 func main() {
-	a, err := core.New(core.Options{Model: "bert-large", AllocPeriod: 45 * time.Second})
+	a, err := core.NewSystem(core.WithModel("bert-large"), core.WithAllocPeriod(45*time.Second))
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -18,11 +18,11 @@ import (
 )
 
 func main() {
-	base, err := core.New(core.Options{Model: "bert-base"})
+	base, err := core.NewSystem(core.WithModel("bert-base"))
 	if err != nil {
 		log.Fatal(err)
 	}
-	large, err := core.New(core.Options{Model: "bert-large"})
+	large, err := core.NewSystem(core.WithModel("bert-large"))
 	if err != nil {
 		log.Fatal(err)
 	}

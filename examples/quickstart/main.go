@@ -20,7 +20,7 @@ func main() {
 	// 1. Build the system: calibrated BERT-Base latency model, 8 static
 	//    runtimes (64..512), Runtime Scheduler + Request Scheduler with
 	//    the paper's default parameters.
-	a, err := core.New(core.Options{Model: "bert-base"})
+	a, err := core.NewSystem(core.WithModel("bert-base"))
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -50,7 +50,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	a, err := core.New(core.Options{Model: "bert-base"})
+	a, err := core.NewSystem(core.WithModel("bert-base"))
 	if err != nil {
 		log.Fatal(err)
 	}

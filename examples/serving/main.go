@@ -18,7 +18,7 @@ import (
 )
 
 func main() {
-	a, err := core.New(core.Options{Model: "bert-base"})
+	a, err := core.NewSystem(core.WithModel("bert-base"))
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -29,7 +29,7 @@ func main() {
 	defer cl.Close()
 
 	tok := tokenizer.New()
-	srv, err := serve.NewServer(tok, cl, a.Model.Arch().MaxLength)
+	srv, err := serve.New(tok, cl, serve.WithMaxLength(a.Model.Arch().MaxLength))
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -51,7 +51,8 @@ func main() {
 		ideal, _ := a.Profile.IdealRuntime(resp.SequenceLength)
 		fmt.Printf("text %d: %d chars -> %d tokens -> ideal runtime max_length %d\n",
 			i+1, len(text), resp.SequenceLength, a.Profile.Runtimes[ideal].MaxLength)
-		fmt.Printf("        label=%q latency=%.2f ms\n", resp.Label, resp.LatencyMS)
+		fmt.Printf("        label=%q latency=%.2f ms (queue %.2f ms, exec %.2f ms, %d demotion hops, instance %d at level %d)\n",
+			resp.Label, resp.LatencyMS, resp.QueueMS, resp.ExecMS, resp.DemotionHops, resp.Instance, resp.Runtime)
 	}
 
 	stats, err := client.Stats()
@@ -60,4 +61,17 @@ func main() {
 	}
 	fmt.Printf("\nserver stats: served=%d rejected=%d instances=%d\n",
 		stats.Served, stats.Rejected, stats.Instances)
+
+	// The same lifecycle data aggregates into the Prometheus exposition:
+	// a live deployment would point a scraper at GET /metrics.
+	body, err := client.Metrics()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nselected /metrics lines:")
+	for _, line := range strings.Split(body, "\n") {
+		if strings.HasPrefix(line, "arlo_requests_") || strings.HasPrefix(line, "arlo_queue_depth") {
+			fmt.Println("  " + line)
+		}
+	}
 }

@@ -18,17 +18,44 @@
 package cluster
 
 import (
+	"context"
 	"errors"
 	"fmt"
+	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"arlo/internal/dispatch"
 	"arlo/internal/metrics"
+	"arlo/internal/obs"
 	"arlo/internal/profiler"
 	"arlo/internal/queue"
 	"arlo/internal/trace"
 )
+
+// Sentinel errors, matched with errors.Is.
+var (
+	// ErrClusterClosed is returned by submissions after Close.
+	ErrClusterClosed = errors.New("cluster: closed")
+	// ErrCongested is returned when the chosen worker cannot accept the
+	// request right now (queue overflow, or the instance was concurrently
+	// removed); the condition is transient and the request is safe to
+	// retry.
+	ErrCongested = errors.New("cluster: congested")
+	// ErrDeadlineExceeded is returned by SubmitCtx when the request's
+	// context expires or is cancelled before the request completes. The
+	// returned error also wraps the context's own error, so
+	// errors.Is(err, context.Canceled) and errors.Is(err,
+	// context.DeadlineExceeded) discriminate the cause.
+	ErrDeadlineExceeded = errors.New("cluster: request deadline exceeded")
+)
+
+// ErrClosed is returned by Submit after Close.
+//
+// Deprecated: ErrClosed is an alias of ErrClusterClosed, kept for
+// existing identity comparisons.
+var ErrClosed = ErrClusterClosed
 
 // Config describes a real-time cluster.
 type Config struct {
@@ -47,6 +74,10 @@ type Config struct {
 	Overhead time.Duration
 	// QueueDepth bounds each worker's channel (default 8192).
 	QueueDepth int
+	// Observer, when non-nil, receives the cluster's request-lifecycle
+	// records (spans, demotions, rejections) and serves its live state as
+	// scrape-time gauges. Equivalent to calling SetObserver after New.
+	Observer *obs.Recorder
 }
 
 // Cluster is a running set of emulated GPU workers.
@@ -54,9 +85,15 @@ type Cluster struct {
 	cfg      Config
 	ml       *queue.MultiLevel
 	disp     dispatch.Dispatcher
+	dispCtx  dispatch.ContextDispatcher
 	overhead time.Duration
 	scale    float64
 	depth    int
+
+	// obsRec is the observability recorder; nil disables recording (all
+	// recorder methods are nil-receiver safe, so the hot path pays one
+	// atomic load and a predictable branch).
+	obsRec atomic.Pointer[obs.Recorder]
 
 	// mu guards topology only: the workers map, nextID and closed.
 	// Submissions hold it shared across dispatch + channel send; worker
@@ -70,10 +107,43 @@ type Cluster struct {
 	wg sync.WaitGroup
 }
 
+// Job lifecycle states. The submitter and the worker race on the state
+// with CAS transitions, which is what makes context cancellation safe
+// against the pooled-job recycling:
+//
+//	pending --worker--> running --worker--> done      (worker sends on done;
+//	                                                   submitter recycles)
+//	pending --ctx-----> cancelled                     (worker skips execution
+//	                                                   and recycles)
+//	running --ctx-----> abandoned                     (worker finishes, sends
+//	                                                   nothing, recycles)
+//
+// Exactly one side wins each transition, so exactly one side returns the
+// job to the pool and the done channel never holds a stale value.
+const (
+	jobPending int32 = iota
+	jobRunning
+	jobDone
+	jobCancelled
+	jobAbandoned
+)
+
 type job struct {
 	length  int
 	started time.Time
 	done    chan time.Duration
+
+	state atomic.Int32
+
+	// Span ingredients, written by the submitter (tokenize, dec, instID)
+	// or by the worker before the done send (wait, exec) — the channel
+	// send orders them before the submitter's reads.
+	tokenize time.Duration
+	dispatch time.Duration
+	wait     time.Duration
+	exec     time.Duration
+	dec      dispatch.Decision
+	instID   int
 }
 
 // jobPool recycles job structs together with their completion channels so
@@ -88,6 +158,13 @@ func newJob(length int) *job {
 	j := jobPool.Get().(*job)
 	j.length = length
 	j.started = time.Now()
+	j.state.Store(jobPending)
+	j.tokenize = 0
+	j.dispatch = 0
+	j.wait = 0
+	j.exec = 0
+	j.dec = dispatch.Decision{}
+	j.instID = 0
 	return j
 }
 
@@ -96,8 +173,21 @@ type worker struct {
 	ch   chan *job
 }
 
-// ErrClosed is returned by Submit after Close.
-var ErrClosed = errors.New("cluster: closed")
+// plainDispatcher adapts a Dispatcher that predates the context-aware
+// interface: the decision degrades to "served at the chosen level" with
+// no demotion attribution.
+type plainDispatcher struct {
+	dispatch.Dispatcher
+}
+
+func (p plainDispatcher) DispatchCtx(_ context.Context, length int) (*queue.Instance, dispatch.Decision, error) {
+	in, err := p.Dispatch(length)
+	if err != nil {
+		return nil, dispatch.Decision{}, err
+	}
+	lvl := in.Runtime
+	return in, dispatch.Decision{IdealLevel: lvl, Level: lvl, Peeked: 1}, nil
+}
 
 // New starts the cluster's workers.
 func New(cfg Config) (*Cluster, error) {
@@ -152,6 +242,14 @@ func New(cfg Config) (*Cluster, error) {
 		scale:    scale,
 		depth:    depth,
 	}
+	if cd, ok := disp.(dispatch.ContextDispatcher); ok {
+		c.dispCtx = cd
+	} else {
+		c.dispCtx = plainDispatcher{disp}
+	}
+	if cfg.Observer != nil {
+		c.SetObserver(cfg.Observer)
+	}
 	c.mu.Lock()
 	for rtIdx, n := range cfg.InitialAllocation {
 		for k := 0; k < n; k++ {
@@ -190,11 +288,24 @@ const spinGuard = 200 * time.Microsecond
 // runWorker executes the worker's queue sequentially, emulating the scaled
 // modeled computation time per request (sleep + spin to the deadline).
 // Completion accounting is lock-free (atomic decrement on the instance).
+//
+// The state CAS against the submitter implements cancellation-while-
+// queued: a job whose context fired before the worker reached it is
+// discarded without executing (its submitter already returned), and a job
+// abandoned mid-execution completes normally but is recycled here instead
+// of being delivered.
 func (c *Cluster) runWorker(w *worker, rt profiler.Runtime) {
 	defer c.wg.Done()
 	for j := range w.ch {
+		if !j.state.CompareAndSwap(jobPending, jobRunning) {
+			// Cancelled while queued: dequeue and discard.
+			c.ml.OnComplete(w.inst)
+			jobPool.Put(j)
+			continue
+		}
+		execStart := time.Now()
 		cost := time.Duration(float64(rt.CostOf(j.length)) * c.scale)
-		deadline := time.Now().Add(cost)
+		deadline := execStart.Add(cost)
 		if cost > spinGuard {
 			time.Sleep(cost - spinGuard)
 		}
@@ -205,24 +316,148 @@ func (c *Cluster) runWorker(w *worker, rt profiler.Runtime) {
 		// Report in modeled time: un-scale the measured wall time so a
 		// compressed run still yields model-scale latencies.
 		lat = time.Duration(float64(lat) / c.scale)
+		j.wait = time.Duration(float64(execStart.Sub(j.started)) / c.scale)
+		j.exec = time.Duration(float64(time.Since(execStart)) / c.scale)
 		c.ml.OnComplete(w.inst)
-		j.done <- lat + c.overhead
+		if j.state.CompareAndSwap(jobRunning, jobDone) {
+			j.done <- lat + c.overhead
+		} else {
+			// Abandoned mid-execution: the submitter is gone; nothing to
+			// deliver.
+			jobPool.Put(j)
+		}
 	}
+}
+
+// Request describes one submission to the cluster.
+type Request struct {
+	// Length is the tokenized sequence length to dispatch on.
+	Length int
+	// Tokenize, when set, is the time the caller spent encoding the
+	// input; it is folded into the request's span for the full
+	// tokenize -> complete decomposition.
+	Tokenize time.Duration
+}
+
+// Result is the outcome of one completed request: the modeled latency
+// plus the full lifecycle span (queueing delay, execution time, demotion
+// attribution).
+type Result struct {
+	// Latency is the end-to-end modeled latency (queueing + compute +
+	// overhead) — what Submit used to return bare.
+	Latency time.Duration
+	// Span is the request's lifecycle record.
+	Span obs.Span
 }
 
 // Submit dispatches one request of the given token length and blocks until
 // it completes, returning its modeled latency (queueing + compute +
 // overhead). The job and its completion channel come from a pool, so the
-// steady-state path is allocation-free.
+// steady-state path is allocation-free. Callers that need the latency
+// decomposition or cancellation should use SubmitCtx.
 func (c *Cluster) Submit(length int) (time.Duration, error) {
-	j := newJob(length)
-	if err := c.submit(j); err != nil {
-		jobPool.Put(j)
+	res, err := c.SubmitCtx(context.Background(), Request{Length: length})
+	if err != nil {
 		return 0, err
 	}
-	lat := <-j.done
-	jobPool.Put(j)
-	return lat, nil
+	return res.Latency, nil
+}
+
+// SubmitCtx dispatches one request and blocks until it completes or the
+// context is done. The context's deadline and cancellation are honored
+// while the request is queued: a request whose context fires before
+// execution starts is dequeued without running, and one cancelled
+// mid-execution is detached (the emulated kernel cannot be interrupted,
+// but the caller returns immediately). Both cases return an error
+// wrapping ErrDeadlineExceeded and the context's own error.
+//
+// With a plain background context the path is identical to Submit:
+// allocation-free via the job pool.
+func (c *Cluster) SubmitCtx(ctx context.Context, req Request) (Result, error) {
+	rec := c.obsRec.Load()
+	if err := ctx.Err(); err != nil {
+		// Dead-on-arrival contexts still count as one submission attempt
+		// with a cancelled outcome, so the recorder's books balance.
+		rec.RecordSubmit()
+		rec.RecordCancel()
+		return Result{}, cancelErr(err)
+	}
+	j := newJob(req.Length)
+	j.tokenize = req.Tokenize
+	if err := c.submit(ctx, j); err != nil {
+		jobPool.Put(j)
+		return Result{}, err
+	}
+	if ctx.Done() == nil {
+		lat := <-j.done
+		res := c.finish(j, lat, rec)
+		jobPool.Put(j)
+		return res, nil
+	}
+	select {
+	case lat := <-j.done:
+		res := c.finish(j, lat, rec)
+		jobPool.Put(j)
+		return res, nil
+	case <-ctx.Done():
+		if j.state.CompareAndSwap(jobPending, jobCancelled) ||
+			j.state.CompareAndSwap(jobRunning, jobAbandoned) {
+			// The worker now owns the job (it will discard or recycle
+			// it); the submitter must not touch j again.
+			rec.RecordCancel()
+			return Result{}, cancelErr(ctx.Err())
+		}
+		// The worker completed concurrently: the result is already on
+		// the channel — deliver it as a normal completion.
+		lat := <-j.done
+		res := c.finish(j, lat, rec)
+		jobPool.Put(j)
+		return res, nil
+	}
+}
+
+// finish assembles the completed job's span, records it, and builds the
+// result. Caller still owns j.
+func (c *Cluster) finish(j *job, lat time.Duration, rec *obs.Recorder) Result {
+	span := obs.Span{
+		Length:     j.length,
+		Enqueued:   j.started,
+		Tokenize:   j.tokenize,
+		Dispatch:   j.dispatch,
+		Queue:      j.wait,
+		Exec:       j.exec,
+		Total:      lat,
+		IdealLevel: j.dec.IdealLevel,
+		Level:      j.dec.Level,
+		Instance:   j.instID,
+		Peeked:     j.dec.Peeked,
+		Fallback:   j.dec.Fallback,
+	}
+	rec.RecordSpan(&span)
+	return Result{Latency: lat, Span: span}
+}
+
+// cancelErr maps a context error to the cluster's sentinel while keeping
+// the cause inspectable: errors.Is matches ErrDeadlineExceeded and the
+// underlying context.Canceled / context.DeadlineExceeded.
+func cancelErr(cause error) error {
+	return fmt.Errorf("%w: %w", ErrDeadlineExceeded, cause)
+}
+
+// rejectReason classifies a submission error for the rejection counter.
+func rejectReason(err error) obs.RejectReason {
+	switch {
+	case errors.Is(err, dispatch.ErrTooLong):
+		return obs.RejectTooLong
+	case errors.Is(err, dispatch.ErrNoInstances):
+		return obs.RejectNoInstances
+	case errors.Is(err, ErrCongested):
+		return obs.RejectCongested
+	case errors.Is(err, ErrClusterClosed):
+		return obs.RejectClosed
+	default:
+		return obs.RejectOther
+	}
 }
 
 // SubmitAsync dispatches one request and returns a channel that yields its
@@ -230,32 +465,48 @@ func (c *Cluster) Submit(length int) (time.Duration, error) {
 // pooled; latency-sensitive callers that wait inline should prefer Submit.
 func (c *Cluster) SubmitAsync(length int) (<-chan time.Duration, error) {
 	j := &job{length: length, started: time.Now(), done: make(chan time.Duration, 1)}
-	if err := c.submit(j); err != nil {
+	if err := c.submit(context.Background(), j); err != nil {
 		return nil, err
 	}
 	return j.done, nil
 }
 
-// submit routes one job to a worker. It holds the topology lock shared so
-// submissions run concurrently with each other (the queue stripes its own
-// locks) while Close and worker removal are excluded — the channel send
-// can never race a close.
-func (c *Cluster) submit(j *job) error {
+// submit routes one job to a worker, recording the submission and any
+// rejection or demotion on the observer. It holds the topology lock
+// shared so submissions run concurrently with each other (the queue
+// stripes its own locks) while Close and worker removal are excluded —
+// the channel send can never race a close.
+func (c *Cluster) submit(ctx context.Context, j *job) (err error) {
+	rec := c.obsRec.Load()
+	rec.RecordSubmit()
+	defer func() {
+		if err != nil {
+			rec.RecordReject(rejectReason(err))
+		}
+	}()
 	c.mu.RLock()
 	defer c.mu.RUnlock()
 	if c.closed {
-		return ErrClosed
+		return ErrClusterClosed
 	}
-	inst, err := c.disp.Dispatch(j.length)
+	t0 := time.Now()
+	inst, dec, err := c.dispCtx.DispatchCtx(ctx, j.length)
 	if err != nil {
 		return err
+	}
+	j.dispatch = time.Since(t0)
+	j.dec = dec
+	j.instID = inst.ID
+	if dec.Level > dec.IdealLevel {
+		rec.RecordDemotion(dec.IdealLevel, dec.Level)
 	}
 	w := c.workers[inst.ID]
 	if w == nil {
 		// The dispatcher chose an instance whose worker is gone (a
 		// concurrent removal between the queue walk and the pick).
+		// Transient — surfaced as congestion so callers retry.
 		c.ml.OnComplete(inst)
-		return fmt.Errorf("cluster: instance %d no longer deployed", inst.ID)
+		return fmt.Errorf("%w: instance %d no longer deployed", ErrCongested, inst.ID)
 	}
 	select {
 	case w.ch <- j:
@@ -264,7 +515,7 @@ func (c *Cluster) submit(j *job) error {
 		// Worker queue overflow: account the drop and fail loudly rather
 		// than distorting latency by blocking the caller.
 		c.ml.OnComplete(w.inst)
-		return fmt.Errorf("cluster: worker %d queue overflow", inst.ID)
+		return fmt.Errorf("%w: worker %d queue overflow", ErrCongested, inst.ID)
 	}
 }
 
@@ -273,6 +524,60 @@ func (c *Cluster) Instances() int {
 	c.mu.RLock()
 	defer c.mu.RUnlock()
 	return len(c.workers)
+}
+
+// NumLevels returns the number of runtime levels the cluster schedules
+// over.
+func (c *Cluster) NumLevels() int { return c.ml.NumLevels() }
+
+// MaxLength returns the largest max_length across the cluster's deployed
+// runtime levels — the longest request the cluster can serve at all.
+func (c *Cluster) MaxLength() int {
+	maxLens := c.cfg.Profile.MaxLengths()
+	return maxLens[len(maxLens)-1]
+}
+
+// SetObserver installs (or clears, with nil) the observability recorder:
+// subsequent submissions record spans, demotions and rejections into it,
+// and its scrape-time gauges are fed from this cluster's live state. Safe
+// to call while serving.
+func (c *Cluster) SetObserver(rec *obs.Recorder) {
+	if rec != nil {
+		rec.SetSnapshot(c.obsSnapshot)
+	}
+	c.obsRec.Store(rec)
+}
+
+// Observer returns the installed observability recorder (nil when
+// disabled).
+func (c *Cluster) Observer() *obs.Recorder { return c.obsRec.Load() }
+
+// obsSnapshot captures the live per-level queue depths and per-instance
+// loads for the observer's gauges.
+func (c *Cluster) obsSnapshot() obs.Snapshot {
+	maxLens := c.cfg.Profile.MaxLengths()
+	snap := obs.Snapshot{Levels: make([]obs.LevelStat, c.ml.NumLevels())}
+	for k := range snap.Levels {
+		lvl := c.ml.Level(k)
+		snap.Levels[k] = obs.LevelStat{
+			Level:     k,
+			MaxLength: maxLens[k],
+			Instances: lvl.Len(),
+			Depth:     lvl.Depth(),
+		}
+	}
+	insts := c.ml.Instances()
+	sort.Slice(insts, func(i, j int) bool { return insts[i].ID < insts[j].ID })
+	snap.Instances = make([]obs.InstanceStat, len(insts))
+	for i, in := range insts {
+		snap.Instances[i] = obs.InstanceStat{
+			ID:          in.ID,
+			Runtime:     in.Runtime,
+			Outstanding: in.Outstanding(),
+			Capacity:    in.MaxCapacity,
+		}
+	}
+	return snap
 }
 
 // Close stops all workers. Pending jobs are completed first.
@@ -320,7 +625,7 @@ func (c *Cluster) Replay(tr *trace.Trace) (*ReplayResult, error) {
 			time.Sleep(wait)
 		}
 		j := newJob(r.Length)
-		if err := c.submit(j); err != nil {
+		if err := c.submit(context.Background(), j); err != nil {
 			jobPool.Put(j)
 			mu.Lock()
 			rejected++
@@ -331,6 +636,7 @@ func (c *Cluster) Replay(tr *trace.Trace) (*ReplayResult, error) {
 		go func() {
 			defer wg.Done()
 			lat := <-j.done
+			c.finish(j, lat, c.obsRec.Load())
 			jobPool.Put(j)
 			mu.Lock()
 			rec.Record(lat)

@@ -6,7 +6,7 @@
 //
 // Typical use:
 //
-//	a, _ := core.New(core.Options{Model: "bert-base"})
+//	a, _ := core.NewSystem(core.WithModel("bert-base"))
 //	tr, _ := trace.Generate(trace.Stable(1, 1000, time.Minute))
 //	res, _ := a.Simulate(tr, 10)
 //	fmt.Println(res.Summary)
@@ -46,6 +46,10 @@ type Options struct {
 	MaxPeek       int
 	// AllocPeriod is the Runtime Scheduler period (default 120 s).
 	AllocPeriod time.Duration
+	// DispatchPolicy names the dispatch policy: "RS" (default, the
+	// paper's Request Scheduler) or a baseline ("ILB", "IG", "LL",
+	// "INFaaS"). The Lambda/Alpha/MaxPeek knobs only apply to "RS".
+	DispatchPolicy string
 }
 
 // Arlo is a configured system.
@@ -61,10 +65,15 @@ type Arlo struct {
 	alpha       float64
 	maxPeek     int
 	allocPeriod time.Duration
+	policy      string
 }
 
-// New builds an Arlo system from options.
-func New(opts Options) (*Arlo, error) {
+// New builds an Arlo system from an options struct.
+//
+// Deprecated: use NewSystem with functional options.
+func New(opts Options) (*Arlo, error) { return build(opts) }
+
+func build(opts Options) (*Arlo, error) {
 	lm := opts.LatencyModel
 	if lm == nil {
 		name := opts.Model
@@ -107,13 +116,17 @@ func New(opts Options) (*Arlo, error) {
 		alpha:       defaultFloat(opts.Alpha, 0.9),
 		maxPeek:     defaultInt(opts.MaxPeek, 6),
 		allocPeriod: defaultDur(opts.AllocPeriod, 120*time.Second),
+		policy:      opts.DispatchPolicy,
 	}
-	// Validate dispatch parameters eagerly.
+	if a.policy == "" {
+		a.policy = "RS"
+	}
+	// Validate dispatch policy and parameters eagerly.
 	ml, err := queue.NewMultiLevel(p.MaxLengths())
 	if err != nil {
 		return nil, err
 	}
-	if _, err := dispatch.NewRequestSchedulerParams(ml, a.lambda, a.alpha, a.maxPeek); err != nil {
+	if _, err := a.DispatcherFactory()(ml); err != nil {
 		return nil, err
 	}
 	return a, nil
@@ -143,13 +156,23 @@ func defaultDur(v, d time.Duration) time.Duration {
 // SLO returns the configured service level objective.
 func (a *Arlo) SLO() time.Duration { return a.Profile.SLO }
 
-// DispatcherFactory returns the Request Scheduler factory with this
-// system's parameters.
+// DispatcherFactory returns the configured dispatch-policy factory: the
+// Request Scheduler with this system's Algorithm 1 parameters by default,
+// or the named baseline policy.
 func (a *Arlo) DispatcherFactory() sim.DispatcherFactory {
+	if a.policy != "" && a.policy != "RS" {
+		policy := a.policy
+		return func(ml *queue.MultiLevel) (dispatch.Dispatcher, error) {
+			return dispatch.New(policy, ml)
+		}
+	}
 	return func(ml *queue.MultiLevel) (dispatch.Dispatcher, error) {
 		return dispatch.NewRequestSchedulerParams(ml, a.lambda, a.alpha, a.maxPeek)
 	}
 }
+
+// DispatchPolicy returns the configured dispatch policy name.
+func (a *Arlo) DispatchPolicy() string { return a.policy }
 
 // AllocatorFunc returns the Runtime Scheduler policy as a simulator hook.
 func (a *Arlo) AllocatorFunc() sim.AllocatorFunc {

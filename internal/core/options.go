@@ -1,0 +1,70 @@
+package core
+
+import (
+	"time"
+
+	"arlo/internal/model"
+)
+
+// Option configures an Arlo system for NewSystem. Options are applied in
+// order; later options override earlier ones. Every unset knob keeps the
+// paper's default.
+type Option func(*Options)
+
+// WithModel selects a latency-model preset by name ("bert-base",
+// "bert-large", "dolly").
+func WithModel(name string) Option {
+	return func(o *Options) { o.Model = name }
+}
+
+// WithLatencyModel supplies a custom calibrated latency model, overriding
+// WithModel.
+func WithLatencyModel(lm *model.LatencyModel) Option {
+	return func(o *Options) { o.LatencyModel = lm }
+}
+
+// WithSLO overrides the preset service-level objective.
+func WithSLO(d time.Duration) Option {
+	return func(o *Options) { o.SLO = d }
+}
+
+// WithNumRuntimes overrides the staircase runtime count (must evenly
+// divide the model's max length).
+func WithNumRuntimes(n int) Option {
+	return func(o *Options) { o.NumRuntimes = n }
+}
+
+// WithSchedulerParams sets the Request Scheduler's Algorithm 1 knobs:
+// congestion threshold lambda, per-level decay alpha, and peek bound L.
+// Zero keeps the respective default (0.85, 0.9, 6).
+func WithSchedulerParams(lambda, alpha float64, maxPeek int) Option {
+	return func(o *Options) {
+		o.Lambda = lambda
+		o.Alpha = alpha
+		o.MaxPeek = maxPeek
+	}
+}
+
+// WithDispatchPolicy selects the dispatch policy by name: "RS" (the
+// paper's Request Scheduler, the default), or the baselines "ILB", "IG",
+// "LL", "INFaaS".
+func WithDispatchPolicy(name string) Option {
+	return func(o *Options) { o.DispatchPolicy = name }
+}
+
+// WithAllocPeriod sets the Runtime Scheduler reallocation period
+// (default 120s).
+func WithAllocPeriod(d time.Duration) Option {
+	return func(o *Options) { o.AllocPeriod = d }
+}
+
+// NewSystem builds an Arlo system from functional options:
+//
+//	a, err := core.NewSystem(core.WithModel("bert-base"), core.WithSLO(150*time.Millisecond))
+func NewSystem(opts ...Option) (*Arlo, error) {
+	var o Options
+	for _, opt := range opts {
+		opt(&o)
+	}
+	return build(o)
+}

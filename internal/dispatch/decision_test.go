@@ -1,0 +1,148 @@
+package dispatch
+
+import (
+	"context"
+	"testing"
+
+	"arlo/internal/queue"
+)
+
+// TestDecisionPaperExample re-runs the Fig. 5 walk-through through
+// DispatchCtx and checks the Decision record matches the algorithm trace:
+// ideal level 2 (256) congested, chosen level 3 (512), two levels peeked.
+func TestDecisionPaperExample(t *testing.T) {
+	ml := fig5Queue(t)
+	rs, err := NewRequestSchedulerParams(ml, 0.85, 0.9, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in, dec, err := rs.DispatchCtx(context.Background(), 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if in.ID != 40 {
+		t.Errorf("instance = %d, want 40", in.ID)
+	}
+	if dec.IdealLevel != 2 {
+		t.Errorf("ideal level = %d, want 2 (max_length 256)", dec.IdealLevel)
+	}
+	if dec.Level != 3 {
+		t.Errorf("chosen level = %d, want 3 (max_length 512)", dec.Level)
+	}
+	if dec.Peeked != 2 {
+		t.Errorf("peeked = %d, want 2 (256 congested, 512 taken)", dec.Peeked)
+	}
+	if dec.Fallback {
+		t.Error("fallback set on a normal demotion")
+	}
+}
+
+func TestDecisionNoDemotionWhenIdle(t *testing.T) {
+	ml := fig5Queue(t)
+	rs, err := NewRequestSchedulerParams(ml, 0.85, 0.9, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, dec, err := rs.DispatchCtx(context.Background(), 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dec.IdealLevel != 0 || dec.Level != 0 {
+		t.Errorf("levels = (%d, %d), want (0, 0)", dec.IdealLevel, dec.Level)
+	}
+	if dec.Peeked != 1 {
+		t.Errorf("peeked = %d, want 1", dec.Peeked)
+	}
+}
+
+// TestDecisionFallback congests every candidate level so the scheduler
+// takes the Algorithm 1 lines 18-20 fallback and marks the decision.
+func TestDecisionFallback(t *testing.T) {
+	ml, err := queue.NewMultiLevel([]int{64, 128})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ml.Add(queue.NewInstance(1, 0, 10, 10)); err != nil {
+		t.Fatal(err)
+	}
+	if err := ml.Add(queue.NewInstance(2, 1, 10, 10)); err != nil {
+		t.Fatal(err)
+	}
+	rs, err := NewRequestScheduler(ml)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in, dec, err := rs.DispatchCtx(context.Background(), 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !dec.Fallback {
+		t.Error("fallback not set with every level congested")
+	}
+	if dec.Peeked != 2 {
+		t.Errorf("peeked = %d, want 2", dec.Peeked)
+	}
+	if in.ID != 1 || dec.Level != 0 {
+		t.Errorf("fallback chose instance %d level %d, want top candidate (1, 0)", in.ID, dec.Level)
+	}
+}
+
+// TestAllPoliciesImplementContextDispatcher exercises every policy
+// through the context-first entry point and checks the decision levels
+// are sane (chosen never below ideal for schedulers that demote; never
+// negative for any).
+func TestAllPoliciesImplementContextDispatcher(t *testing.T) {
+	for _, name := range []string{"RS", "ILB", "IG", "LL", "INFaaS"} {
+		ml := fig5Queue(t)
+		d, err := New(name, ml)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		cd, ok := d.(ContextDispatcher)
+		if !ok {
+			t.Fatalf("%s: does not implement ContextDispatcher", name)
+		}
+		in, dec, err := cd.DispatchCtx(context.Background(), 200)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if in == nil {
+			t.Fatalf("%s: nil instance without error", name)
+		}
+		if dec.Level != in.Runtime {
+			t.Errorf("%s: decision level %d != instance runtime %d", name, dec.Level, in.Runtime)
+		}
+		if dec.IdealLevel < 0 || dec.Peeked < 1 {
+			t.Errorf("%s: implausible decision %+v", name, dec)
+		}
+	}
+}
+
+// TestDispatchAndDispatchCtxAgree pins the compatibility contract: the
+// deprecated-style Dispatch and the context-first DispatchCtx pick the
+// same instance from the same queue state.
+func TestDispatchAndDispatchCtxAgree(t *testing.T) {
+	a := fig5Queue(t)
+	b := fig5Queue(t)
+	rsA, err := NewRequestSchedulerParams(a, 0.85, 0.9, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rsB, err := NewRequestSchedulerParams(b, 0.85, 0.9, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, length := range []int{30, 100, 200, 400, 512} {
+		inA, errA := rsA.Dispatch(length)
+		inB, _, errB := rsB.DispatchCtx(context.Background(), length)
+		if (errA == nil) != (errB == nil) {
+			t.Fatalf("length %d: error mismatch %v vs %v", length, errA, errB)
+		}
+		if errA != nil {
+			continue
+		}
+		if inA.ID != inB.ID {
+			t.Errorf("length %d: Dispatch chose %d, DispatchCtx chose %d", length, inA.ID, inB.ID)
+		}
+	}
+}

@@ -15,6 +15,7 @@
 package dispatch
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
@@ -38,6 +39,39 @@ type Dispatcher interface {
 	Dispatch(length int) (*queue.Instance, error)
 	// Name identifies the policy in experiment output.
 	Name() string
+}
+
+// Decision is the observable outcome of one dispatch: which runtime level
+// the request ideally belonged to, where it actually went, and how the
+// policy got there. It is returned by value so recording a decision never
+// allocates on the dispatch hot path.
+type Decision struct {
+	// IdealLevel is the least-padding feasible runtime level — the head
+	// of the Algorithm 1 candidate set Q_e.
+	IdealLevel int
+	// Level is the runtime level of the chosen instance. Level >
+	// IdealLevel means the request was demoted.
+	Level int
+	// Peeked is how many candidate levels the policy examined before
+	// choosing.
+	Peeked int
+	// Fallback reports that every peeked level was congested and the
+	// policy fell back to the top candidate (Algorithm 1 lines 18-20).
+	Fallback bool
+}
+
+// ContextDispatcher is the context-aware dispatch interface: the context
+// carries the request's deadline and cancellation downstream (the queue
+// walk itself is nanosecond-scale and never blocks, so policies treat the
+// context as advisory — enforcement while queued happens in the cluster),
+// and the returned Decision feeds the observability plane's demotion
+// counters and span records. All policies in this package implement it;
+// their plain Dispatch methods are thin wrappers that drop the Decision.
+type ContextDispatcher interface {
+	Dispatcher
+	// DispatchCtx routes one request of the given token length and
+	// reports the routing decision.
+	DispatchCtx(ctx context.Context, length int) (*queue.Instance, Decision, error)
 }
 
 // RequestScheduler is Arlo's multi-level-queue heuristic (Algorithm 1).
@@ -87,10 +121,22 @@ func (rs *RequestScheduler) Name() string { return "RS" }
 // reads level heads lock-free in ascending level order; only the final
 // OnDispatch takes the chosen instance's level stripe.
 func (rs *RequestScheduler) Dispatch(length int) (*queue.Instance, error) {
+	in, _, err := rs.dispatch(length)
+	return in, err
+}
+
+// DispatchCtx implements ContextDispatcher.
+func (rs *RequestScheduler) DispatchCtx(_ context.Context, length int) (*queue.Instance, Decision, error) {
+	return rs.dispatch(length)
+}
+
+func (rs *RequestScheduler) dispatch(length int) (*queue.Instance, Decision, error) {
+	var dec Decision
 	cands := rs.ml.CandidateLevels(length) // line 2
 	if len(cands) == 0 {
-		return nil, ErrTooLong
+		return nil, dec, ErrTooLong
 	}
+	dec.IdealLevel = cands[0]
 	peek := cands
 	if len(peek) > rs.MaxPeek { // lines 3-5
 		peek = peek[:rs.MaxPeek]
@@ -98,6 +144,7 @@ func (rs *RequestScheduler) Dispatch(length int) (*queue.Instance, error) {
 	lambda := rs.Lambda
 	var chosen *queue.Instance
 	for _, lvl := range peek { // lines 6-17
+		dec.Peeked++
 		head := rs.ml.Level(lvl).Front()
 		if head == nil {
 			// No instance currently deployed at this level; treat as
@@ -112,6 +159,7 @@ func (rs *RequestScheduler) Dispatch(length int) (*queue.Instance, error) {
 		lambda *= rs.Alpha // line 15
 	}
 	if chosen == nil { // lines 18-20: fall back to the top candidate
+		dec.Fallback = true
 		for _, lvl := range cands {
 			if head := rs.ml.Level(lvl).Front(); head != nil {
 				chosen = head
@@ -120,10 +168,11 @@ func (rs *RequestScheduler) Dispatch(length int) (*queue.Instance, error) {
 		}
 	}
 	if chosen == nil {
-		return nil, ErrNoInstances
+		return nil, dec, ErrNoInstances
 	}
+	dec.Level = chosen.Runtime
 	rs.ml.OnDispatch(chosen) // lines 21-22
-	return chosen, nil
+	return chosen, dec, nil
 }
 
 // ILB is the Intra-group Load Balance baseline (Table 4): every request
@@ -147,17 +196,31 @@ func (d *ILB) Name() string { return "ILB" }
 // Dispatch implements Dispatcher: least-loaded instance of the first
 // candidate level that has instances.
 func (d *ILB) Dispatch(length int) (*queue.Instance, error) {
+	in, _, err := d.dispatch(length)
+	return in, err
+}
+
+// DispatchCtx implements ContextDispatcher.
+func (d *ILB) DispatchCtx(_ context.Context, length int) (*queue.Instance, Decision, error) {
+	return d.dispatch(length)
+}
+
+func (d *ILB) dispatch(length int) (*queue.Instance, Decision, error) {
+	var dec Decision
 	cands := d.ml.CandidateLevels(length)
 	if len(cands) == 0 {
-		return nil, ErrTooLong
+		return nil, dec, ErrTooLong
 	}
+	dec.IdealLevel = cands[0]
 	for _, lvl := range cands {
+		dec.Peeked++
 		if head := d.ml.Level(lvl).Front(); head != nil {
+			dec.Level = head.Runtime
 			d.ml.OnDispatch(head)
-			return head, nil
+			return head, dec, nil
 		}
 	}
-	return nil, ErrNoInstances
+	return nil, dec, ErrNoInstances
 }
 
 // IG is the Inter-groups Greedy baseline (Table 4): every request goes to
@@ -182,10 +245,23 @@ func (d *IG) Name() string { return "IG" }
 // candidate levels (each level's head is its least-loaded instance).
 // Ties keep the earlier (smaller max_length) level's head.
 func (d *IG) Dispatch(length int) (*queue.Instance, error) {
+	in, _, err := d.dispatch(length)
+	return in, err
+}
+
+// DispatchCtx implements ContextDispatcher.
+func (d *IG) DispatchCtx(_ context.Context, length int) (*queue.Instance, Decision, error) {
+	return d.dispatch(length)
+}
+
+func (d *IG) dispatch(length int) (*queue.Instance, Decision, error) {
+	var dec Decision
 	cands := d.ml.CandidateLevels(length)
 	if len(cands) == 0 {
-		return nil, ErrTooLong
+		return nil, dec, ErrTooLong
 	}
+	dec.IdealLevel = cands[0]
+	dec.Peeked = len(cands)
 	var best *queue.Instance
 	bestOut := 0
 	for _, lvl := range cands {
@@ -200,10 +276,11 @@ func (d *IG) Dispatch(length int) (*queue.Instance, error) {
 		}
 	}
 	if best == nil {
-		return nil, ErrNoInstances
+		return nil, dec, ErrNoInstances
 	}
+	dec.Level = best.Runtime
 	d.ml.OnDispatch(best)
-	return best, nil
+	return best, dec, nil
 }
 
 // LeastLoaded is the plain global least-loaded policy the single-runtime
@@ -230,10 +307,23 @@ func (d *LeastLoaded) Name() string { return "LL" }
 
 // Dispatch implements Dispatcher.
 func (d *LeastLoaded) Dispatch(length int) (*queue.Instance, error) {
+	in, _, err := d.dispatch(length)
+	return in, err
+}
+
+// DispatchCtx implements ContextDispatcher.
+func (d *LeastLoaded) DispatchCtx(_ context.Context, length int) (*queue.Instance, Decision, error) {
+	return d.dispatch(length)
+}
+
+func (d *LeastLoaded) dispatch(length int) (*queue.Instance, Decision, error) {
+	var dec Decision
 	cands := d.ml.CandidateLevels(length)
 	if len(cands) == 0 {
-		return nil, ErrTooLong
+		return nil, dec, ErrTooLong
 	}
+	dec.IdealLevel = cands[0]
+	dec.Peeked = len(cands)
 	var best *queue.Instance
 	bestOut := 0
 	for _, lvl := range cands {
@@ -247,10 +337,11 @@ func (d *LeastLoaded) Dispatch(length int) (*queue.Instance, error) {
 		}
 	}
 	if best == nil {
-		return nil, ErrNoInstances
+		return nil, dec, ErrNoInstances
 	}
+	dec.Level = best.Runtime
 	d.ml.OnDispatch(best)
-	return best, nil
+	return best, dec, nil
 }
 
 // BinPacking is the INFaaS-style dispatcher (section 2.3, 5): requests
@@ -284,10 +375,24 @@ func (d *BinPacking) Name() string { return "INFaaS" }
 // break toward the smaller instance ID — independent of the heaps'
 // internal array order.
 func (d *BinPacking) Dispatch(length int) (*queue.Instance, error) {
+	in, _, err := d.dispatch(length)
+	return in, err
+}
+
+// DispatchCtx implements ContextDispatcher. Fallback reports that every
+// bin was full and the policy degraded to global least-loaded.
+func (d *BinPacking) DispatchCtx(_ context.Context, length int) (*queue.Instance, Decision, error) {
+	return d.dispatch(length)
+}
+
+func (d *BinPacking) dispatch(length int) (*queue.Instance, Decision, error) {
+	var dec Decision
 	cands := d.ml.CandidateLevels(length)
 	if len(cands) == 0 {
-		return nil, ErrTooLong
+		return nil, dec, ErrTooLong
 	}
+	dec.IdealLevel = cands[0]
+	dec.Peeked = len(cands)
 	var (
 		packed, fallback       *queue.Instance
 		packedOut, fallbackOut int
@@ -314,14 +419,25 @@ func (d *BinPacking) Dispatch(length int) (*queue.Instance, error) {
 	}
 	chosen := packed
 	if chosen == nil {
+		dec.Fallback = true
 		chosen = fallback
 	}
 	if chosen == nil {
-		return nil, ErrNoInstances
+		return nil, dec, ErrNoInstances
 	}
+	dec.Level = chosen.Runtime
 	d.ml.OnDispatch(chosen)
-	return chosen, nil
+	return chosen, dec, nil
 }
+
+// Compile-time checks: every built-in policy is context-aware.
+var (
+	_ ContextDispatcher = (*RequestScheduler)(nil)
+	_ ContextDispatcher = (*ILB)(nil)
+	_ ContextDispatcher = (*IG)(nil)
+	_ ContextDispatcher = (*LeastLoaded)(nil)
+	_ ContextDispatcher = (*BinPacking)(nil)
+)
 
 // New returns the named dispatcher over the multi-level queue: "RS",
 // "ILB", "IG", "LL", or "INFaaS".

@@ -226,7 +226,7 @@ func Fig12(w io.Writer, opt Options) error {
 		dur = 10 * time.Minute
 		period = 120 * time.Second
 	}
-	a, err := core.New(core.Options{Model: "bert-large", AllocPeriod: period})
+	a, err := core.NewSystem(core.WithModel("bert-large"), core.WithAllocPeriod(period))
 	if err != nil {
 		return err
 	}
@@ -373,7 +373,7 @@ func AblationRS(w io.Writer, opt Options) error {
 	tw := newTab(w)
 	fmt.Fprintln(tw, "lambda\talpha\tL\tmean(ms)\tp98(ms)")
 	run := func(lambda, alpha float64, L int) error {
-		a, err := core.New(core.Options{Model: "bert-large", Lambda: lambda, Alpha: alpha, MaxPeek: L})
+		a, err := core.NewSystem(core.WithModel("bert-large"), core.WithSchedulerParams(lambda, alpha, L))
 		if err != nil {
 			return err
 		}

@@ -1,0 +1,337 @@
+// Package obs is the request-lifecycle observability plane of the Arlo
+// reproduction: every request carries a Span that records where its time
+// went (tokenize -> dispatch decision -> worker queue -> execution ->
+// completion) and which Algorithm 1 decisions were taken along the way
+// (ideal vs. chosen runtime level, peeked levels, congestion fallback).
+// The paper's whole evaluation (Figs. 8-10) is a per-request latency
+// decomposition; this package is what makes that decomposition available
+// from a live serving deployment instead of only from the simulator.
+//
+// A Recorder aggregates spans into counters, a demotion matrix and
+// latency histograms, and renders everything in Prometheus text format
+// (see prom.go). The recording side is built for the dispatch hot path:
+//
+//   - every method is nil-receiver safe, so call sites pay one predictable
+//     branch when observability is disabled instead of wrapping each call;
+//   - histograms are lock-striped over fixed shards of atomic bucket
+//     counters, with the stripe chosen from per-span fields (instance id +
+//     length) so concurrent recorders do not share a cache line and no
+//     shared cursor is contended;
+//   - nothing on the record path allocates: spans live inside the
+//     caller's pooled job structs and bucket indexing is a bit scan.
+package obs
+
+import (
+	"math/bits"
+	"sync/atomic"
+	"time"
+)
+
+// Span is the lifecycle record of one request. All durations are in the
+// cluster's modeled time (un-scaled when the cluster compresses wall
+// time). A Span is plain data: it is embedded by value in results and
+// pooled job structs, never allocated by this package.
+type Span struct {
+	// Length is the tokenized sequence length the request was dispatched
+	// on.
+	Length int
+	// Enqueued is the wall-clock submission time.
+	Enqueued time.Time
+	// Tokenize is the time spent encoding the input upstream of the
+	// cluster (zero when the caller submitted raw lengths).
+	Tokenize time.Duration
+	// Dispatch is the time spent inside the dispatch decision itself.
+	Dispatch time.Duration
+	// Queue is the time from dispatch to execution start — the queueing
+	// delay of Fig. 8's decomposition.
+	Queue time.Duration
+	// Exec is the emulated kernel execution time.
+	Exec time.Duration
+	// Total is the end-to-end modeled latency (queue + exec + overhead).
+	Total time.Duration
+	// IdealLevel is the least-padding feasible runtime level (the head of
+	// the Algorithm 1 candidate set).
+	IdealLevel int
+	// Level is the runtime level the request actually executed on;
+	// Level > IdealLevel means the request was demoted.
+	Level int
+	// Instance is the ID of the instance that executed the request.
+	Instance int
+	// Peeked is how many candidate levels the scheduler examined.
+	Peeked int
+	// Fallback reports that every peeked level was congested and the
+	// scheduler fell back to the top candidate (Algorithm 1 lines 18-20).
+	Fallback bool
+}
+
+// DemotionHops is how many levels past the ideal runtime the request was
+// pushed (0 when served at its ideal level).
+func (s *Span) DemotionHops() int {
+	if h := s.Level - s.IdealLevel; h > 0 {
+		return h
+	}
+	return 0
+}
+
+// RejectReason classifies why a submission was refused.
+type RejectReason uint8
+
+const (
+	// RejectTooLong: the request exceeds every deployed runtime.
+	RejectTooLong RejectReason = iota
+	// RejectNoInstances: no instance deployed for any candidate runtime.
+	RejectNoInstances
+	// RejectCongested: the chosen worker's queue overflowed.
+	RejectCongested
+	// RejectClosed: the cluster was shut down.
+	RejectClosed
+	// RejectOther: any other submission failure.
+	RejectOther
+
+	numRejectReasons
+)
+
+// String returns the Prometheus label value for the reason.
+func (r RejectReason) String() string {
+	switch r {
+	case RejectTooLong:
+		return "too_long"
+	case RejectNoInstances:
+		return "no_instances"
+	case RejectCongested:
+		return "congested"
+	case RejectClosed:
+		return "closed"
+	default:
+		return "other"
+	}
+}
+
+// Histogram bucket layout: exponential, le = 125µs << i for the finite
+// buckets plus a +Inf overflow slot. 125µs..~65.5s covers everything from
+// the 0.8ms dispatch overhead to deeply congested tails.
+const (
+	histBase      = 125 * time.Microsecond
+	numBuckets    = 20
+	bucketInf     = numBuckets // index of the +Inf slot
+	histShards    = 8          // power of two; stripe count per histogram
+	histShardMask = histShards - 1
+)
+
+// bucketOf returns the finite bucket index for d, or bucketInf when d
+// exceeds the largest finite boundary. Branch-free except the clamps.
+func bucketOf(d time.Duration) int {
+	if d <= histBase {
+		return 0
+	}
+	// 2^(i-1) < d/base <= 2^i  =>  bucket i.
+	idx := bits.Len64(uint64((d - 1) / histBase))
+	if idx > numBuckets-1 {
+		return bucketInf
+	}
+	return idx
+}
+
+// bucketLE returns the upper boundary of finite bucket i in seconds.
+func bucketLE(i int) float64 {
+	return float64(histBase<<uint(i)) / float64(time.Second)
+}
+
+// histShard is one stripe of a histogram. At ~180 bytes a shard spans
+// multiple cache lines on its own, so neighbouring shards only ever share
+// an edge line; the stripe choice (below) keeps concurrent writers apart.
+type histShard struct {
+	buckets [numBuckets + 1]atomic.Int64
+	sumNS   atomic.Int64
+	count   atomic.Int64
+}
+
+// hist is a lock-striped histogram: writers pick a shard from per-span
+// data, readers sum across shards at scrape time.
+type hist struct {
+	shards [histShards]histShard
+}
+
+func (h *hist) observe(shard int, d time.Duration) {
+	s := &h.shards[shard&histShardMask]
+	s.buckets[bucketOf(d)].Add(1)
+	s.sumNS.Add(int64(d))
+	s.count.Add(1)
+}
+
+// snapshot sums the shards into cumulative bucket counts, total count and
+// sum (seconds).
+func (h *hist) snapshot() (cum [numBuckets + 1]int64, count int64, sumSec float64) {
+	var sumNS int64
+	for i := range h.shards {
+		s := &h.shards[i]
+		for b := 0; b <= numBuckets; b++ {
+			cum[b] += s.buckets[b].Load()
+		}
+		count += s.count.Load()
+		sumNS += s.sumNS.Load()
+	}
+	for b := 1; b <= numBuckets; b++ {
+		cum[b] += cum[b-1]
+	}
+	return cum, count, float64(sumNS) / float64(time.Second)
+}
+
+// Recorder aggregates request spans for one cluster. All recording
+// methods are safe for concurrent use and safe on a nil receiver (no-op),
+// so a disabled observability plane costs call sites a single branch.
+type Recorder struct {
+	levels int
+
+	submitted atomic.Int64
+	completed atomic.Int64
+	cancelled atomic.Int64
+	rejected  [numRejectReasons]atomic.Int64
+
+	// demotions is the (from, to) runtime-pair counter matrix of
+	// Algorithm 1 demotions, flattened row-major: from*levels + to.
+	demotions []atomic.Int64
+
+	queueH hist
+	execH  hist
+	totalH hist
+
+	// snapshot, when set, provides the live cluster state (queue depths,
+	// instance loads) gauges are rendered from at scrape time.
+	snapshot atomic.Pointer[func() Snapshot]
+}
+
+// NewRecorder builds a recorder for a cluster with the given number of
+// runtime levels (used to size the demotion matrix; levels < 1 is
+// clamped to 1).
+func NewRecorder(levels int) *Recorder {
+	if levels < 1 {
+		levels = 1
+	}
+	return &Recorder{
+		levels:    levels,
+		demotions: make([]atomic.Int64, levels*levels),
+	}
+}
+
+// Levels returns the number of runtime levels the recorder was sized for.
+func (r *Recorder) Levels() int {
+	if r == nil {
+		return 0
+	}
+	return r.levels
+}
+
+// RecordSubmit counts one submission attempt.
+func (r *Recorder) RecordSubmit() {
+	if r == nil {
+		return
+	}
+	r.submitted.Add(1)
+}
+
+// RecordDemotion counts one Algorithm 1 demotion from the ideal runtime
+// level to the chosen one. Out-of-range pairs are dropped.
+func (r *Recorder) RecordDemotion(from, to int) {
+	if r == nil {
+		return
+	}
+	if from < 0 || to < 0 || from >= r.levels || to >= r.levels {
+		return
+	}
+	r.demotions[from*r.levels+to].Add(1)
+}
+
+// RecordSpan folds one completed request's span into the histograms and
+// completion counter. The span itself is not retained.
+func (r *Recorder) RecordSpan(s *Span) {
+	if r == nil {
+		return
+	}
+	// Stripe by span identity rather than a shared cursor: concurrent
+	// completions from different instances land on different shards with
+	// no cross-core traffic on the shard choice itself.
+	shard := s.Instance + s.Length
+	r.queueH.observe(shard, s.Queue)
+	r.execH.observe(shard, s.Exec)
+	r.totalH.observe(shard, s.Total)
+	r.completed.Add(1)
+}
+
+// RecordCancel counts one request cancelled (context done) while queued
+// or executing.
+func (r *Recorder) RecordCancel() {
+	if r == nil {
+		return
+	}
+	r.cancelled.Add(1)
+}
+
+// RecordReject counts one refused submission.
+func (r *Recorder) RecordReject(reason RejectReason) {
+	if r == nil {
+		return
+	}
+	if reason >= numRejectReasons {
+		reason = RejectOther
+	}
+	r.rejected[reason].Add(1)
+}
+
+// SetSnapshot installs the live-state callback rendered into gauges at
+// scrape time (per-level queue depth, per-instance utilization). Safe to
+// call while recording; a nil receiver is a no-op.
+func (r *Recorder) SetSnapshot(fn func() Snapshot) {
+	if r == nil {
+		return
+	}
+	if fn == nil {
+		r.snapshot.Store(nil)
+		return
+	}
+	r.snapshot.Store(&fn)
+}
+
+// Submitted returns the total submission attempts recorded.
+func (r *Recorder) Submitted() int64 {
+	if r == nil {
+		return 0
+	}
+	return r.submitted.Load()
+}
+
+// Completed returns the total completed requests recorded.
+func (r *Recorder) Completed() int64 {
+	if r == nil {
+		return 0
+	}
+	return r.completed.Load()
+}
+
+// Cancelled returns the total cancelled requests recorded.
+func (r *Recorder) Cancelled() int64 {
+	if r == nil {
+		return 0
+	}
+	return r.cancelled.Load()
+}
+
+// Rejected returns the total rejected submissions across all reasons.
+func (r *Recorder) Rejected() int64 {
+	if r == nil {
+		return 0
+	}
+	var total int64
+	for i := range r.rejected {
+		total += r.rejected[i].Load()
+	}
+	return total
+}
+
+// Demotions returns the demotion count for one (from, to) runtime pair.
+func (r *Recorder) Demotions(from, to int) int64 {
+	if r == nil || from < 0 || to < 0 || from >= r.levels || to >= r.levels {
+		return 0
+	}
+	return r.demotions[from*r.levels+to].Load()
+}

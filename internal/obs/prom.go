@@ -1,0 +1,148 @@
+// Prometheus text-format exposition of the Recorder's aggregates plus
+// the live cluster gauges. The format follows the 0.0.4 text exposition
+// spec (the one every Prometheus scraper accepts): HELP/TYPE headers,
+// cumulative histogram buckets with le labels, _sum and _count series.
+// Rendering happens only at scrape time, so it favours clarity over
+// allocation-freedom.
+
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"net/http"
+)
+
+// LevelStat is the scrape-time state of one runtime level.
+type LevelStat struct {
+	// Level is the runtime level index (increasing max_length).
+	Level int
+	// MaxLength is the runtime's padded sequence length.
+	MaxLength int
+	// Instances is how many instances are deployed at the level.
+	Instances int
+	// Depth is the level's queue depth: outstanding (dispatched but not
+	// completed) requests summed across the level's instances.
+	Depth int
+}
+
+// InstanceStat is the scrape-time state of one instance.
+type InstanceStat struct {
+	ID          int
+	Runtime     int
+	Outstanding int
+	// Capacity is M_i, the instance's SLO-feasible queue bound.
+	Capacity int
+}
+
+// Snapshot is the live cluster state rendered into gauges.
+type Snapshot struct {
+	Levels    []LevelStat
+	Instances []InstanceStat
+}
+
+// ContentType is the Prometheus text exposition content type served by
+// Handler.
+const ContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// WritePrometheus renders every metric in Prometheus text format.
+func (r *Recorder) WritePrometheus(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if r == nil {
+		fmt.Fprint(bw, "# observability disabled\n")
+		return bw.Flush()
+	}
+
+	fmt.Fprint(bw, "# HELP arlo_requests_submitted_total Requests submitted to the cluster.\n")
+	fmt.Fprint(bw, "# TYPE arlo_requests_submitted_total counter\n")
+	fmt.Fprintf(bw, "arlo_requests_submitted_total %d\n", r.submitted.Load())
+
+	fmt.Fprint(bw, "# HELP arlo_requests_completed_total Requests completed by the cluster.\n")
+	fmt.Fprint(bw, "# TYPE arlo_requests_completed_total counter\n")
+	fmt.Fprintf(bw, "arlo_requests_completed_total %d\n", r.completed.Load())
+
+	fmt.Fprint(bw, "# HELP arlo_requests_cancelled_total Requests cancelled by their context while queued or executing.\n")
+	fmt.Fprint(bw, "# TYPE arlo_requests_cancelled_total counter\n")
+	fmt.Fprintf(bw, "arlo_requests_cancelled_total %d\n", r.cancelled.Load())
+
+	fmt.Fprint(bw, "# HELP arlo_requests_rejected_total Submissions refused, by reason.\n")
+	fmt.Fprint(bw, "# TYPE arlo_requests_rejected_total counter\n")
+	for reason := RejectReason(0); reason < numRejectReasons; reason++ {
+		fmt.Fprintf(bw, "arlo_requests_rejected_total{reason=%q} %d\n",
+			reason.String(), r.rejected[reason].Load())
+	}
+
+	fmt.Fprint(bw, "# HELP arlo_demotions_total Algorithm 1 demotions by (ideal, chosen) runtime-level pair.\n")
+	fmt.Fprint(bw, "# TYPE arlo_demotions_total counter\n")
+	for from := 0; from < r.levels; from++ {
+		for to := 0; to < r.levels; to++ {
+			if n := r.demotions[from*r.levels+to].Load(); n != 0 {
+				fmt.Fprintf(bw, "arlo_demotions_total{from=\"%d\",to=\"%d\"} %d\n", from, to, n)
+			}
+		}
+	}
+
+	if fnp := r.snapshot.Load(); fnp != nil {
+		snap := (*fnp)()
+		fmt.Fprint(bw, "# HELP arlo_queue_depth Outstanding requests per runtime level.\n")
+		fmt.Fprint(bw, "# TYPE arlo_queue_depth gauge\n")
+		for _, l := range snap.Levels {
+			fmt.Fprintf(bw, "arlo_queue_depth{level=\"%d\",max_length=\"%d\"} %d\n",
+				l.Level, l.MaxLength, l.Depth)
+		}
+		fmt.Fprint(bw, "# HELP arlo_level_instances Deployed instances per runtime level.\n")
+		fmt.Fprint(bw, "# TYPE arlo_level_instances gauge\n")
+		for _, l := range snap.Levels {
+			fmt.Fprintf(bw, "arlo_level_instances{level=\"%d\",max_length=\"%d\"} %d\n",
+				l.Level, l.MaxLength, l.Instances)
+		}
+		fmt.Fprint(bw, "# HELP arlo_instance_outstanding Outstanding requests per instance.\n")
+		fmt.Fprint(bw, "# TYPE arlo_instance_outstanding gauge\n")
+		for _, in := range snap.Instances {
+			fmt.Fprintf(bw, "arlo_instance_outstanding{instance=\"%d\",runtime=\"%d\"} %d\n",
+				in.ID, in.Runtime, in.Outstanding)
+		}
+		fmt.Fprint(bw, "# HELP arlo_instance_utilization Outstanding / SLO-feasible capacity per instance.\n")
+		fmt.Fprint(bw, "# TYPE arlo_instance_utilization gauge\n")
+		for _, in := range snap.Instances {
+			util := 1.0
+			if in.Capacity > 0 {
+				util = float64(in.Outstanding) / float64(in.Capacity)
+			}
+			fmt.Fprintf(bw, "arlo_instance_utilization{instance=\"%d\",runtime=\"%d\"} %g\n",
+				in.ID, in.Runtime, util)
+		}
+	}
+
+	writeHist(bw, "arlo_request_queue_seconds", "Queueing delay from dispatch to execution start.", &r.queueH)
+	writeHist(bw, "arlo_request_exec_seconds", "Emulated execution time.", &r.execH)
+	writeHist(bw, "arlo_request_latency_seconds", "End-to-end modeled request latency.", &r.totalH)
+
+	return bw.Flush()
+}
+
+func writeHist(w io.Writer, name, help string, h *hist) {
+	cum, count, sumSec := h.snapshot()
+	fmt.Fprintf(w, "# HELP %s %s\n", name, help)
+	fmt.Fprintf(w, "# TYPE %s histogram\n", name)
+	for b := 0; b < numBuckets; b++ {
+		fmt.Fprintf(w, "%s_bucket{le=\"%g\"} %d\n", name, bucketLE(b), cum[b])
+	}
+	fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", name, cum[bucketInf])
+	fmt.Fprintf(w, "%s_sum %g\n", name, sumSec)
+	fmt.Fprintf(w, "%s_count %d\n", name, count)
+}
+
+// Handler returns the GET /metrics endpoint serving the Prometheus text
+// exposition. Safe on a nil receiver (serves the disabled marker).
+func (r *Recorder) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		if req.Method != http.MethodGet && req.Method != http.MethodHead {
+			http.Error(w, "GET required", http.StatusMethodNotAllowed)
+			return
+		}
+		w.Header().Set("Content-Type", ContentType)
+		_ = r.WritePrometheus(w)
+	})
+}

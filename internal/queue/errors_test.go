@@ -1,0 +1,53 @@
+package queue
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestSentinelErrorsMatch(t *testing.T) {
+	if _, err := NewMultiLevel(nil); !errors.Is(err, ErrNoLevels) {
+		t.Errorf("empty levels: err = %v, want ErrNoLevels", err)
+	}
+	if _, err := NewMultiLevel([]int{128, 64}); !errors.Is(err, ErrLevelOrder) {
+		t.Errorf("unsorted levels: err = %v, want ErrLevelOrder", err)
+	}
+	ml, err := NewMultiLevel([]int{64, 128})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ml.Add(NewInstance(1, 5, 0, 10)); !errors.Is(err, ErrRuntimeRange) {
+		t.Errorf("bad runtime: err = %v, want ErrRuntimeRange", err)
+	}
+	if err := ml.Add(NewInstance(1, 0, 0, 10)); err != nil {
+		t.Fatal(err)
+	}
+	if err := ml.Add(NewInstance(1, 1, 0, 10)); !errors.Is(err, ErrDuplicateInstance) {
+		t.Errorf("dup id: err = %v, want ErrDuplicateInstance", err)
+	}
+}
+
+func TestLevelDepth(t *testing.T) {
+	ml, err := NewMultiLevel([]int{64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ml.Add(NewInstance(1, 0, 3, 10)); err != nil {
+		t.Fatal(err)
+	}
+	if err := ml.Add(NewInstance(2, 0, 4, 10)); err != nil {
+		t.Fatal(err)
+	}
+	if got := ml.Level(0).Depth(); got != 7 {
+		t.Errorf("depth = %d, want 7", got)
+	}
+	in := ml.Level(0).Front()
+	ml.OnDispatch(in)
+	if got := ml.Level(0).Depth(); got != 8 {
+		t.Errorf("depth after dispatch = %d, want 8", got)
+	}
+	ml.OnComplete(in)
+	if got := ml.Level(0).Depth(); got != 7 {
+		t.Errorf("depth after complete = %d, want 7", got)
+	}
+}

@@ -25,9 +25,24 @@ package queue
 
 import (
 	"container/heap"
+	"errors"
 	"fmt"
 	"sync"
 	"sync/atomic"
+)
+
+// Sentinel errors for construction and topology changes, matched with
+// errors.Is; the wrapped messages carry the offending values.
+var (
+	// ErrNoLevels: a multi-level queue needs at least one runtime level.
+	ErrNoLevels = errors.New("queue: need at least one runtime level")
+	// ErrLevelOrder: runtime max_lengths must be strictly increasing.
+	ErrLevelOrder = errors.New("queue: max_lengths must be strictly increasing")
+	// ErrRuntimeRange: an instance names a runtime level that does not
+	// exist.
+	ErrRuntimeRange = errors.New("queue: runtime index out of range")
+	// ErrDuplicateInstance: an instance ID is already registered.
+	ErrDuplicateInstance = errors.New("queue: duplicate instance ID")
 )
 
 // Instance is the scheduler-side view of one deployed runtime instance.
@@ -216,6 +231,18 @@ func (l *Level) fixLocked(in *Instance) {
 	}
 }
 
+// Depth returns the level's queue depth: the sum of outstanding requests
+// across its instances — the per-level gauge of the observability plane.
+func (l *Level) Depth() int {
+	l.mu.Lock()
+	d := 0
+	for _, in := range l.h {
+		d += int(in.outstanding.Load())
+	}
+	l.mu.Unlock()
+	return d
+}
+
 // Instances returns a snapshot of the level's instances in unspecified
 // order.
 func (l *Level) Instances() []*Instance {
@@ -256,11 +283,11 @@ type MultiLevel struct {
 // max_lengths, which must be strictly increasing.
 func NewMultiLevel(maxLengths []int) (*MultiLevel, error) {
 	if len(maxLengths) == 0 {
-		return nil, fmt.Errorf("queue: need at least one runtime level")
+		return nil, ErrNoLevels
 	}
 	for i := 1; i < len(maxLengths); i++ {
 		if maxLengths[i] <= maxLengths[i-1] {
-			return nil, fmt.Errorf("queue: max_lengths must be strictly increasing, got %v", maxLengths)
+			return nil, fmt.Errorf("%w: got %v", ErrLevelOrder, maxLengths)
 		}
 	}
 	ls := make([]int, len(maxLengths))
@@ -290,12 +317,12 @@ func (m *MultiLevel) Level(k int) *Level { return &m.levels[k] }
 // for an out-of-range runtime index or duplicate instance ID.
 func (m *MultiLevel) Add(in *Instance) error {
 	if in.Runtime < 0 || in.Runtime >= len(m.levels) {
-		return fmt.Errorf("queue: instance %d has runtime %d outside [0, %d)", in.ID, in.Runtime, len(m.levels))
+		return fmt.Errorf("%w: instance %d has runtime %d outside [0, %d)", ErrRuntimeRange, in.ID, in.Runtime, len(m.levels))
 	}
 	m.topo.Lock()
 	defer m.topo.Unlock()
 	if _, dup := m.byID[in.ID]; dup {
-		return fmt.Errorf("queue: duplicate instance ID %d", in.ID)
+		return fmt.Errorf("%w: %d", ErrDuplicateInstance, in.ID)
 	}
 	m.levels[in.Runtime].Add(in)
 	m.byID[in.ID] = in

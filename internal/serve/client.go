@@ -1,0 +1,206 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+
+	"arlo/internal/cluster"
+	"arlo/internal/dispatch"
+)
+
+// Client is a typed client for the server's API with per-request
+// timeouts and bounded retry-with-backoff for transient failures.
+type Client struct {
+	// BaseURL like "http://127.0.0.1:8080".
+	BaseURL string
+	// HTTPClient defaults to http.DefaultClient.
+	HTTPClient *http.Client
+	// Timeout bounds each individual attempt (not the whole retry
+	// sequence). Zero means no per-attempt timeout beyond the caller's
+	// context.
+	Timeout time.Duration
+	// MaxRetries is how many times a failed attempt is retried. Only
+	// transport errors and retryable statuses (503, 502, 500) are
+	// retried; 4xx and 504 are not. Zero means a single attempt.
+	MaxRetries int
+	// Backoff is the delay before the first retry, doubling each retry.
+	// Defaults to 50ms when MaxRetries > 0.
+	Backoff time.Duration
+}
+
+// APIError is a non-2xx reply decoded from the server's error envelope.
+// It matches the dispatch-path sentinels through errors.Is, so callers
+// can handle HTTP and in-process submissions identically:
+//
+//	_, err := client.Infer(text)
+//	if errors.Is(err, cluster.ErrCongested) { backoff() }
+type APIError struct {
+	// Status is the HTTP status code.
+	Status int
+	// Code is the stable envelope code (see CodeInvalidRequest etc.).
+	Code string
+	// Message is the server's human-readable detail.
+	Message string
+}
+
+func (e *APIError) Error() string {
+	return fmt.Sprintf("serve: %s (%d): %s", e.Code, e.Status, e.Message)
+}
+
+// Is maps envelope codes back onto the sentinels the server mapped them
+// from.
+func (e *APIError) Is(target error) bool {
+	switch target {
+	case cluster.ErrCongested:
+		return e.Code == CodeCongested
+	case cluster.ErrDeadlineExceeded:
+		return e.Code == CodeDeadlineExceeded
+	case cluster.ErrClusterClosed:
+		return e.Code == CodeUnavailable
+	case dispatch.ErrTooLong:
+		return e.Code == CodeTooLong
+	case dispatch.ErrNoInstances:
+		return e.Code == CodeNoInstances
+	}
+	return false
+}
+
+// retryable reports whether a reply status is worth another attempt: the
+// transient 5xx family, but not 504 (the request's time budget is spent,
+// a retry would just spend it again).
+func retryable(status int) bool {
+	switch status {
+	case http.StatusInternalServerError, http.StatusBadGateway, http.StatusServiceUnavailable:
+		return true
+	}
+	return false
+}
+
+// Infer posts one inference request with background context.
+func (c *Client) Infer(text string) (*InferResponse, error) {
+	return c.InferCtx(context.Background(), text)
+}
+
+// InferCtx posts one inference request, honoring ctx across all attempts
+// and applying the client's per-attempt Timeout and retry policy.
+func (c *Client) InferCtx(ctx context.Context, text string) (*InferResponse, error) {
+	body, err := json.Marshal(InferRequest{Text: text})
+	if err != nil {
+		return nil, err
+	}
+	backoff := c.Backoff
+	if backoff <= 0 {
+		backoff = 50 * time.Millisecond
+	}
+	var lastErr error
+	for attempt := 0; ; attempt++ {
+		out, err := c.inferOnce(ctx, body)
+		if err == nil {
+			return out, nil
+		}
+		lastErr = err
+		// The caller's context ending is never retryable; neither are
+		// non-retryable API statuses.
+		if ctx.Err() != nil {
+			return nil, lastErr
+		}
+		var apiErr *APIError
+		if errors.As(err, &apiErr) && !retryable(apiErr.Status) {
+			return nil, lastErr
+		}
+		if attempt >= c.MaxRetries {
+			return nil, lastErr
+		}
+		select {
+		case <-time.After(backoff):
+		case <-ctx.Done():
+			return nil, lastErr
+		}
+		backoff *= 2
+	}
+}
+
+func (c *Client) inferOnce(ctx context.Context, body []byte) (*InferResponse, error) {
+	if c.Timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, c.Timeout)
+		defer cancel()
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.BaseURL+"/v1/infer", bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, decodeError(resp)
+	}
+	var out InferResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// decodeError turns a non-2xx reply into an *APIError, tolerating
+// non-envelope bodies (proxies, panics) by falling back to the raw text.
+func decodeError(resp *http.Response) error {
+	raw, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+	var env ErrorEnvelope
+	if err := json.Unmarshal(raw, &env); err == nil && env.Error.Code != "" {
+		return &APIError{Status: resp.StatusCode, Code: env.Error.Code, Message: env.Error.Message}
+	}
+	return &APIError{
+		Status:  resp.StatusCode,
+		Code:    CodeInternal,
+		Message: string(bytes.TrimSpace(raw)),
+	}
+}
+
+// Stats fetches the server counters.
+func (c *Client) Stats() (*Stats, error) {
+	resp, err := c.httpClient().Get(c.BaseURL + "/v1/stats")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, decodeError(resp)
+	}
+	var out Stats
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Metrics fetches the raw Prometheus text exposition from /metrics.
+func (c *Client) Metrics() (string, error) {
+	resp, err := c.httpClient().Get(c.BaseURL + "/metrics")
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return "", decodeError(resp)
+	}
+	raw, err := io.ReadAll(resp.Body)
+	return string(raw), err
+}
+
+func (c *Client) httpClient() *http.Client {
+	if c.HTTPClient != nil {
+		return c.HTTPClient
+	}
+	return http.DefaultClient
+}

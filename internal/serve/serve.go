@@ -1,23 +1,39 @@
 // Package serve provides the HTTP serving front end standing in for the
 // paper's Triton integration: a JSON inference endpoint that tokenizes the
 // request text, dispatches it by sequence length through an Arlo-scheduled
-// emulated cluster, and reports the measured latency. The classifier
-// output itself is emulated (deterministic over the token ids) — the
-// system under study is the scheduler, not the model.
+// emulated cluster, and reports the measured latency decomposed the way
+// the paper's evaluation does (queueing vs. execution, demotion hops).
+// The classifier output itself is emulated (deterministic over the token
+// ids) — the system under study is the scheduler, not the model.
+//
+// Endpoints:
+//
+//	POST /v1/infer   — classify text; errors use the versioned envelope
+//	                   {"error":{"code":..., "message":...}}
+//	GET  /v1/stats   — JSON serving counters and window percentiles
+//	GET  /metrics    — Prometheus text exposition of the cluster's
+//	                   observability plane (counters, demotion matrix,
+//	                   queue-depth gauges, latency histograms)
+//	GET  /healthz    — liveness
+//	GET  /debug/pprof/* — runtime profiles, only with WithPprof()
 package serve
 
 import (
-	"bytes"
+	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
+	"net/http/pprof"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"arlo/internal/cluster"
+	"arlo/internal/dispatch"
 	"arlo/internal/metrics"
+	"arlo/internal/obs"
 	"arlo/internal/tokenizer"
 )
 
@@ -27,15 +43,58 @@ type InferRequest struct {
 	Text string `json:"text"`
 }
 
-// InferResponse is the reply of POST /v1/infer.
+// InferResponse is the reply of POST /v1/infer. Beyond the label and
+// end-to-end latency it carries the request's lifecycle span — the same
+// per-request decomposition the paper's Figs. 8-10 are built from.
 type InferResponse struct {
 	// Label is the (emulated) classification.
 	Label string `json:"label"`
 	// SequenceLength is the tokenized input length Arlo dispatched on.
 	SequenceLength int `json:"sequence_length"`
-	// LatencyMS is the measured serving latency in milliseconds.
+	// LatencyMS is the measured end-to-end serving latency in
+	// milliseconds.
 	LatencyMS float64 `json:"latency_ms"`
+	// QueueMS is the time spent queued before execution started.
+	QueueMS float64 `json:"queue_ms"`
+	// ExecMS is the emulated kernel execution time.
+	ExecMS float64 `json:"exec_ms"`
+	// DemotionHops is how many runtime levels past its ideal (least
+	// padding) level the request was pushed by congestion; 0 when served
+	// at the ideal level.
+	DemotionHops int `json:"demotion_hops"`
+	// Instance is the ID of the instance that executed the request.
+	Instance int `json:"instance"`
+	// Runtime is the runtime level the request executed on.
+	Runtime int `json:"runtime"`
 }
+
+// ErrorBody is the inner object of the versioned error envelope.
+type ErrorBody struct {
+	// Code is a stable machine-readable error class: invalid_request,
+	// too_long, congested, no_instances, unavailable, deadline_exceeded,
+	// method_not_allowed or internal.
+	Code string `json:"code"`
+	// Message is human-readable detail.
+	Message string `json:"message"`
+}
+
+// ErrorEnvelope is the body of every non-2xx /v1/infer reply:
+// {"error":{"code":"...","message":"..."}}.
+type ErrorEnvelope struct {
+	Error ErrorBody `json:"error"`
+}
+
+// Stable error codes of the envelope.
+const (
+	CodeInvalidRequest   = "invalid_request"
+	CodeTooLong          = "too_long"
+	CodeCongested        = "congested"
+	CodeNoInstances      = "no_instances"
+	CodeUnavailable      = "unavailable"
+	CodeDeadlineExceeded = "deadline_exceeded"
+	CodeMethodNotAllowed = "method_not_allowed"
+	CodeInternal         = "internal"
+)
 
 // Stats is the reply of GET /v1/stats. Latency percentiles cover the
 // trailing 60 seconds.
@@ -56,17 +115,134 @@ type Observer interface {
 
 // Server routes inference requests into a cluster.
 type Server struct {
-	tok      *tokenizer.Tokenizer
-	cluster  *cluster.Cluster
-	maxLen   int
-	mux      *http.ServeMux
-	served   atomic.Int64
-	rejected atomic.Int64
+	tok        *tokenizer.Tokenizer
+	cluster    *cluster.Cluster
+	maxLen     int
+	reqTimeout time.Duration
+	pprof      bool
+	rec        *obs.Recorder
+	mux        *http.ServeMux
+	served     atomic.Int64
+	rejected   atomic.Int64
 
 	window *metrics.Window
 
 	obsMu    sync.RWMutex
 	observer Observer
+}
+
+// Option configures a Server at construction.
+type Option func(*Server) error
+
+// WithMaxLength caps the encoded sequence length (the model's maximum
+// input). Defaults to the cluster's largest deployed runtime length.
+func WithMaxLength(n int) Option {
+	return func(s *Server) error {
+		if n < 2 {
+			return fmt.Errorf("serve: max length must be >= 2, got %d", n)
+		}
+		s.maxLen = n
+		return nil
+	}
+}
+
+// WithObserver installs the served-request observer (see Observer) at
+// construction; SetObserver can still replace it while serving.
+func WithObserver(o Observer) Option {
+	return func(s *Server) error {
+		s.observer = o
+		return nil
+	}
+}
+
+// WithRecorder uses the given observability recorder for /metrics and
+// installs it on the cluster so spans flow into it. By default the server
+// reuses the cluster's recorder, creating one when the cluster has none.
+func WithRecorder(rec *obs.Recorder) Option {
+	return func(s *Server) error {
+		if rec == nil {
+			return fmt.Errorf("serve: nil recorder")
+		}
+		s.rec = rec
+		return nil
+	}
+}
+
+// WithPprof mounts net/http/pprof under /debug/pprof/. Off by default:
+// profiles expose internals and cost CPU when scraped.
+func WithPprof() Option {
+	return func(s *Server) error {
+		s.pprof = true
+		return nil
+	}
+}
+
+// WithRequestTimeout bounds every inference request server-side: requests
+// still queued when the timeout fires are dequeued and answered 504. The
+// client's own context (disconnect, client-side deadline) is always
+// honored regardless.
+func WithRequestTimeout(d time.Duration) Option {
+	return func(s *Server) error {
+		if d <= 0 {
+			return fmt.Errorf("serve: request timeout must be positive, got %v", d)
+		}
+		s.reqTimeout = d
+		return nil
+	}
+}
+
+// New wires a tokenizer and a running cluster into an HTTP handler.
+func New(tok *tokenizer.Tokenizer, cl *cluster.Cluster, opts ...Option) (*Server, error) {
+	if tok == nil {
+		return nil, fmt.Errorf("serve: nil tokenizer")
+	}
+	if cl == nil {
+		return nil, fmt.Errorf("serve: nil cluster")
+	}
+	s := &Server{
+		tok:     tok,
+		cluster: cl,
+		maxLen:  cl.MaxLength(),
+		mux:     http.NewServeMux(),
+		window:  metrics.NewWindow(60 * time.Second),
+	}
+	for _, opt := range opts {
+		if err := opt(s); err != nil {
+			return nil, err
+		}
+	}
+	// Wire the observability recorder: an explicit one is installed on
+	// the cluster, otherwise reuse the cluster's, otherwise create one so
+	// /metrics works out of the box.
+	switch {
+	case s.rec != nil:
+		cl.SetObserver(s.rec)
+	case cl.Observer() != nil:
+		s.rec = cl.Observer()
+	default:
+		s.rec = obs.NewRecorder(cl.NumLevels())
+		cl.SetObserver(s.rec)
+	}
+	s.mux.HandleFunc("/v1/infer", s.handleInfer)
+	s.mux.HandleFunc("/v1/stats", s.handleStats)
+	s.mux.HandleFunc("/healthz", s.handleHealth)
+	s.mux.Handle("/metrics", s.rec.Handler())
+	if s.pprof {
+		s.mux.HandleFunc("/debug/pprof/", pprof.Index)
+		s.mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		s.mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		s.mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		s.mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
+	return s, nil
+}
+
+// NewServer wires a tokenizer and a running cluster into an HTTP handler.
+// maxLen caps the encoded sequence length (the model's maximum input).
+//
+// Deprecated: use New with WithMaxLength.
+func NewServer(tok *tokenizer.Tokenizer, cl *cluster.Cluster, maxLen int) (*Server, error) {
+	return New(tok, cl, WithMaxLength(maxLen))
 }
 
 // SetObserver installs (or clears, with nil) the served-request observer.
@@ -77,6 +253,9 @@ func (s *Server) SetObserver(o Observer) {
 	s.obsMu.Unlock()
 }
 
+// Recorder returns the observability recorder backing /metrics.
+func (s *Server) Recorder() *obs.Recorder { return s.rec }
+
 func (s *Server) notify(length int, lat time.Duration) {
 	s.obsMu.RLock()
 	o := s.observer
@@ -86,73 +265,84 @@ func (s *Server) notify(length int, lat time.Duration) {
 	}
 }
 
-// NewServer wires a tokenizer and a running cluster into an HTTP handler.
-// maxLen caps the encoded sequence length (the model's maximum input).
-func NewServer(tok *tokenizer.Tokenizer, cl *cluster.Cluster, maxLen int) (*Server, error) {
-	if tok == nil {
-		return nil, fmt.Errorf("serve: nil tokenizer")
-	}
-	if cl == nil {
-		return nil, fmt.Errorf("serve: nil cluster")
-	}
-	if maxLen < 2 {
-		return nil, fmt.Errorf("serve: max length must be >= 2, got %d", maxLen)
-	}
-	s := &Server{
-		tok:     tok,
-		cluster: cl,
-		maxLen:  maxLen,
-		mux:     http.NewServeMux(),
-		window:  metrics.NewWindow(60 * time.Second),
-	}
-	s.mux.HandleFunc("/v1/infer", s.handleInfer)
-	s.mux.HandleFunc("/v1/stats", s.handleStats)
-	s.mux.HandleFunc("/healthz", s.handleHealth)
-	return s, nil
-}
-
 // ServeHTTP implements http.Handler.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
 
 func (s *Server) handleInfer(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
-		http.Error(w, "POST required", http.StatusMethodNotAllowed)
+		writeError(w, http.StatusMethodNotAllowed, CodeMethodNotAllowed, "POST required")
 		return
 	}
 	body, err := io.ReadAll(io.LimitReader(r.Body, 1<<20))
 	if err != nil {
-		http.Error(w, "read error", http.StatusBadRequest)
+		writeError(w, http.StatusBadRequest, CodeInvalidRequest, "read error")
 		return
 	}
 	var req InferRequest
 	if err := json.Unmarshal(body, &req); err != nil {
-		http.Error(w, "invalid JSON", http.StatusBadRequest)
+		writeError(w, http.StatusBadRequest, CodeInvalidRequest, "invalid JSON")
 		return
 	}
 	if req.Text == "" {
-		http.Error(w, "empty text", http.StatusBadRequest)
+		writeError(w, http.StatusBadRequest, CodeInvalidRequest, "empty text")
 		return
 	}
+	ctx := r.Context()
+	if s.reqTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, s.reqTimeout)
+		defer cancel()
+	}
+	tokStart := time.Now()
 	ids := s.tok.Encode(req.Text, s.maxLen)
-	lat, err := s.cluster.Submit(len(ids))
+	res, err := s.cluster.SubmitCtx(ctx, cluster.Request{
+		Length:   len(ids),
+		Tokenize: time.Since(tokStart),
+	})
 	if err != nil {
 		s.rejected.Add(1)
-		http.Error(w, fmt.Sprintf("dispatch failed: %v", err), http.StatusServiceUnavailable)
+		status, code := mapError(err)
+		writeError(w, status, code, err.Error())
 		return
 	}
 	s.served.Add(1)
-	s.window.Record(lat)
-	s.notify(len(ids), lat)
+	s.window.Record(res.Latency)
+	s.notify(len(ids), res.Latency)
 	writeJSON(w, InferResponse{
 		Label:          classify(ids),
 		SequenceLength: len(ids),
-		LatencyMS:      float64(lat) / float64(time.Millisecond),
+		LatencyMS:      float64(res.Latency) / float64(time.Millisecond),
+		QueueMS:        float64(res.Span.Queue) / float64(time.Millisecond),
+		ExecMS:         float64(res.Span.Exec) / float64(time.Millisecond),
+		DemotionHops:   res.Span.DemotionHops(),
+		Instance:       res.Span.Instance,
+		Runtime:        res.Span.Level,
 	})
+}
+
+// mapError translates dispatch-path errors into the envelope's stable
+// code and HTTP status. Transient conditions map to 503 so clients retry;
+// a spent deadline maps to 504 so they do not.
+func mapError(err error) (status int, code string) {
+	switch {
+	case errors.Is(err, dispatch.ErrTooLong):
+		return http.StatusRequestEntityTooLarge, CodeTooLong
+	case errors.Is(err, cluster.ErrDeadlineExceeded):
+		return http.StatusGatewayTimeout, CodeDeadlineExceeded
+	case errors.Is(err, cluster.ErrCongested):
+		return http.StatusServiceUnavailable, CodeCongested
+	case errors.Is(err, dispatch.ErrNoInstances):
+		return http.StatusServiceUnavailable, CodeNoInstances
+	case errors.Is(err, cluster.ErrClusterClosed):
+		return http.StatusServiceUnavailable, CodeUnavailable
+	default:
+		return http.StatusInternalServerError, CodeInternal
+	}
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
-		http.Error(w, "GET required", http.StatusMethodNotAllowed)
+		writeError(w, http.StatusMethodNotAllowed, CodeMethodNotAllowed, "GET required")
 		return
 	}
 	writeJSON(w, Stats{
@@ -175,6 +365,12 @@ func writeJSON(w http.ResponseWriter, v any) {
 	_ = enc.Encode(v)
 }
 
+func writeError(w http.ResponseWriter, status int, code, msg string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(ErrorEnvelope{Error: ErrorBody{Code: code, Message: msg}})
+}
+
 // classify is the emulated discriminative head: a deterministic label over
 // the token ids (FNV-style fold), standing in for BERT's classifier. Two
 // identical inputs always classify identically.
@@ -186,58 +382,4 @@ func classify(ids []int) string {
 		h *= 1099511628211
 	}
 	return labels[h%3]
-}
-
-// Client is a minimal typed client for the server's API.
-type Client struct {
-	// BaseURL like "http://127.0.0.1:8080".
-	BaseURL string
-	// HTTPClient defaults to http.DefaultClient.
-	HTTPClient *http.Client
-}
-
-// Infer posts one inference request.
-func (c *Client) Infer(text string) (*InferResponse, error) {
-	body, err := json.Marshal(InferRequest{Text: text})
-	if err != nil {
-		return nil, err
-	}
-	resp, err := c.httpClient().Post(c.BaseURL+"/v1/infer", "application/json", bytes.NewReader(body))
-	if err != nil {
-		return nil, err
-	}
-	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
-		return nil, fmt.Errorf("serve: infer returned %d: %s", resp.StatusCode, bytes.TrimSpace(msg))
-	}
-	var out InferResponse
-	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
-		return nil, err
-	}
-	return &out, nil
-}
-
-// Stats fetches the server counters.
-func (c *Client) Stats() (*Stats, error) {
-	resp, err := c.httpClient().Get(c.BaseURL + "/v1/stats")
-	if err != nil {
-		return nil, err
-	}
-	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		return nil, fmt.Errorf("serve: stats returned %d", resp.StatusCode)
-	}
-	var out Stats
-	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
-		return nil, err
-	}
-	return &out, nil
-}
-
-func (c *Client) httpClient() *http.Client {
-	if c.HTTPClient != nil {
-		return c.HTTPClient
-	}
-	return http.DefaultClient
 }
