@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-short race bench bench-dispatch bench-obs experiments experiments-full vet staticcheck lint fmt clean
+.PHONY: all build test test-short race chaos fuzz bench bench-dispatch bench-obs experiments experiments-full vet staticcheck lint fmt clean
 
 all: build test
 
@@ -16,7 +16,19 @@ test-short:
 	$(GO) test -short ./...
 
 race:
-	$(GO) test -race ./internal/queue/ ./internal/dispatch/ ./internal/cluster/ ./internal/serve/ ./internal/core/ ./internal/multistream/ ./internal/metrics/ ./internal/tokenizer/ ./internal/obs/
+	$(GO) test -race ./internal/queue/ ./internal/dispatch/ ./internal/cluster/ ./internal/serve/ ./internal/core/ ./internal/multistream/ ./internal/metrics/ ./internal/tokenizer/ ./internal/obs/ ./internal/failover/ ./internal/chaos/
+
+# The deterministic fault-injection harness: 500 seeded runs of the live
+# cluster under scripted crashes, slowdowns and cancellations, with the
+# conservation invariants audited after every run.
+chaos:
+	$(GO) test -race -run 'TestConservationManySeeds|TestScripted|TestRecovery|TestCrossCheck' -v ./internal/chaos/
+
+# Short local fuzz pass over the checked-in corpora plus 30s of search
+# per target (same budget CI uses).
+fuzz:
+	$(GO) test -run '^$$' -fuzz FuzzTokenizerEncode -fuzztime 30s ./internal/tokenizer/
+	$(GO) test -run '^$$' -fuzz FuzzTraceParse -fuzztime 30s ./internal/trace/
 
 bench:
 	$(GO) test -bench=. -benchmem -run=^$$ .

@@ -34,6 +34,7 @@ func main() {
 		allocPeriod = flag.Duration("alloc-period", 30*time.Second, "reallocation period in adaptive mode")
 		reqTimeout  = flag.Duration("request-timeout", 0, "server-side per-request timeout (0 disables)")
 		pprofOn     = flag.Bool("pprof", false, "expose /debug/pprof/ runtime profiles")
+		chaosOn     = flag.Bool("chaos", false, "expose /v1/chaos/ fault-injection endpoints (testing only)")
 	)
 	flag.Parse()
 
@@ -59,6 +60,10 @@ func main() {
 	}
 	if *pprofOn {
 		srvOpts = append(srvOpts, serve.WithPprof())
+	}
+	if *chaosOn {
+		srvOpts = append(srvOpts, serve.WithChaos())
+		fmt.Println("arlo-server: chaos endpoints enabled at /v1/chaos/{fail,slow,restore}")
 	}
 	srv, err := serve.New(tokenizer.New(), cl, srvOpts...)
 	if err != nil {

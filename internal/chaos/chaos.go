@@ -1,0 +1,285 @@
+// Package chaos is the deterministic fault-injection harness for the live
+// cluster: it drives a real cluster.Cluster with a seeded synthetic load
+// while executing a scripted schedule of instance crashes, slowdowns and
+// recoveries, then audits the conservation invariants the failover design
+// promises — every submitted request completes exactly once, is cancelled
+// by its own context, or terminates with a typed error. No request is
+// lost, and none is delivered twice.
+//
+// Determinism is in the inputs, not the interleaving: the load (arrival
+// offsets, lengths, which requests carry a cancelling deadline) and the
+// failure schedule derive entirely from the seed, so a failing seed
+// replays the same stimulus. The goroutine interleaving underneath still
+// varies — which is the point: the invariants must hold on every
+// interleaving, and the harness checks them after each run. The same
+// failure schedule can be cross-checked against the discrete-event
+// simulator's failure model (sim.Failure), which shares its victim
+// selection and demotion rule through internal/failover.
+package chaos
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+	"time"
+
+	"arlo/internal/cluster"
+	"arlo/internal/dispatch"
+	"arlo/internal/obs"
+	"arlo/internal/profiler"
+	"arlo/internal/queue"
+	"arlo/internal/trace"
+)
+
+// Kind selects what an Event does to the cluster.
+type Kind int
+
+const (
+	// Fail crashes the most loaded instance of Event.Runtime (-1 for
+	// cluster-wide), displacing its work through the failover path; the
+	// instance rejoins after Event.Downtime (0 keeps it down).
+	Fail Kind = iota
+	// Slow multiplies the execution latency of the most loaded instance
+	// of Event.Runtime by Event.Factor until the end of the run.
+	Slow
+)
+
+// Event is one scripted fault, timed in modeled time from the run start.
+type Event struct {
+	At       time.Duration
+	Kind     Kind
+	Runtime  int
+	Downtime time.Duration
+	Factor   float64
+}
+
+// Config describes one chaos run.
+type Config struct {
+	// Profile and Allocation define the cluster under test.
+	Profile    *profiler.Profile
+	Allocation []int
+	// Dispatcher defaults to the paper's Request Scheduler.
+	Dispatcher func(ml *queue.MultiLevel) (dispatch.Dispatcher, error)
+	// Trace is the load; required. Arrival offsets are modeled time.
+	Trace *trace.Trace
+	// Events is the fault schedule, in modeled time.
+	Events []Event
+	// TimeScale compresses modeled time to wall time (default 0.02).
+	TimeScale float64
+	// Seed drives the cancellation draws (the load itself is already
+	// deterministic via the trace's own seed).
+	Seed int64
+	// CancelFraction of requests carry a deliberately tight deadline so
+	// cancellation races the failure paths (default 0, max 1).
+	CancelFraction float64
+	// RequeueBudget overrides the cluster's displacement budget.
+	RequeueBudget int
+}
+
+// Report is the audited outcome of one run. Submitted is partitioned
+// exactly into the four outcome classes.
+type Report struct {
+	Submitted     int
+	Completed     int
+	Cancelled     int
+	Unserviceable int
+	// OtherRejected counts typed submission-path errors that are neither
+	// cancellations nor budget exhaustion (congestion, no instances,
+	// too-long).
+	OtherRejected int
+	// Unexpected collects errors outside the typed taxonomy — any entry
+	// is an invariant violation.
+	Unexpected []error
+
+	// Requeues splits the displaced-work counter by displacement point.
+	RequeuesQueued   int64
+	RequeuesInflight int64
+
+	// Recorder exposes the observability books for deeper assertions.
+	Recorder *obs.Recorder
+	// FinalAllocation is the per-runtime instance count after the run.
+	FinalAllocation []int
+	// FinalHealth summarizes instance health at the end of the run.
+	FinalHealth cluster.HealthSummary
+}
+
+// Check audits the conservation invariants and returns the first
+// violation:
+//
+//   - outcome partition: every submitted request is in exactly one of
+//     {completed, cancelled, unserviceable, other-rejected};
+//   - no untyped errors escaped;
+//   - the recorder's books agree with the harness's own counts, which
+//     rules out double-delivery (a request delivered twice would complete
+//     once in the harness but twice in the recorder).
+func (r *Report) Check() error {
+	if len(r.Unexpected) > 0 {
+		return fmt.Errorf("chaos: %d untyped errors, first: %w", len(r.Unexpected), r.Unexpected[0])
+	}
+	outcomes := r.Completed + r.Cancelled + r.Unserviceable + r.OtherRejected
+	if outcomes != r.Submitted {
+		return fmt.Errorf("chaos: conservation violated: %d outcomes for %d submissions", outcomes, r.Submitted)
+	}
+	rec := r.Recorder
+	if got, want := rec.Completed(), int64(r.Completed); got != want {
+		return fmt.Errorf("chaos: recorder completed %d, harness saw %d (double or lost delivery)", got, want)
+	}
+	if got, want := rec.Cancelled(), int64(r.Cancelled); got != want {
+		return fmt.Errorf("chaos: recorder cancelled %d, harness saw %d", got, want)
+	}
+	if got, want := rec.Rejected(), int64(r.Unserviceable+r.OtherRejected); got != want {
+		return fmt.Errorf("chaos: recorder rejected %d, harness saw %d", got, want)
+	}
+	if bal := rec.Submitted() - rec.Completed() - rec.Cancelled() - rec.Rejected(); bal != 0 {
+		return fmt.Errorf("chaos: recorder books unbalanced by %d", bal)
+	}
+	return nil
+}
+
+// Run executes one chaos scenario to completion and returns the audited
+// report (call Check for the invariant verdict). The cluster is built,
+// driven and closed inside the call.
+func Run(cfg Config) (*Report, error) {
+	if cfg.Trace == nil {
+		return nil, fmt.Errorf("chaos: nil trace")
+	}
+	scale := cfg.TimeScale
+	if scale <= 0 {
+		scale = 0.02
+	}
+	disp := cfg.Dispatcher
+	if disp == nil {
+		disp = func(ml *queue.MultiLevel) (dispatch.Dispatcher, error) {
+			return dispatch.NewRequestScheduler(ml)
+		}
+	}
+	rec := obs.NewRecorder(len(cfg.Profile.MaxLengths()))
+	cl, err := cluster.New(cluster.Config{
+		Profile:           cfg.Profile,
+		InitialAllocation: cfg.Allocation,
+		Dispatcher:        disp,
+		TimeScale:         scale,
+		Overhead:          -1,
+		RequeueBudget:     cfg.RequeueBudget,
+		Observer:          rec,
+	})
+	if err != nil {
+		return nil, err
+	}
+	defer cl.Close()
+
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	rep := &Report{Recorder: rec}
+
+	// Merge arrivals and fault events into one modeled-time schedule.
+	type step struct {
+		at  time.Duration
+		req *trace.Request
+		ev  *Event
+	}
+	steps := make([]step, 0, len(cfg.Trace.Requests)+len(cfg.Events))
+	for i := range cfg.Trace.Requests {
+		r := &cfg.Trace.Requests[i]
+		steps = append(steps, step{at: r.At, req: r})
+	}
+	for i := range cfg.Events {
+		ev := &cfg.Events[i]
+		steps = append(steps, step{at: ev.At, ev: ev})
+	}
+	sort.SliceStable(steps, func(i, j int) bool { return steps[i].at < steps[j].at })
+
+	// Cancellation deadlines are drawn up front, in schedule order, so
+	// the stimulus depends only on the seed.
+	deadlines := make([]time.Duration, len(steps))
+	for i, st := range steps {
+		if st.req != nil && rng.Float64() < cfg.CancelFraction {
+			// Tight enough to race queueing and the failure windows.
+			deadlines[i] = time.Duration(1+rng.Intn(5)) * time.Millisecond
+		}
+	}
+
+	var (
+		wg sync.WaitGroup
+		mu sync.Mutex
+	)
+	classify := func(err error) {
+		mu.Lock()
+		defer mu.Unlock()
+		switch {
+		case err == nil:
+			rep.Completed++
+		case errors.Is(err, cluster.ErrDeadlineExceeded):
+			rep.Cancelled++
+		case errors.Is(err, cluster.ErrUnserviceable):
+			rep.Unserviceable++
+		case errors.Is(err, cluster.ErrCongested),
+			errors.Is(err, cluster.ErrClusterClosed),
+			errors.Is(err, dispatch.ErrNoInstances),
+			errors.Is(err, dispatch.ErrTooLong):
+			rep.OtherRejected++
+		default:
+			rep.Unexpected = append(rep.Unexpected, err)
+		}
+	}
+
+	// resolved counts requests whose outcome has been classified; the
+	// event barrier below uses it to tell "not yet dispatched" from
+	// "already finished".
+	resolved := func() int {
+		mu.Lock()
+		defer mu.Unlock()
+		return rep.Completed + rep.Cancelled + rep.Unserviceable + rep.OtherRejected + len(rep.Unexpected)
+	}
+
+	start := time.Now()
+	for i, st := range steps {
+		if wait := time.Until(start.Add(time.Duration(float64(st.at) * scale))); wait > 0 {
+			time.Sleep(wait)
+		}
+		if st.ev != nil {
+			// Dispatch barrier: wait (bounded) until every earlier arrival
+			// has been routed or resolved, so the queue state a fault
+			// observes is a function of the schedule, not of how the
+			// runtime happened to interleave the submitter goroutines.
+			barrier := time.Now().Add(time.Second)
+			for cl.Outstanding()+resolved() < rep.Submitted && time.Now().Before(barrier) {
+				time.Sleep(20 * time.Microsecond)
+			}
+			switch st.ev.Kind {
+			case Fail:
+				// "No instance to fail" is legal mid-schedule (a prior
+				// permanent failure emptied the runtime); the event is a
+				// no-op then, matching the simulator's behaviour.
+				_, _ = cl.FailInstance(st.ev.Runtime, st.ev.Downtime)
+			case Slow:
+				_, _ = cl.SlowInstance(st.ev.Runtime, st.ev.Factor)
+			}
+			continue
+		}
+		rep.Submitted++
+		length := st.req.Length
+		deadline := deadlines[i]
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			ctx := context.Background()
+			if deadline > 0 {
+				var cancel context.CancelFunc
+				ctx, cancel = context.WithTimeout(ctx, time.Duration(float64(deadline)*scale))
+				defer cancel()
+			}
+			_, err := cl.SubmitCtx(ctx, cluster.Request{Length: length})
+			classify(err)
+		}()
+	}
+	wg.Wait()
+
+	rep.RequeuesQueued = rec.RequeuesFor(obs.RequeueQueued)
+	rep.RequeuesInflight = rec.RequeuesFor(obs.RequeueInflight)
+	rep.FinalAllocation = cl.Allocation()
+	rep.FinalHealth = cluster.Summarize(cl.Health())
+	return rep, nil
+}

@@ -1,0 +1,205 @@
+package chaos
+
+import (
+	"testing"
+	"time"
+
+	"arlo/internal/dispatch"
+	"arlo/internal/model"
+	"arlo/internal/profiler"
+	"arlo/internal/queue"
+	"arlo/internal/sim"
+	"arlo/internal/trace"
+)
+
+func testProfile(t testing.TB) *profiler.Profile {
+	t.Helper()
+	p, err := profiler.StaticProfile(model.BertBase(), []int{128, 512}, 150*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func testTrace(t testing.TB, seed int64, rate float64, dur time.Duration) *trace.Trace {
+	t.Helper()
+	tr, err := trace.Generate(trace.Stable(seed, rate, dur))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+// TestConservationManySeeds is the tentpole assertion: across hundreds of
+// seeded runs mixing crashes (transient and permanent), slowdowns and
+// client cancellations, every submitted request resolves exactly once —
+// completed, cancelled, or typed error — and the observability books
+// agree with the harness's own tally (which would expose a double
+// delivery). Run with -race to also audit the synchronization.
+func TestConservationManySeeds(t *testing.T) {
+	seeds := 500
+	if testing.Short() {
+		seeds = 60
+	}
+	p := testProfile(t)
+	for seed := 0; seed < seeds; seed++ {
+		cfg := Config{
+			Profile:        p,
+			Allocation:     []int{1, 2},
+			Trace:          testTrace(t, int64(seed), 150, 200*time.Millisecond),
+			TimeScale:      0.02,
+			Seed:           int64(seed),
+			CancelFraction: 0.2,
+			Events: []Event{
+				{At: 20 * time.Millisecond, Kind: Slow, Runtime: 1, Factor: 3},
+				{At: 50 * time.Millisecond, Kind: Fail, Runtime: 1, Downtime: 60 * time.Millisecond},
+				{At: 100 * time.Millisecond, Kind: Fail, Runtime: -1, Downtime: 0},
+			},
+		}
+		rep, err := Run(cfg)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if err := rep.Check(); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if rep.Submitted != len(cfg.Trace.Requests) {
+			t.Fatalf("seed %d: submitted %d of %d trace requests", seed, rep.Submitted, len(cfg.Trace.Requests))
+		}
+	}
+}
+
+// TestScriptedPermanentFailure pins the deterministic end state of a
+// permanent crash: the runtime's allocation shrinks by one, displaced
+// work is visible on the requeue counters, and the books still balance.
+func TestScriptedPermanentFailure(t *testing.T) {
+	p := testProfile(t)
+	rep, err := Run(Config{
+		Profile:    p,
+		Allocation: []int{1, 2},
+		// Twitter lengths are mostly short, so the load piles onto the
+		// single small-runtime instance; a cluster-wide crash therefore
+		// hits it with a deep queue, and the displaced short requests can
+		// only demote into the surviving larger runtimes — the failover
+		// rule end to end.
+		Trace:     testTrace(t, 7, 600, 100*time.Millisecond),
+		TimeScale: 0.02,
+		Events: []Event{
+			// Slowing the small instance 50x first guarantees its queue is
+			// deep when the crash lands, so displacement is deterministic.
+			{At: 5 * time.Millisecond, Kind: Slow, Runtime: 0, Factor: 50},
+			{At: 50 * time.Millisecond, Kind: Fail, Runtime: -1, Downtime: 0},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rep.Check(); err != nil {
+		t.Fatal(err)
+	}
+	if got := rep.FinalAllocation[0]; got != 0 {
+		t.Errorf("runtime 0 allocation after permanent failure = %d, want 0", got)
+	}
+	if rep.RequeuesQueued+rep.RequeuesInflight == 0 {
+		t.Error("no displaced work recorded for a crash under load")
+	}
+	if rep.FinalHealth.Dead != 1 {
+		t.Errorf("final health = %+v, want exactly 1 dead", rep.FinalHealth)
+	}
+}
+
+// TestRecoveryRestoresAllocation checks the transient-failure path: after
+// the downtime elapses the crashed instance rejoins, so the run ends at
+// the starting allocation with everything healthy.
+func TestRecoveryRestoresAllocation(t *testing.T) {
+	p := testProfile(t)
+	rep, err := Run(Config{
+		Profile:    p,
+		Allocation: []int{1, 2},
+		Trace:      testTrace(t, 11, 200, 300*time.Millisecond),
+		TimeScale:  0.02,
+		Events: []Event{
+			{At: 40 * time.Millisecond, Kind: Fail, Runtime: 1, Downtime: 50 * time.Millisecond},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rep.Check(); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := rep.FinalAllocation[1], 2; got != want {
+		t.Errorf("runtime 1 allocation after recovery = %d, want %d", got, want)
+	}
+	if rep.FinalHealth.Dead != 0 || rep.FinalHealth.Healthy == 0 {
+		t.Errorf("final health = %+v, want all healthy", rep.FinalHealth)
+	}
+}
+
+// TestCrossCheckAgainstSimulator runs the same profile, allocation, load
+// and failure schedule through the discrete-event simulator and the live
+// harness. The two share the failover rule (internal/failover), so their
+// steady-state routing must agree: both absorb the crash, serve every
+// request, and end at the same GPU count.
+func TestCrossCheckAgainstSimulator(t *testing.T) {
+	p := testProfile(t)
+	tr := testTrace(t, 3, 150, 300*time.Millisecond)
+	failAt := 60 * time.Millisecond
+
+	simRes, err := sim.Run(sim.Config{
+		Profile:           p,
+		Trace:             tr,
+		InitialAllocation: []int{1, 2},
+		Dispatcher: func(ml *queue.MultiLevel) (dispatch.Dispatcher, error) {
+			return dispatch.NewRequestScheduler(ml)
+		},
+		Overhead:          -1,
+		Failures:          []sim.Failure{{At: failAt, Runtime: 1}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	rep, err := Run(Config{
+		Profile:    p,
+		Allocation: []int{1, 2},
+		Trace:      tr,
+		TimeScale:  0.02,
+		// A generous budget: this scenario checks routing parity, not
+		// budget exhaustion — survivors exist for every length.
+		RequeueBudget: 64,
+		Events: []Event{
+			{At: failAt, Kind: Fail, Runtime: 1, Downtime: 0},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rep.Check(); err != nil {
+		t.Fatal(err)
+	}
+
+	if simRes.Failures != 1 {
+		t.Fatalf("simulator applied %d failures, want 1", simRes.Failures)
+	}
+	// Routing parity: both sides serve the full trace despite the crash.
+	if simRes.Completed != len(tr.Requests) {
+		t.Errorf("simulator completed %d of %d", simRes.Completed, len(tr.Requests))
+	}
+	if rep.Completed != len(tr.Requests) {
+		t.Errorf("live cluster completed %d of %d (unserviceable %d, other %d)",
+			rep.Completed, len(tr.Requests), rep.Unserviceable, rep.OtherRejected)
+	}
+	// Topology parity: one permanent crash leaves both at the same GPU
+	// count, on the same runtime.
+	gpus := 0
+	for _, n := range rep.FinalAllocation {
+		gpus += n
+	}
+	if got := int(simRes.GPUs.Last()); got != gpus {
+		t.Errorf("end GPU count: simulator %d, live cluster %d", got, gpus)
+	}
+	if rep.FinalAllocation[1] != 1 {
+		t.Errorf("live runtime 1 allocation = %d, want 1", rep.FinalAllocation[1])
+	}
+}

@@ -21,12 +21,15 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"math"
+	"runtime"
 	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"arlo/internal/dispatch"
+	"arlo/internal/failover"
 	"arlo/internal/metrics"
 	"arlo/internal/obs"
 	"arlo/internal/profiler"
@@ -49,6 +52,11 @@ var (
 	// errors.Is(err, context.Canceled) and errors.Is(err,
 	// context.DeadlineExceeded) discriminate the cause.
 	ErrDeadlineExceeded = errors.New("cluster: request deadline exceeded")
+	// ErrUnserviceable is returned when a request exhausted its requeue
+	// budget: repeated instance failures (or the congestion transients
+	// they cause) displaced it more times than the budget allows, and
+	// failing it beats cycling it through crashes forever.
+	ErrUnserviceable = errors.New("cluster: request unserviceable after repeated failures")
 )
 
 // ErrClosed is returned by Submit after Close.
@@ -74,6 +82,11 @@ type Config struct {
 	Overhead time.Duration
 	// QueueDepth bounds each worker's channel (default 8192).
 	QueueDepth int
+	// RequeueBudget bounds how many times one request is re-dispatched
+	// after instance failures before it fails with ErrUnserviceable
+	// (default failover.DefaultRequeueBudget; negative disables requeueing
+	// entirely so any displacement fails the request).
+	RequeueBudget int
 	// Observer, when non-nil, receives the cluster's request-lifecycle
 	// records (spans, demotions, rejections) and serves its live state as
 	// scrape-time gauges. Equivalent to calling SetObserver after New.
@@ -89,6 +102,7 @@ type Cluster struct {
 	overhead time.Duration
 	scale    float64
 	depth    int
+	budget   int
 
 	// obsRec is the observability recorder; nil disables recording (all
 	// recorder methods are nil-receiver safe, so the hot path pays one
@@ -104,7 +118,18 @@ type Cluster struct {
 	nextID  int
 	closed  bool
 
+	// failed tracks crashed instances through their downtime window so
+	// health snapshots keep reporting them as dead until they rejoin
+	// (under a fresh ID, via the AddInstance topology path). Guarded by mu.
+	failed map[int]*failedInstance
+
 	wg sync.WaitGroup
+}
+
+// failedInstance is the downtime-window record of one crashed instance.
+type failedInstance struct {
+	runtime  int
+	capacity int
 }
 
 // Job lifecycle states. The submitter and the worker race on the state
@@ -135,6 +160,16 @@ type job struct {
 
 	state atomic.Int32
 
+	// requeues counts failure displacements against the cluster's requeue
+	// budget. Only the goroutine currently owning the job touches it.
+	requeues int
+
+	// err carries a terminal failure (requeue budget exhausted, cluster
+	// closed mid-requeue) delivered through the done channel as a
+	// negative latency; the send orders the write before the submitter's
+	// read.
+	err error
+
 	// Span ingredients, written by the submitter (tokenize, dec, instID)
 	// or by the worker before the done send (wait, exec) — the channel
 	// send orders them before the submitter's reads.
@@ -145,6 +180,10 @@ type job struct {
 	dec      dispatch.Decision
 	instID   int
 }
+
+// failedLatency is the sentinel delivered on the done channel when a job
+// terminates with j.err instead of a completion.
+const failedLatency = time.Duration(-1)
 
 // jobPool recycles job structs together with their completion channels so
 // the steady-state submit path allocates nothing. The buffered channel is
@@ -159,6 +198,8 @@ func newJob(length int) *job {
 	j.length = length
 	j.started = time.Now()
 	j.state.Store(jobPending)
+	j.requeues = 0
+	j.err = nil
 	j.tokenize = 0
 	j.dispatch = 0
 	j.wait = 0
@@ -171,6 +212,30 @@ func newJob(length int) *job {
 type worker struct {
 	inst *queue.Instance
 	ch   chan *job
+
+	// kill is closed by FailInstance to interrupt the in-flight
+	// execution; dead marks the worker crashed so it requeues instead of
+	// executing while draining its channel.
+	kill chan struct{}
+	dead atomic.Bool
+
+	// slow holds the float64 bits of the degraded-mode execution latency
+	// multiplier (1.0 = healthy). Read once per executed job.
+	slow atomic.Uint64
+}
+
+// slowFactor returns the worker's current execution latency multiplier.
+func (w *worker) slowFactor() float64 { return math.Float64frombits(w.slow.Load()) }
+
+// health classifies the worker's serving state.
+func (w *worker) health() obs.Health {
+	if w.dead.Load() {
+		return obs.Dead
+	}
+	if w.slowFactor() != 1 {
+		return obs.Degraded
+	}
+	return obs.Healthy
 }
 
 // plainDispatcher adapts a Dispatcher that predates the context-aware
@@ -233,14 +298,22 @@ func New(cfg Config) (*Cluster, error) {
 	if depth <= 0 {
 		depth = 8192
 	}
+	budget := cfg.RequeueBudget
+	if budget == 0 {
+		budget = failover.DefaultRequeueBudget
+	} else if budget < 0 {
+		budget = 0
+	}
 	c := &Cluster{
 		cfg:      cfg,
 		ml:       ml,
 		disp:     disp,
 		workers:  make(map[int]*worker),
+		failed:   make(map[int]*failedInstance),
 		overhead: overhead,
 		scale:    scale,
 		depth:    depth,
+		budget:   budget,
 	}
 	if cd, ok := disp.(dispatch.ContextDispatcher); ok {
 		c.dispCtx = cd
@@ -272,7 +345,8 @@ func (c *Cluster) addWorker(rtIdx int) error {
 	if err := c.ml.Add(inst); err != nil {
 		return err
 	}
-	w := &worker{inst: inst, ch: make(chan *job, c.depth)}
+	w := &worker{inst: inst, ch: make(chan *job, c.depth), kill: make(chan struct{})}
+	w.slow.Store(math.Float64bits(1))
 	c.workers[inst.ID] = w
 	c.wg.Add(1)
 	go c.runWorker(w, rt)
@@ -294,9 +368,33 @@ const spinGuard = 200 * time.Microsecond
 // discarded without executing (its submitter already returned), and a job
 // abandoned mid-execution completes normally but is recycled here instead
 // of being delivered.
+//
+// A crash (FailInstance) closes w.kill and sets w.dead before closing the
+// channel: the in-flight emulated kernel is interrupted mid-sleep (the
+// computation is lost, as on a real GPU) and restarted from scratch
+// through the failover demotion path, and the drain loop requeues every
+// queued job the same way instead of executing it.
 func (c *Cluster) runWorker(w *worker, rt profiler.Runtime) {
 	defer c.wg.Done()
+	// The reusable sleep timer starts stopped; Reset arms it per job.
+	timer := time.NewTimer(time.Hour)
+	if !timer.Stop() {
+		<-timer.C
+	}
+	defer timer.Stop()
 	for j := range w.ch {
+		if w.dead.Load() {
+			// Crashed: this worker no longer executes. Revert the dispatch
+			// accounting and push the job back through the normal dispatch
+			// path (or discard it if its submitter already cancelled).
+			c.ml.OnComplete(w.inst)
+			if j.state.Load() == jobCancelled {
+				jobPool.Put(j)
+				continue
+			}
+			c.redispatch(j, obs.RequeueQueued)
+			continue
+		}
 		if !j.state.CompareAndSwap(jobPending, jobRunning) {
 			// Cancelled while queued: dequeue and discard.
 			c.ml.OnComplete(w.inst)
@@ -304,13 +402,42 @@ func (c *Cluster) runWorker(w *worker, rt profiler.Runtime) {
 			continue
 		}
 		execStart := time.Now()
-		cost := time.Duration(float64(rt.CostOf(j.length)) * c.scale)
+		cost := time.Duration(float64(rt.CostOf(j.length)) * c.scale * w.slowFactor())
 		deadline := execStart.Add(cost)
+		interrupted := false
 		if cost > spinGuard {
-			time.Sleep(cost - spinGuard)
+			timer.Reset(cost - spinGuard)
+			select {
+			case <-timer.C:
+			case <-w.kill:
+				if !timer.Stop() {
+					<-timer.C
+				}
+				interrupted = true
+			}
 		}
-		for time.Now().Before(deadline) {
-			// Busy-wait the residue for sub-millisecond accuracy.
+		if !interrupted {
+			for time.Now().Before(deadline) {
+				// Busy-wait the residue for sub-millisecond accuracy. The
+				// dead check keeps crash interruption bounded even for
+				// kernels short enough to skip the sleep.
+				if w.dead.Load() {
+					interrupted = true
+					break
+				}
+			}
+		}
+		c.ml.OnComplete(w.inst)
+		if interrupted {
+			// The instance died mid-execution: the computation is lost.
+			// Hand the job back to pending and restart it elsewhere, unless
+			// the submitter abandoned it concurrently.
+			if j.state.CompareAndSwap(jobRunning, jobPending) {
+				c.redispatch(j, obs.RequeueInflight)
+			} else {
+				jobPool.Put(j)
+			}
+			continue
 		}
 		lat := time.Since(j.started)
 		// Report in modeled time: un-scale the measured wall time so a
@@ -318,7 +445,6 @@ func (c *Cluster) runWorker(w *worker, rt profiler.Runtime) {
 		lat = time.Duration(float64(lat) / c.scale)
 		j.wait = time.Duration(float64(execStart.Sub(j.started)) / c.scale)
 		j.exec = time.Duration(float64(time.Since(execStart)) / c.scale)
-		c.ml.OnComplete(w.inst)
 		if j.state.CompareAndSwap(jobRunning, jobDone) {
 			j.done <- lat + c.overhead
 		} else {
@@ -389,31 +515,46 @@ func (c *Cluster) SubmitCtx(ctx context.Context, req Request) (Result, error) {
 		return Result{}, err
 	}
 	if ctx.Done() == nil {
-		lat := <-j.done
-		res := c.finish(j, lat, rec)
-		jobPool.Put(j)
-		return res, nil
+		return c.deliver(j, <-j.done, rec)
 	}
 	select {
 	case lat := <-j.done:
-		res := c.finish(j, lat, rec)
-		jobPool.Put(j)
-		return res, nil
+		return c.deliver(j, lat, rec)
 	case <-ctx.Done():
-		if j.state.CompareAndSwap(jobPending, jobCancelled) ||
-			j.state.CompareAndSwap(jobRunning, jobAbandoned) {
-			// The worker now owns the job (it will discard or recycle
-			// it); the submitter must not touch j again.
-			rec.RecordCancel()
-			return Result{}, cancelErr(ctx.Err())
+		for {
+			if j.state.CompareAndSwap(jobPending, jobCancelled) ||
+				j.state.CompareAndSwap(jobRunning, jobAbandoned) {
+				// The worker now owns the job (it will discard or recycle
+				// it); the submitter must not touch j again.
+				rec.RecordCancel()
+				return Result{}, cancelErr(ctx.Err())
+			}
+			// Neither CAS won: the job either terminated (its result is on
+			// the channel) or a failure requeue flipped it running ->
+			// pending between the two CAS attempts. Poll the channel and
+			// retry — the state settles within a few iterations.
+			select {
+			case lat := <-j.done:
+				return c.deliver(j, lat, rec)
+			default:
+				runtime.Gosched()
+			}
 		}
-		// The worker completed concurrently: the result is already on
-		// the channel — deliver it as a normal completion.
-		lat := <-j.done
-		res := c.finish(j, lat, rec)
-		jobPool.Put(j)
-		return res, nil
 	}
+}
+
+// deliver consumes a value received from the job's done channel: a
+// failure sentinel yields the job's terminal error, anything else is a
+// normal completion. Either way the job returns to the pool.
+func (c *Cluster) deliver(j *job, lat time.Duration, rec *obs.Recorder) (Result, error) {
+	if lat == failedLatency {
+		err := j.err
+		jobPool.Put(j)
+		return Result{}, err
+	}
+	res := c.finish(j, lat, rec)
+	jobPool.Put(j)
+	return res, nil
 }
 
 // finish assembles the completed job's span, records it, and builds the
@@ -447,6 +588,8 @@ func cancelErr(cause error) error {
 // rejectReason classifies a submission error for the rejection counter.
 func rejectReason(err error) obs.RejectReason {
 	switch {
+	case errors.Is(err, ErrUnserviceable):
+		return obs.RejectUnserviceable
 	case errors.Is(err, dispatch.ErrTooLong):
 		return obs.RejectTooLong
 	case errors.Is(err, dispatch.ErrNoInstances):
@@ -463,6 +606,8 @@ func rejectReason(err error) obs.RejectReason {
 // SubmitAsync dispatches one request and returns a channel that yields its
 // latency on completion. The channel escapes to the caller and is not
 // pooled; latency-sensitive callers that wait inline should prefer Submit.
+// A request that becomes unserviceable under repeated instance failures
+// yields a negative latency on the channel instead of completing.
 func (c *Cluster) SubmitAsync(length int) (<-chan time.Duration, error) {
 	j := &job{length: length, started: time.Now(), done: make(chan time.Duration, 1)}
 	if err := c.submit(context.Background(), j); err != nil {
@@ -472,10 +617,7 @@ func (c *Cluster) SubmitAsync(length int) (<-chan time.Duration, error) {
 }
 
 // submit routes one job to a worker, recording the submission and any
-// rejection or demotion on the observer. It holds the topology lock
-// shared so submissions run concurrently with each other (the queue
-// stripes its own locks) while Close and worker removal are excluded —
-// the channel send can never race a close.
+// rejection or demotion on the observer.
 func (c *Cluster) submit(ctx context.Context, j *job) (err error) {
 	rec := c.obsRec.Load()
 	rec.RecordSubmit()
@@ -484,6 +626,16 @@ func (c *Cluster) submit(ctx context.Context, j *job) (err error) {
 			rec.RecordReject(rejectReason(err))
 		}
 	}()
+	return c.route(ctx, j)
+}
+
+// route dispatches one job and hands it to the chosen worker — the shared
+// placement step of first submission and failure requeue. It holds the
+// topology lock shared so submissions run concurrently with each other
+// (the queue stripes its own locks) while Close and worker removal are
+// excluded — the channel send can never race a close.
+func (c *Cluster) route(ctx context.Context, j *job) error {
+	rec := c.obsRec.Load()
 	c.mu.RLock()
 	defer c.mu.RUnlock()
 	if c.closed {
@@ -517,6 +669,66 @@ func (c *Cluster) submit(ctx context.Context, j *job) (err error) {
 		c.ml.OnComplete(w.inst)
 		return fmt.Errorf("%w: worker %d queue overflow", ErrCongested, inst.ID)
 	}
+}
+
+// redispatchBackoff separates requeue attempts that failed on a transient
+// dispatch error (congestion, no instance up yet mid-recovery) so a
+// failure burst does not burn the whole budget in microseconds.
+const redispatchBackoff = 200 * time.Microsecond
+
+// redispatch pushes a failure-displaced job back through the normal
+// dispatch path — the failover demotion rule (see internal/failover): no
+// special placement, the active policy decides, so work from a dead
+// small-runtime instance degrades into larger runtimes exactly like a
+// congestion demotion. Each attempt consumes one unit of the request's
+// requeue budget; exhaustion, closure and permanent dispatch errors
+// terminate the job with a typed error instead of livelocking it.
+//
+// Runs on the dying worker's goroutine, never on a submitter's.
+func (c *Cluster) redispatch(j *job, reason obs.RequeueReason) {
+	rec := c.obsRec.Load()
+	rec.RecordRequeue(reason)
+	for {
+		if j.state.Load() == jobCancelled {
+			// The submitter cancelled while the job was between workers;
+			// it already returned, so the requeuer owns the job.
+			jobPool.Put(j)
+			return
+		}
+		if j.requeues >= c.budget {
+			c.failJob(j, fmt.Errorf("%w: displaced %d times (budget %d)",
+				ErrUnserviceable, j.requeues, c.budget))
+			return
+		}
+		j.requeues++
+		err := c.route(context.Background(), j)
+		if err == nil {
+			return
+		}
+		if errors.Is(err, ErrClusterClosed) || errors.Is(err, dispatch.ErrTooLong) {
+			c.failJob(j, err)
+			return
+		}
+		// Transient (congested, no instances mid-recovery): retry against
+		// the remaining budget.
+		time.Sleep(redispatchBackoff)
+	}
+}
+
+// failJob terminates a displaced job with a typed error, delivering it to
+// the submitter through the done channel (or discarding the job when the
+// submitter cancelled concurrently). The rejection is recorded here so
+// the books balance exactly like a synchronous submit failure.
+func (c *Cluster) failJob(j *job, err error) {
+	if j.state.CompareAndSwap(jobPending, jobDone) {
+		j.err = err
+		c.obsRec.Load().RecordReject(rejectReason(err))
+		j.done <- failedLatency
+		return
+	}
+	// Cancelled concurrently: the submitter already returned and counted
+	// the cancellation.
+	jobPool.Put(j)
 }
 
 // Instances returns the current instance count.
@@ -568,15 +780,35 @@ func (c *Cluster) obsSnapshot() obs.Snapshot {
 	}
 	insts := c.ml.Instances()
 	sort.Slice(insts, func(i, j int) bool { return insts[i].ID < insts[j].ID })
-	snap.Instances = make([]obs.InstanceStat, len(insts))
-	for i, in := range insts {
-		snap.Instances[i] = obs.InstanceStat{
+	snap.Instances = make([]obs.InstanceStat, 0, len(insts))
+	c.mu.RLock()
+	for _, in := range insts {
+		st := obs.InstanceStat{
 			ID:          in.ID,
 			Runtime:     in.Runtime,
 			Outstanding: in.Outstanding(),
 			Capacity:    in.MaxCapacity,
+			Health:      obs.Healthy,
 		}
+		if w := c.workers[in.ID]; w != nil {
+			st.Health = w.health()
+		}
+		snap.Instances = append(snap.Instances, st)
 	}
+	// Crashed instances left the queue but stay visible (as dead, carrying
+	// no load) until their downtime elapses and they rejoin.
+	for id, f := range c.failed {
+		snap.Instances = append(snap.Instances, obs.InstanceStat{
+			ID:       id,
+			Runtime:  f.runtime,
+			Capacity: f.capacity,
+			Health:   obs.Dead,
+		})
+	}
+	c.mu.RUnlock()
+	sort.Slice(snap.Instances, func(i, j int) bool {
+		return snap.Instances[i].ID < snap.Instances[j].ID
+	})
 	return snap
 }
 
@@ -636,6 +868,16 @@ func (c *Cluster) Replay(tr *trace.Trace) (*ReplayResult, error) {
 		go func() {
 			defer wg.Done()
 			lat := <-j.done
+			if lat == failedLatency {
+				// Displaced by failures past the requeue budget (or the
+				// cluster closed mid-requeue): counts as a rejection, not a
+				// completion.
+				jobPool.Put(j)
+				mu.Lock()
+				rejected++
+				mu.Unlock()
+				return
+			}
 			c.finish(j, lat, c.obsRec.Load())
 			jobPool.Put(j)
 			mu.Lock()

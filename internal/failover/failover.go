@@ -1,0 +1,66 @@
+// Package failover holds the single demotion-on-failure rule shared by
+// the discrete-event simulator (internal/sim) and the live cluster
+// (internal/cluster), so the two failure models cannot drift apart. The
+// paper motivates the Request Scheduler's dynamics-awareness with
+// "idiosyncratic factors such as failures and bugs" (section 1): an
+// instance crash unbalances load faster than the 120 s Runtime Scheduler
+// can react, and the request-level scheduler has to absorb the transient.
+//
+// # The rule
+//
+// Both failure models follow the same three steps:
+//
+//  1. Victim selection: a failure targeting runtime r crashes the MOST
+//     loaded instance of r (ties break toward the smaller instance ID);
+//     targeting runtime -1 crashes the most loaded instance cluster-wide.
+//     The most loaded instance is the worst case the scheduler must
+//     absorb — it strands the largest amount of queued work.
+//
+//  2. Demotion through the normal dispatch path: every request displaced
+//     by the crash (queued or in-flight; in-flight work restarts from
+//     scratch) re-enters through the ACTIVE dispatch policy with no
+//     special placement. Under Algorithm 1 this means displaced work from
+//     a dead small-runtime instance degrades gracefully into larger
+//     runtimes exactly the way congestion-demoted requests do — the
+//     failure path introduces no second routing algorithm.
+//
+//  3. Bounded displacement: a request can only be displaced a bounded
+//     number of times (DefaultRequeueBudget in the live cluster; the
+//     simulator's event loop is finite by construction) before it fails
+//     with a typed unserviceable error instead of cycling through
+//     repeated crashes forever.
+//
+// TestPickVictimMatchesSimRule (failover_test.go) pins step 1 against a
+// naive reference; internal/chaos cross-checks step 2 by running the same
+// failure schedule through the simulator and the live cluster and
+// comparing the steady-state routing.
+package failover
+
+import "arlo/internal/queue"
+
+// DefaultRequeueBudget is how many times the live cluster re-dispatches
+// one request displaced by instance failures (or congested during a
+// failure transient) before failing it as unserviceable. It is sized to
+// survive a couple of back-to-back crashes plus the congestion retries of
+// the recovery window without ever allowing livelock.
+const DefaultRequeueBudget = 8
+
+// PickVictim returns the failure rule's victim among insts: the most
+// loaded instance of runtime rtIdx (any runtime when rtIdx is -1), ties
+// broken toward the smaller ID. It returns nil when no instance matches.
+// The outstanding counts are read through the instances' atomic loads, so
+// the caller needs no additional synchronization beyond holding a
+// consistent snapshot of the instance set.
+func PickVictim(insts []*queue.Instance, rtIdx int) *queue.Instance {
+	var worst *queue.Instance
+	for _, in := range insts {
+		if rtIdx >= 0 && in.Runtime != rtIdx {
+			continue
+		}
+		if worst == nil || in.Outstanding() > worst.Outstanding() ||
+			(in.Outstanding() == worst.Outstanding() && in.ID < worst.ID) {
+			worst = in
+		}
+	}
+	return worst
+}

@@ -85,6 +85,9 @@ const (
 	RejectCongested
 	// RejectClosed: the cluster was shut down.
 	RejectClosed
+	// RejectUnserviceable: the request exhausted its requeue budget under
+	// repeated instance failures.
+	RejectUnserviceable
 	// RejectOther: any other submission failure.
 	RejectOther
 
@@ -102,8 +105,67 @@ func (r RejectReason) String() string {
 		return "congested"
 	case RejectClosed:
 		return "closed"
+	case RejectUnserviceable:
+		return "unserviceable"
 	default:
 		return "other"
+	}
+}
+
+// Health classifies an instance's serving state for the health gauge:
+// Healthy serves at full speed, Degraded serves with inflated execution
+// latency (a slow GPU, thermal throttling, a noisy neighbour), Dead is
+// crashed and detached from dispatching until its downtime elapses.
+type Health int32
+
+const (
+	// Dead: crashed; detached from its queue level, queued and in-flight
+	// work requeued elsewhere.
+	Dead Health = iota
+	// Degraded: still dispatched to, but executing slower than profiled.
+	Degraded
+	// Healthy: serving at the profiled latency.
+	Healthy
+)
+
+// String returns the human-readable state name.
+func (h Health) String() string {
+	switch h {
+	case Healthy:
+		return "healthy"
+	case Degraded:
+		return "degraded"
+	default:
+		return "dead"
+	}
+}
+
+// GaugeValue renders the state for the arlo_instance_health gauge:
+// 2 healthy, 1 degraded, 0 dead — ordered so alerting rules can threshold
+// on "< 2".
+func (h Health) GaugeValue() int { return int(h) }
+
+// RequeueReason classifies why a dispatched request was requeued through
+// the failover demotion path.
+type RequeueReason uint8
+
+const (
+	// RequeueQueued: the request was queued on an instance that failed.
+	RequeueQueued RequeueReason = iota
+	// RequeueInflight: the request was executing when its instance failed;
+	// it restarts from scratch elsewhere.
+	RequeueInflight
+
+	numRequeueReasons
+)
+
+// String returns the Prometheus label value for the reason.
+func (r RequeueReason) String() string {
+	switch r {
+	case RequeueInflight:
+		return "inflight"
+	default:
+		return "queued"
 	}
 }
 
@@ -187,6 +249,7 @@ type Recorder struct {
 	completed atomic.Int64
 	cancelled atomic.Int64
 	rejected  [numRejectReasons]atomic.Int64
+	requeues  [numRequeueReasons]atomic.Int64
 
 	// demotions is the (from, to) runtime-pair counter matrix of
 	// Algorithm 1 demotions, flattened row-major: from*levels + to.
@@ -278,6 +341,18 @@ func (r *Recorder) RecordReject(reason RejectReason) {
 	r.rejected[reason].Add(1)
 }
 
+// RecordRequeue counts one request displaced by an instance failure and
+// re-dispatched through the failover demotion path.
+func (r *Recorder) RecordRequeue(reason RequeueReason) {
+	if r == nil {
+		return
+	}
+	if reason >= numRequeueReasons {
+		reason = RequeueQueued
+	}
+	r.requeues[reason].Add(1)
+}
+
 // SetSnapshot installs the live-state callback rendered into gauges at
 // scrape time (per-level queue depth, per-instance utilization). Safe to
 // call while recording; a nil receiver is a no-op.
@@ -326,6 +401,35 @@ func (r *Recorder) Rejected() int64 {
 		total += r.rejected[i].Load()
 	}
 	return total
+}
+
+// Requeues returns the total failure-displaced requeues across all
+// reasons.
+func (r *Recorder) Requeues() int64 {
+	if r == nil {
+		return 0
+	}
+	var total int64
+	for i := range r.requeues {
+		total += r.requeues[i].Load()
+	}
+	return total
+}
+
+// RequeuesFor returns the requeue count for one reason.
+func (r *Recorder) RequeuesFor(reason RequeueReason) int64 {
+	if r == nil || reason >= numRequeueReasons {
+		return 0
+	}
+	return r.requeues[reason].Load()
+}
+
+// RejectedFor returns the rejection count for one reason.
+func (r *Recorder) RejectedFor(reason RejectReason) int64 {
+	if r == nil || reason >= numRejectReasons {
+		return 0
+	}
+	return r.rejected[reason].Load()
 }
 
 // Demotions returns the demotion count for one (from, to) runtime pair.

@@ -34,6 +34,9 @@ type InstanceStat struct {
 	Outstanding int
 	// Capacity is M_i, the instance's SLO-feasible queue bound.
 	Capacity int
+	// Health is the instance's serving state; failed instances appear
+	// here as Dead until their downtime elapses and they rejoin.
+	Health Health
 }
 
 // Snapshot is the live cluster state rendered into gauges.
@@ -73,6 +76,13 @@ func (r *Recorder) WritePrometheus(w io.Writer) error {
 			reason.String(), r.rejected[reason].Load())
 	}
 
+	fmt.Fprint(bw, "# HELP arlo_requeues_total Requests displaced by instance failures and re-dispatched, by displacement point.\n")
+	fmt.Fprint(bw, "# TYPE arlo_requeues_total counter\n")
+	for reason := RequeueReason(0); reason < numRequeueReasons; reason++ {
+		fmt.Fprintf(bw, "arlo_requeues_total{reason=%q} %d\n",
+			reason.String(), r.requeues[reason].Load())
+	}
+
 	fmt.Fprint(bw, "# HELP arlo_demotions_total Algorithm 1 demotions by (ideal, chosen) runtime-level pair.\n")
 	fmt.Fprint(bw, "# TYPE arlo_demotions_total counter\n")
 	for from := 0; from < r.levels; from++ {
@@ -102,6 +112,12 @@ func (r *Recorder) WritePrometheus(w io.Writer) error {
 		for _, in := range snap.Instances {
 			fmt.Fprintf(bw, "arlo_instance_outstanding{instance=\"%d\",runtime=\"%d\"} %d\n",
 				in.ID, in.Runtime, in.Outstanding)
+		}
+		fmt.Fprint(bw, "# HELP arlo_instance_health Instance serving state: 2 healthy, 1 degraded (slowed execution), 0 dead (crashed, awaiting rejoin).\n")
+		fmt.Fprint(bw, "# TYPE arlo_instance_health gauge\n")
+		for _, in := range snap.Instances {
+			fmt.Fprintf(bw, "arlo_instance_health{instance=\"%d\",runtime=\"%d\",state=%q} %d\n",
+				in.ID, in.Runtime, in.Health.String(), in.Health.GaugeValue())
 		}
 		fmt.Fprint(bw, "# HELP arlo_instance_utilization Outstanding / SLO-feasible capacity per instance.\n")
 		fmt.Fprint(bw, "# TYPE arlo_instance_utilization gauge\n")

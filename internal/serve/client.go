@@ -63,6 +63,8 @@ func (e *APIError) Is(target error) bool {
 		return e.Code == CodeDeadlineExceeded
 	case cluster.ErrClusterClosed:
 		return e.Code == CodeUnavailable
+	case cluster.ErrUnserviceable:
+		return e.Code == CodeUnserviceable
 	case dispatch.ErrTooLong:
 		return e.Code == CodeTooLong
 	case dispatch.ErrNoInstances:

@@ -13,8 +13,13 @@
 //	GET  /v1/stats   — JSON serving counters and window percentiles
 //	GET  /metrics    — Prometheus text exposition of the cluster's
 //	                   observability plane (counters, demotion matrix,
-//	                   queue-depth gauges, latency histograms)
-//	GET  /healthz    — liveness
+//	                   queue-depth gauges, instance health, latency
+//	                   histograms)
+//	GET  /healthz    — liveness + per-state instance counts; 503 once no
+//	                   instance is serving
+//	POST /v1/chaos/fail    — crash an instance, only with WithChaos()
+//	POST /v1/chaos/slow    — degrade an instance, only with WithChaos()
+//	POST /v1/chaos/restore — restore a degraded instance, only with WithChaos()
 //	GET  /debug/pprof/* — runtime profiles, only with WithPprof()
 package serve
 
@@ -91,6 +96,7 @@ const (
 	CodeCongested        = "congested"
 	CodeNoInstances      = "no_instances"
 	CodeUnavailable      = "unavailable"
+	CodeUnserviceable    = "unserviceable"
 	CodeDeadlineExceeded = "deadline_exceeded"
 	CodeMethodNotAllowed = "method_not_allowed"
 	CodeInternal         = "internal"
@@ -120,6 +126,7 @@ type Server struct {
 	maxLen     int
 	reqTimeout time.Duration
 	pprof      bool
+	chaos      bool
 	rec        *obs.Recorder
 	mux        *http.ServeMux
 	served     atomic.Int64
@@ -177,6 +184,16 @@ func WithPprof() Option {
 	}
 }
 
+// WithChaos mounts the fault-injection endpoints (POST /v1/chaos/fail,
+// /v1/chaos/slow, /v1/chaos/restore). Off by default: they crash real
+// instances and belong only in test and demo deployments.
+func WithChaos() Option {
+	return func(s *Server) error {
+		s.chaos = true
+		return nil
+	}
+}
+
 // WithRequestTimeout bounds every inference request server-side: requests
 // still queued when the timeout fires are dequeued and answered 504. The
 // client's own context (disconnect, client-side deadline) is always
@@ -227,6 +244,11 @@ func New(tok *tokenizer.Tokenizer, cl *cluster.Cluster, opts ...Option) (*Server
 	s.mux.HandleFunc("/v1/stats", s.handleStats)
 	s.mux.HandleFunc("/healthz", s.handleHealth)
 	s.mux.Handle("/metrics", s.rec.Handler())
+	if s.chaos {
+		s.mux.HandleFunc("/v1/chaos/fail", s.handleChaosFail)
+		s.mux.HandleFunc("/v1/chaos/slow", s.handleChaosSlow)
+		s.mux.HandleFunc("/v1/chaos/restore", s.handleChaosRestore)
+	}
 	if s.pprof {
 		s.mux.HandleFunc("/debug/pprof/", pprof.Index)
 		s.mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
@@ -329,6 +351,10 @@ func mapError(err error) (status int, code string) {
 		return http.StatusRequestEntityTooLarge, CodeTooLong
 	case errors.Is(err, cluster.ErrDeadlineExceeded):
 		return http.StatusGatewayTimeout, CodeDeadlineExceeded
+	case errors.Is(err, cluster.ErrUnserviceable):
+		// The requeue budget is bounded, not the outage: once instances
+		// rejoin a retry can succeed, so keep it in the retryable family.
+		return http.StatusServiceUnavailable, CodeUnserviceable
 	case errors.Is(err, cluster.ErrCongested):
 		return http.StatusServiceUnavailable, CodeCongested
 	case errors.Is(err, dispatch.ErrNoInstances):
@@ -354,9 +380,113 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
+// HealthResponse is the body of GET /healthz: overall status plus
+// per-state instance counts.
+type HealthResponse struct {
+	// Status is "ok" while at least one instance is serving (healthy or
+	// degraded), "unavailable" otherwise.
+	Status string `json:"status"`
+	cluster.HealthSummary
+}
+
 func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
-	w.WriteHeader(http.StatusOK)
-	fmt.Fprintln(w, "ok")
+	sum := cluster.Summarize(s.cluster.Health())
+	resp := HealthResponse{Status: "ok", HealthSummary: sum}
+	status := http.StatusOK
+	if sum.Healthy+sum.Degraded == 0 {
+		// Every instance is down: the server cannot serve a single
+		// request, which load balancers should see as not-ready.
+		resp.Status = "unavailable"
+		status = http.StatusServiceUnavailable
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(resp)
+}
+
+// ChaosFailRequest is the body of POST /v1/chaos/fail.
+type ChaosFailRequest struct {
+	// Runtime selects which runtime loses its most loaded instance; -1
+	// picks the most loaded instance cluster-wide.
+	Runtime int `json:"runtime"`
+	// DowntimeMS is how long the instance stays down before rejoining;
+	// 0 or negative keeps it down for the rest of the run.
+	DowntimeMS float64 `json:"downtime_ms"`
+}
+
+// ChaosSlowRequest is the body of POST /v1/chaos/slow.
+type ChaosSlowRequest struct {
+	Runtime int `json:"runtime"`
+	// Factor multiplies the instance's emulated execution latency.
+	Factor float64 `json:"factor"`
+}
+
+// ChaosRestoreRequest is the body of POST /v1/chaos/restore.
+type ChaosRestoreRequest struct {
+	Instance int `json:"instance"`
+}
+
+// ChaosResponse acknowledges a chaos action with the affected instance.
+type ChaosResponse struct {
+	Instance int `json:"instance"`
+}
+
+// decodeChaos reads a chaos endpoint's POST body into v, writing the
+// envelope error itself on failure.
+func decodeChaos(w http.ResponseWriter, r *http.Request, v any) bool {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, CodeMethodNotAllowed, "POST required")
+		return false
+	}
+	body, err := io.ReadAll(io.LimitReader(r.Body, 1<<16))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, CodeInvalidRequest, "read error")
+		return false
+	}
+	if err := json.Unmarshal(body, v); err != nil {
+		writeError(w, http.StatusBadRequest, CodeInvalidRequest, "invalid JSON")
+		return false
+	}
+	return true
+}
+
+func (s *Server) handleChaosFail(w http.ResponseWriter, r *http.Request) {
+	var req ChaosFailRequest
+	if !decodeChaos(w, r, &req) {
+		return
+	}
+	downtime := time.Duration(req.DowntimeMS * float64(time.Millisecond))
+	id, err := s.cluster.FailInstance(req.Runtime, downtime)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, CodeInvalidRequest, err.Error())
+		return
+	}
+	writeJSON(w, ChaosResponse{Instance: id})
+}
+
+func (s *Server) handleChaosSlow(w http.ResponseWriter, r *http.Request) {
+	var req ChaosSlowRequest
+	if !decodeChaos(w, r, &req) {
+		return
+	}
+	id, err := s.cluster.SlowInstance(req.Runtime, req.Factor)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, CodeInvalidRequest, err.Error())
+		return
+	}
+	writeJSON(w, ChaosResponse{Instance: id})
+}
+
+func (s *Server) handleChaosRestore(w http.ResponseWriter, r *http.Request) {
+	var req ChaosRestoreRequest
+	if !decodeChaos(w, r, &req) {
+		return
+	}
+	if err := s.cluster.RestoreInstance(req.Instance); err != nil {
+		writeError(w, http.StatusBadRequest, CodeInvalidRequest, err.Error())
+		return
+	}
+	writeJSON(w, ChaosResponse{Instance: req.Instance})
 }
 
 func writeJSON(w http.ResponseWriter, v any) {

@@ -5,6 +5,7 @@ import (
 	"sort"
 	"time"
 
+	"arlo/internal/failover"
 	"arlo/internal/queue"
 )
 
@@ -55,14 +56,10 @@ func (s *Simulator) scheduleFailures() {
 
 // onFailure crashes an instance: queued and executing work is
 // re-dispatched (the executing request restarts from scratch elsewhere),
-// and recovery is scheduled when Downtime is positive.
+// and recovery is scheduled when Downtime is positive. Victim selection
+// delegates to the failover rule shared with the live cluster.
 func (s *Simulator) onFailure(f *Failure) {
-	var victim *simInstance
-	if f.Runtime >= 0 {
-		victim = s.mostLoadedOf(f.Runtime)
-	} else {
-		victim = s.mostLoadedAny()
-	}
+	victim := s.pickVictim(f.Runtime)
 	if victim == nil {
 		return // nothing to crash (e.g. runtime currently has no instances)
 	}
@@ -98,33 +95,20 @@ func (s *Simulator) onFailure(f *Failure) {
 	}
 }
 
-// mostLoadedOf returns the active instance of the runtime with the most
-// outstanding requests, or nil.
-func (s *Simulator) mostLoadedOf(rtIdx int) *simInstance {
-	var worst *simInstance
-	for _, si := range s.insts {
-		if si.retired || si.sched.Runtime != rtIdx {
-			continue
-		}
-		if worst == nil || si.sched.Outstanding() > worst.sched.Outstanding() ||
-			(si.sched.Outstanding() == worst.sched.Outstanding() && si.sched.ID < worst.sched.ID) {
-			worst = si
-		}
-	}
-	return worst
-}
-
-// mostLoadedAny returns the most loaded active instance cluster-wide.
-func (s *Simulator) mostLoadedAny() *simInstance {
-	var worst *simInstance
+// pickVictim applies failover.PickVictim (most loaded, ties toward the
+// smaller ID, -1 for cluster-wide) over the active instances and maps the
+// choice back to its simInstance, or nil when none matches.
+func (s *Simulator) pickVictim(rtIdx int) *simInstance {
+	insts := make([]*queue.Instance, 0, len(s.insts))
 	for _, si := range s.insts {
 		if si.retired {
 			continue
 		}
-		if worst == nil || si.sched.Outstanding() > worst.sched.Outstanding() ||
-			(si.sched.Outstanding() == worst.sched.Outstanding() && si.sched.ID < worst.sched.ID) {
-			worst = si
-		}
+		insts = append(insts, si.sched)
 	}
-	return worst
+	chosen := failover.PickVictim(insts, rtIdx)
+	if chosen == nil {
+		return nil
+	}
+	return s.insts[chosen.ID]
 }
