@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-short race chaos fuzz bench bench-dispatch bench-obs experiments experiments-full vet staticcheck lint fmt clean
+.PHONY: all build test test-short race chaos fuzz bench bench-dispatch bench-obs bench-batch experiments experiments-full vet staticcheck lint fmt clean
 
 all: build test
 
@@ -16,7 +16,7 @@ test-short:
 	$(GO) test -short ./...
 
 race:
-	$(GO) test -race ./internal/queue/ ./internal/dispatch/ ./internal/cluster/ ./internal/serve/ ./internal/core/ ./internal/multistream/ ./internal/metrics/ ./internal/tokenizer/ ./internal/obs/ ./internal/failover/ ./internal/chaos/
+	$(GO) test -race ./internal/queue/ ./internal/dispatch/ ./internal/cluster/ ./internal/serve/ ./internal/core/ ./internal/multistream/ ./internal/metrics/ ./internal/tokenizer/ ./internal/obs/ ./internal/failover/ ./internal/chaos/ ./internal/batcher/
 
 # The deterministic fault-injection harness: 500 seeded runs of the live
 # cluster under scripted crashes, slowdowns and cancellations, with the
@@ -29,6 +29,7 @@ chaos:
 fuzz:
 	$(GO) test -run '^$$' -fuzz FuzzTokenizerEncode -fuzztime 30s ./internal/tokenizer/
 	$(GO) test -run '^$$' -fuzz FuzzTraceParse -fuzztime 30s ./internal/trace/
+	$(GO) test -run '^$$' -fuzz FuzzBatchWindow -fuzztime 30s ./internal/batcher/
 
 bench:
 	$(GO) test -bench=. -benchmem -run=^$$ .
@@ -44,6 +45,12 @@ bench-dispatch:
 # metrics. Compare the three ns/op lines by eye or in CI.
 bench-obs:
 	$(GO) test -bench 'Fig9Dispatch1200Instances|Fig9DispatchObserver' -benchmem -count 3 -run=^$$ .
+
+# Dynamic batching win on the live cluster: drains the Fig. 9 uniform
+# burst at batch cap 1 vs 8, then holds 1.25x the sequential throughput
+# while checking sustained p99 against the SLO. Writes BENCH_batch.json.
+bench-batch:
+	$(GO) run ./cmd/arlobench -exp bench-batch
 
 # Regenerate every table and figure of the paper (quick mode, ~1 min).
 experiments:

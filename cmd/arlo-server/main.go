@@ -35,10 +35,16 @@ func main() {
 		reqTimeout  = flag.Duration("request-timeout", 0, "server-side per-request timeout (0 disables)")
 		pprofOn     = flag.Bool("pprof", false, "expose /debug/pprof/ runtime profiles")
 		chaosOn     = flag.Bool("chaos", false, "expose /v1/chaos/ fault-injection endpoints (testing only)")
+		batchSize   = flag.Int("batch-size", 1, "dynamic batching cap per instance (<=1 disables)")
+		batchDelay  = flag.Duration("batch-delay", 0, "batch collection window (0 = SLO/100, negative = greedy)")
 	)
 	flag.Parse()
 
-	a, err := core.NewSystem(core.WithModel(*model), core.WithDispatchPolicy(*policy))
+	a, err := core.NewSystem(
+		core.WithModel(*model),
+		core.WithDispatchPolicy(*policy),
+		core.WithBatching(*batchSize, *batchDelay),
+	)
 	if err != nil {
 		log.Fatalf("arlo-server: %v", err)
 	}
@@ -99,6 +105,10 @@ func main() {
 	}()
 	fmt.Printf("arlo-server: %s on %s with %d emulated GPUs (%d runtimes, policy %s, SLO %v); metrics at /metrics\n",
 		*model, *addr, *gpus, len(a.Profile.Runtimes), *policy, a.SLO())
+	if *batchSize > 1 {
+		fmt.Printf("arlo-server: dynamic batching on (cap %d, window %v); watch arlo_batch_size on /metrics\n",
+			*batchSize, *batchDelay)
+	}
 	if err := httpSrv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
 		log.Fatalf("arlo-server: %v", err)
 	}

@@ -23,10 +23,12 @@ import (
 
 func main() {
 	var (
-		exp  = flag.String("exp", "", "experiment id (fig1..fig12, table2..table4, calib, ablation-rs) or \"all\"")
-		seed = flag.Int64("seed", 42, "workload seed")
-		full = flag.Bool("full", false, "run paper-scale durations and rates")
-		list = flag.Bool("list", false, "list available experiments")
+		exp        = flag.String("exp", "", "experiment id (fig1..fig12, table2..table4, calib, ablation-rs) or \"all\"")
+		seed       = flag.Int64("seed", 42, "workload seed")
+		full       = flag.Bool("full", false, "run paper-scale durations and rates")
+		list       = flag.Bool("list", false, "list available experiments")
+		batchSize  = flag.Int("batch-size", 0, "dynamic batching cap for batched-cluster experiments (0 = experiment default)")
+		batchDelay = flag.Duration("batch-delay", 0, "batch collection window (0 = SLO-aware default, negative = greedy)")
 	)
 	flag.Parse()
 
@@ -41,7 +43,7 @@ func main() {
 		return
 	}
 
-	opt := experiments.Options{Seed: *seed, Full: *full}
+	opt := experiments.Options{Seed: *seed, Full: *full, BatchSize: *batchSize, BatchDelay: *batchDelay}
 	var specs []experiments.Spec
 	if *exp == "all" {
 		specs = experiments.All()

@@ -1,0 +1,223 @@
+package batcher
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+)
+
+// runFormer feeds the scripted arrivals (inter-arrival gaps in wall time)
+// into a Former and collects every emitted batch with its emission time.
+func runFormer(t *testing.T, pol Policy, gaps []time.Duration, deadline func(int) (time.Time, bool)) (batches [][]int, emitted []time.Time) {
+	t.Helper()
+	src := make(chan int, len(gaps))
+	go func() {
+		for i, g := range gaps {
+			if g > 0 {
+				time.Sleep(g)
+			}
+			src <- i
+		}
+		close(src)
+	}()
+	f := &Former[int]{Source: src, Policy: pol, Deadline: deadline}
+	var buf []int
+	for {
+		batch, ok := f.Next(buf[:0])
+		if !ok {
+			return batches, emitted
+		}
+		batches = append(batches, append([]int(nil), batch...))
+		emitted = append(emitted, time.Now())
+	}
+}
+
+// checkReferenceModel audits the invariants the naive reference model
+// promises: FIFO order, exactly-once delivery, and the size cap.
+func checkReferenceModel(t *testing.T, pol Policy, n int, batches [][]int) {
+	t.Helper()
+	max := pol.MaxSize
+	if max < 1 {
+		max = 1
+	}
+	next := 0
+	for bi, b := range batches {
+		if len(b) == 0 {
+			t.Fatalf("batch %d is empty", bi)
+		}
+		if len(b) > max {
+			t.Fatalf("batch %d has %d members, cap %d", bi, len(b), max)
+		}
+		for _, it := range b {
+			if it != next {
+				t.Fatalf("batch %d delivered item %d, want %d (FIFO / exactly-once violated)", bi, it, next)
+			}
+			next++
+		}
+	}
+	if next != n {
+		t.Fatalf("delivered %d of %d items", next, n)
+	}
+}
+
+// TestFormerAgainstReferenceModel drives random arrival patterns through
+// the Former and audits the reference-model invariants: batches are FIFO,
+// never exceed MaxSize, and every item is delivered exactly once.
+func TestFormerAgainstReferenceModel(t *testing.T) {
+	for seed := int64(0); seed < 20; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		n := 20 + rng.Intn(80)
+		pol := Policy{
+			MaxSize:  1 + rng.Intn(10),
+			MaxDelay: time.Duration(rng.Intn(3)) * time.Millisecond,
+		}
+		gaps := make([]time.Duration, n)
+		for i := range gaps {
+			if rng.Float64() < 0.3 {
+				gaps[i] = time.Duration(rng.Intn(2000)) * time.Microsecond
+			}
+		}
+		batches, _ := runFormer(t, pol, gaps, nil)
+		checkReferenceModel(t, pol, n, batches)
+	}
+}
+
+// TestFormerFullBatchNoWait: when the queue already holds a full batch,
+// formation is immediate — the window only applies to partial batches.
+func TestFormerFullBatchNoWait(t *testing.T) {
+	src := make(chan int, 16)
+	for i := 0; i < 8; i++ {
+		src <- i
+	}
+	f := &Former[int]{Source: src, Policy: Policy{MaxSize: 8, MaxDelay: time.Hour}}
+	start := time.Now()
+	batch, ok := f.Next(nil)
+	if !ok || len(batch) != 8 {
+		t.Fatalf("Next = %v, %v; want full batch of 8", batch, ok)
+	}
+	if d := time.Since(start); d > 100*time.Millisecond {
+		t.Fatalf("full batch took %v to form; the hour window must not apply", d)
+	}
+}
+
+// TestFormerWindowBounded: a partial batch is held at most ~MaxDelay. The
+// upper bound is generous (scheduler jitter on a loaded CI box) but far
+// below any confusion with an unbounded wait.
+func TestFormerWindowBounded(t *testing.T) {
+	src := make(chan int, 1)
+	src <- 0
+	f := &Former[int]{Source: src, Policy: Policy{MaxSize: 8, MaxDelay: 20 * time.Millisecond}}
+	start := time.Now()
+	batch, ok := f.Next(nil)
+	if !ok || len(batch) != 1 {
+		t.Fatalf("Next = %v, %v; want the lone item", batch, ok)
+	}
+	if d := time.Since(start); d < 10*time.Millisecond || d > time.Second {
+		t.Fatalf("lone item held for %v, want ~20ms window", d)
+	}
+}
+
+// TestFormerGreedyNoDelay: MaxDelay 0 never waits — the batch is whatever
+// was queued at the first receive.
+func TestFormerGreedyNoDelay(t *testing.T) {
+	src := make(chan int, 4)
+	src <- 0
+	src <- 1
+	f := &Former[int]{Source: src, Policy: Policy{MaxSize: 8}}
+	start := time.Now()
+	batch, ok := f.Next(nil)
+	if !ok || len(batch) != 2 {
+		t.Fatalf("Next = %v, %v; want the 2 queued items", batch, ok)
+	}
+	if d := time.Since(start); d > 100*time.Millisecond {
+		t.Fatalf("greedy formation took %v; MaxDelay 0 must not wait", d)
+	}
+}
+
+// TestFormerDeadlineShrinksWindow: a member whose deadline leaves less
+// slack than MaxDelay ends collection at the deadline, not the window.
+func TestFormerDeadlineShrinksWindow(t *testing.T) {
+	src := make(chan int, 1)
+	src <- 0
+	urgent := time.Now().Add(5 * time.Millisecond)
+	f := &Former[int]{
+		Source:   src,
+		Policy:   Policy{MaxSize: 8, MaxDelay: 10 * time.Second},
+		Deadline: func(int) (time.Time, bool) { return urgent, true },
+	}
+	start := time.Now()
+	batch, ok := f.Next(nil)
+	if !ok || len(batch) != 1 {
+		t.Fatalf("Next = %v, %v", batch, ok)
+	}
+	if d := time.Since(start); d > 2*time.Second {
+		t.Fatalf("urgent member held %v despite 5ms slack", d)
+	}
+}
+
+// TestFormerInterrupt: a fired interrupt aborts the wait and returns the
+// partial batch so the worker can switch to crash draining.
+func TestFormerInterrupt(t *testing.T) {
+	src := make(chan int, 1)
+	src <- 0
+	intr := make(chan struct{})
+	f := &Former[int]{
+		Source:    src,
+		Policy:    Policy{MaxSize: 8, MaxDelay: 10 * time.Second},
+		Interrupt: intr,
+	}
+	go func() {
+		time.Sleep(5 * time.Millisecond)
+		close(intr)
+	}()
+	start := time.Now()
+	batch, ok := f.Next(nil)
+	if !ok || len(batch) != 1 {
+		t.Fatalf("Next = %v, %v", batch, ok)
+	}
+	if d := time.Since(start); d > 2*time.Second {
+		t.Fatalf("interrupt took %v to end collection", d)
+	}
+	// The closed source (post-crash drain in the cluster) ends the Former.
+	close(src)
+	if _, ok := f.Next(batch[:0]); ok {
+		t.Fatal("Next on a closed drained source must report ok=false")
+	}
+}
+
+// TestFormerCloseMidCollection: a source closed while a batch is forming
+// still delivers the collected members, then ends.
+func TestFormerCloseMidCollection(t *testing.T) {
+	src := make(chan int, 4)
+	src <- 0
+	src <- 1
+	close(src)
+	f := &Former[int]{Source: src, Policy: Policy{MaxSize: 8, MaxDelay: time.Hour}}
+	batch, ok := f.Next(nil)
+	if !ok || len(batch) != 2 {
+		t.Fatalf("Next = %v, %v; want both pre-close items", batch, ok)
+	}
+	if _, ok := f.Next(batch[:0]); ok {
+		t.Fatal("second Next must observe the close")
+	}
+}
+
+// TestFormerBufferReuse: the caller's buffer is appended to in place, so
+// steady-state formation allocates only when batches outgrow it.
+func TestFormerBufferReuse(t *testing.T) {
+	src := make(chan int, 8)
+	for i := 0; i < 6; i++ {
+		src <- i
+	}
+	close(src)
+	f := &Former[int]{Source: src, Policy: Policy{MaxSize: 3}}
+	buf := make([]int, 0, 8)
+	b1, ok := f.Next(buf[:0])
+	if !ok || len(b1) != 3 || &b1[0] != &buf[:1][0] {
+		t.Fatalf("first batch %v must reuse the caller's buffer", b1)
+	}
+	b2, ok := f.Next(buf[:0])
+	if !ok || len(b2) != 3 {
+		t.Fatalf("second batch = %v, %v", b2, ok)
+	}
+}

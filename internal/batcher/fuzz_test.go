@@ -1,0 +1,81 @@
+package batcher
+
+import (
+	"testing"
+	"time"
+)
+
+// FuzzBatchWindow decodes arbitrary bytes into a batching policy plus an
+// arrival pattern (inter-arrival gaps and per-item deadline slacks) and
+// checks that no pattern can make the Former violate the reference-model
+// invariants: batches stay FIFO, never exceed MaxSize, and deliver every
+// item exactly once. Timing properties (the window bound itself) are
+// covered by the deterministic tests; under fuzz load wall-clock
+// assertions would only manufacture flakes.
+func FuzzBatchWindow(f *testing.F) {
+	// Handwritten seeds: greedy drain, windowed partial batches, urgent
+	// deadlines, singleton cap, burst-then-silence.
+	f.Add([]byte{8, 0, 0, 0, 0, 0, 0, 0, 0})
+	f.Add([]byte{4, 50, 1, 0, 2, 200, 3, 0, 0, 10, 1})
+	f.Add([]byte{1, 255, 9, 9, 9, 9})
+	f.Add([]byte{16, 10, 0, 0, 0, 0, 255, 0, 0, 0, 0})
+	f.Add([]byte{3, 1, 7, 2, 7, 3, 7, 4, 7, 5, 7})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) < 2 {
+			return
+		}
+		pol := Policy{
+			// MaxSize 0..15 exercises the <1 clamp; MaxDelay up to ~1.6ms
+			// keeps iterations fast while still entering the wait phase.
+			MaxSize:  int(data[0] % 16),
+			MaxDelay: time.Duration(data[1]%128) * 25 * time.Microsecond,
+		}
+		rest := data[2:]
+		n := len(rest)
+		if n > 64 {
+			n = 64
+		}
+		if n == 0 {
+			return
+		}
+		gaps := make([]time.Duration, n)
+		slacks := make([]time.Duration, n)
+		for i := 0; i < n; i++ {
+			b := rest[i]
+			gaps[i] = time.Duration(b%8) * 50 * time.Microsecond
+			// High bits pick which items carry a deadline and how tight.
+			if b&0x80 != 0 {
+				slacks[i] = time.Duration(b>>4) * 100 * time.Microsecond
+			}
+		}
+		start := time.Now()
+		deadline := func(it int) (time.Time, bool) {
+			if slacks[it] == 0 {
+				return time.Time{}, false
+			}
+			return start.Add(slacks[it]), true
+		}
+		src := make(chan int, n)
+		go func() {
+			for i := 0; i < n; i++ {
+				if gaps[i] > 0 {
+					time.Sleep(gaps[i])
+				}
+				src <- i
+			}
+			close(src)
+		}()
+		former := &Former[int]{Source: src, Policy: pol, Deadline: deadline}
+		var batches [][]int
+		var buf []int
+		for {
+			batch, ok := former.Next(buf[:0])
+			if !ok {
+				break
+			}
+			batches = append(batches, append([]int(nil), batch...))
+		}
+		checkReferenceModel(t, pol, n, batches)
+	})
+}

@@ -77,6 +77,13 @@ type Config struct {
 	CancelFraction float64
 	// RequeueBudget overrides the cluster's displacement budget.
 	RequeueBudget int
+	// MaxBatch enables dynamic batching in the cluster under test (see
+	// cluster.Config.MaxBatch); the conservation invariants must hold
+	// per batch member exactly as they do per sequential request.
+	MaxBatch int
+	// BatchDelay bounds the batch-collection window in modeled time (see
+	// cluster.Config.BatchDelay).
+	BatchDelay time.Duration
 }
 
 // Report is the audited outcome of one run. Submitted is partitioned
@@ -165,6 +172,8 @@ func Run(cfg Config) (*Report, error) {
 		Overhead:          -1,
 		RequeueBudget:     cfg.RequeueBudget,
 		Observer:          rec,
+		MaxBatch:          cfg.MaxBatch,
+		BatchDelay:        cfg.BatchDelay,
 	})
 	if err != nil {
 		return nil, err

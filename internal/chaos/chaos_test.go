@@ -153,8 +153,8 @@ func TestCrossCheckAgainstSimulator(t *testing.T) {
 		Dispatcher: func(ml *queue.MultiLevel) (dispatch.Dispatcher, error) {
 			return dispatch.NewRequestScheduler(ml)
 		},
-		Overhead:          -1,
-		Failures:          []sim.Failure{{At: failAt, Runtime: 1}},
+		Overhead: -1,
+		Failures: []sim.Failure{{At: failAt, Runtime: 1}},
 	})
 	if err != nil {
 		t.Fatal(err)

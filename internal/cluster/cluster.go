@@ -28,6 +28,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"arlo/internal/batcher"
 	"arlo/internal/dispatch"
 	"arlo/internal/failover"
 	"arlo/internal/metrics"
@@ -91,6 +92,19 @@ type Config struct {
 	// records (spans, demotions, rejections) and serves its live state as
 	// scrape-time gauges. Equivalent to calling SetObserver after New.
 	Observer *obs.Recorder
+	// MaxBatch enables dynamic batching: an idle worker coalesces up to
+	// B_i = min(MaxBatch, Runtime.BatchWithinSLO(MaxBatch)) queued
+	// requests and executes them as one emulated kernel at the sub-linear
+	// batched cost (Runtime.BatchCostOf). 0 or 1 disables batching and
+	// keeps the sequential worker loop byte-for-byte.
+	MaxBatch int
+	// BatchDelay bounds the batch-collection window in modeled time
+	// (scaled by TimeScale like execution): a worker holding a partial
+	// batch waits at most this long for followers, and never past the
+	// slack any member's context deadline leaves. 0 defaults to the
+	// SLO-aware Profile.SLO/100; negative disables waiting entirely
+	// (greedy formation — batches are whatever is already queued).
+	BatchDelay time.Duration
 }
 
 // Cluster is a running set of emulated GPU workers.
@@ -103,6 +117,13 @@ type Cluster struct {
 	scale    float64
 	depth    int
 	budget   int
+
+	// maxBatch and batchDelay are the normalized batching knobs (1 / 0
+	// when batching is off); batchSeq numbers executed batches for span
+	// correlation.
+	maxBatch   int
+	batchDelay time.Duration
+	batchSeq   atomic.Int64
 
 	// obsRec is the observability recorder; nil disables recording (all
 	// recorder methods are nil-receiver safe, so the hot path pays one
@@ -170,15 +191,22 @@ type job struct {
 	// read.
 	err error
 
+	// deadline is the submitter's context deadline (zero when none): the
+	// batch former never holds the job past the slack it leaves.
+	deadline time.Time
+
 	// Span ingredients, written by the submitter (tokenize, dec, instID)
-	// or by the worker before the done send (wait, exec) — the channel
-	// send orders them before the submitter's reads.
-	tokenize time.Duration
-	dispatch time.Duration
-	wait     time.Duration
-	exec     time.Duration
-	dec      dispatch.Decision
-	instID   int
+	// or by the worker before the done send (wait, exec, batch fields) —
+	// the channel send orders them before the submitter's reads.
+	tokenize  time.Duration
+	dispatch  time.Duration
+	wait      time.Duration
+	exec      time.Duration
+	formWait  time.Duration
+	batchID   int64
+	batchSize int
+	dec       dispatch.Decision
+	instID    int
 }
 
 // failedLatency is the sentinel delivered on the done channel when a job
@@ -200,10 +228,14 @@ func newJob(length int) *job {
 	j.state.Store(jobPending)
 	j.requeues = 0
 	j.err = nil
+	j.deadline = time.Time{}
 	j.tokenize = 0
 	j.dispatch = 0
 	j.wait = 0
 	j.exec = 0
+	j.formWait = 0
+	j.batchID = 0
+	j.batchSize = 0
 	j.dec = dispatch.Decision{}
 	j.instID = 0
 	return j
@@ -304,16 +336,30 @@ func New(cfg Config) (*Cluster, error) {
 	} else if budget < 0 {
 		budget = 0
 	}
+	maxBatch := cfg.MaxBatch
+	if maxBatch < 1 {
+		maxBatch = 1
+	}
+	batchDelay := cfg.BatchDelay
+	if batchDelay < 0 {
+		batchDelay = 0
+	} else if batchDelay == 0 && maxBatch > 1 {
+		// SLO-aware default window: a sliver of the objective, so waiting
+		// for followers can never dominate the latency budget.
+		batchDelay = cfg.Profile.SLO / 100
+	}
 	c := &Cluster{
-		cfg:      cfg,
-		ml:       ml,
-		disp:     disp,
-		workers:  make(map[int]*worker),
-		failed:   make(map[int]*failedInstance),
-		overhead: overhead,
-		scale:    scale,
-		depth:    depth,
-		budget:   budget,
+		cfg:        cfg,
+		ml:         ml,
+		disp:       disp,
+		workers:    make(map[int]*worker),
+		failed:     make(map[int]*failedInstance),
+		overhead:   overhead,
+		scale:      scale,
+		depth:      depth,
+		budget:     budget,
+		maxBatch:   maxBatch,
+		batchDelay: batchDelay,
 	}
 	if cd, ok := disp.(dispatch.ContextDispatcher); ok {
 		c.dispCtx = cd
@@ -340,7 +386,15 @@ func New(cfg Config) (*Cluster, error) {
 // addWorker provisions one worker; caller holds c.mu exclusively.
 func (c *Cluster) addWorker(rtIdx int) error {
 	rt := c.cfg.Profile.Runtimes[rtIdx]
-	inst := &queue.Instance{ID: c.nextID, Runtime: rtIdx, MaxCapacity: rt.Capacity}
+	// With batching, the instance's congestion ceiling is the batch-aware
+	// M_i: the sequential capacity would make Algorithm 1's lambda
+	// threshold see congestion at loads a batching instance drains within
+	// the SLO, over-demoting into larger runtimes.
+	capn := rt.Capacity
+	if bcap := c.batchCapFor(rt); bcap > 1 {
+		capn = rt.BatchCapacity(bcap)
+	}
+	inst := &queue.Instance{ID: c.nextID, Runtime: rtIdx, MaxCapacity: capn}
 	c.nextID++
 	if err := c.ml.Add(inst); err != nil {
 		return err
@@ -349,8 +403,24 @@ func (c *Cluster) addWorker(rtIdx int) error {
 	w.slow.Store(math.Float64bits(1))
 	c.workers[inst.ID] = w
 	c.wg.Add(1)
-	go c.runWorker(w, rt)
+	if c.batchCapFor(rt) > 1 {
+		go c.runWorkerBatched(w, rt)
+	} else {
+		go c.runWorker(w, rt)
+	}
 	return nil
+}
+
+// batchCapFor returns the effective per-instance batch cap B_i for one
+// runtime: the configured cap clamped to the profiled SLO headroom
+// (Runtime.BatchWithinSLO), or 1 when batching is disabled. Long runtimes
+// whose kernels already fill the SLO keep the sequential loop even in a
+// batched cluster.
+func (c *Cluster) batchCapFor(rt profiler.Runtime) int {
+	if c.maxBatch <= 1 {
+		return 1
+	}
+	return rt.BatchWithinSLO(c.maxBatch)
 }
 
 // spinGuard is how much of each emulated execution is busy-waited instead
@@ -403,30 +473,7 @@ func (c *Cluster) runWorker(w *worker, rt profiler.Runtime) {
 		}
 		execStart := time.Now()
 		cost := time.Duration(float64(rt.CostOf(j.length)) * c.scale * w.slowFactor())
-		deadline := execStart.Add(cost)
-		interrupted := false
-		if cost > spinGuard {
-			timer.Reset(cost - spinGuard)
-			select {
-			case <-timer.C:
-			case <-w.kill:
-				if !timer.Stop() {
-					<-timer.C
-				}
-				interrupted = true
-			}
-		}
-		if !interrupted {
-			for time.Now().Before(deadline) {
-				// Busy-wait the residue for sub-millisecond accuracy. The
-				// dead check keeps crash interruption bounded even for
-				// kernels short enough to skip the sleep.
-				if w.dead.Load() {
-					interrupted = true
-					break
-				}
-			}
-		}
+		interrupted := c.emulate(w, timer, execStart, cost)
 		c.ml.OnComplete(w.inst)
 		if interrupted {
 			// The instance died mid-execution: the computation is lost.
@@ -451,6 +498,152 @@ func (c *Cluster) runWorker(w *worker, rt profiler.Runtime) {
 			// Abandoned mid-execution: the submitter is gone; nothing to
 			// deliver.
 			jobPool.Put(j)
+		}
+	}
+}
+
+// emulate executes one kernel of the given wall-clock cost: sleep to
+// within spinGuard of the deadline, then spin out the residue. Returns
+// true when the worker was killed mid-kernel (the computation is lost, as
+// on a real GPU).
+func (c *Cluster) emulate(w *worker, timer *time.Timer, start time.Time, cost time.Duration) bool {
+	deadline := start.Add(cost)
+	if cost > spinGuard {
+		timer.Reset(cost - spinGuard)
+		select {
+		case <-timer.C:
+		case <-w.kill:
+			if !timer.Stop() {
+				<-timer.C
+			}
+			return true
+		}
+	}
+	for time.Now().Before(deadline) {
+		// Busy-wait the residue for sub-millisecond accuracy, yielding
+		// each pass: on a single-CPU host a long batched kernel would
+		// otherwise starve the other workers' batch formers (and the
+		// submitters feeding them) for its whole spin. The dead check
+		// keeps crash interruption bounded even for kernels short enough
+		// to skip the sleep.
+		if w.dead.Load() {
+			return true
+		}
+		runtime.Gosched()
+	}
+	return false
+}
+
+// runWorkerBatched is the dynamic-batching worker loop: a batch former
+// coalesces up to B_i queued requests under the bounded collection window
+// (never past the slack a member's deadline leaves), and the whole batch
+// executes as one emulated kernel at the sub-linear batched cost.
+//
+// Lifecycle semantics compose per member:
+//
+//   - cancellation: each member is promoted pending -> running by CAS at
+//     execution start; a lost CAS means the submitter's context fired
+//     during formation, and only that member is dropped;
+//   - crash: a killed instance loses the entire in-flight batch — every
+//     member whose submitter has not abandoned it re-enters the failover
+//     demotion path against its own requeue budget, and the drain loop
+//     requeues still-queued work exactly like the sequential worker.
+func (c *Cluster) runWorkerBatched(w *worker, rt profiler.Runtime) {
+	defer c.wg.Done()
+	timer := time.NewTimer(time.Hour)
+	if !timer.Stop() {
+		<-timer.C
+	}
+	defer timer.Stop()
+	maxBatch := c.batchCapFor(rt)
+	// The deadline slack a member must keep after formation: one full
+	// batched kernel, in wall time.
+	execEstimate := time.Duration(float64(rt.BatchDrainTime(maxBatch, maxBatch)) * c.scale)
+	former := &batcher.Former[*job]{
+		Source: w.ch,
+		Policy: batcher.Policy{
+			MaxSize:  maxBatch,
+			MaxDelay: time.Duration(float64(c.batchDelay) * c.scale),
+		},
+		Deadline: func(j *job) (time.Time, bool) {
+			if j.deadline.IsZero() {
+				return time.Time{}, false
+			}
+			return j.deadline.Add(-execEstimate), true
+		},
+		Interrupt: w.kill,
+	}
+	var batch, run []*job
+	var lengths []int
+	for {
+		var ok bool
+		batch, ok = former.Next(batch[:0])
+		if !ok {
+			return
+		}
+		if w.dead.Load() {
+			// Crashed: drain instead of executing, exactly like the
+			// sequential worker but for every collected member.
+			for _, j := range batch {
+				c.ml.OnComplete(w.inst)
+				if j.state.Load() == jobCancelled {
+					jobPool.Put(j)
+					continue
+				}
+				c.redispatch(j, obs.RequeueQueued)
+			}
+			continue
+		}
+		// Promote members; a lost CAS is a cancellation during formation
+		// and drops only that member.
+		run, lengths = run[:0], lengths[:0]
+		for _, j := range batch {
+			if !j.state.CompareAndSwap(jobPending, jobRunning) {
+				c.ml.OnComplete(w.inst)
+				jobPool.Put(j)
+				continue
+			}
+			run = append(run, j)
+			lengths = append(lengths, j.length)
+		}
+		if len(run) == 0 {
+			continue
+		}
+		formWait := time.Duration(float64(former.FormedIn()) / c.scale)
+		batchID := c.batchSeq.Add(1)
+		c.obsRec.Load().RecordBatch(rt.Index, len(run))
+		execStart := time.Now()
+		cost := time.Duration(float64(rt.BatchCostOf(lengths)) * c.scale * w.slowFactor())
+		interrupted := c.emulate(w, timer, execStart, cost)
+		for range run {
+			c.ml.OnComplete(w.inst)
+		}
+		if interrupted {
+			// Batch-level crash semantics: the kernel died with every
+			// member's computation; each restarts from scratch through the
+			// failover path unless its submitter abandoned it concurrently.
+			for _, j := range run {
+				if j.state.CompareAndSwap(jobRunning, jobPending) {
+					c.redispatch(j, obs.RequeueInflight)
+				} else {
+					jobPool.Put(j)
+				}
+			}
+			continue
+		}
+		execEnd := time.Now()
+		for _, j := range run {
+			lat := time.Duration(float64(execEnd.Sub(j.started)) / c.scale)
+			j.wait = time.Duration(float64(execStart.Sub(j.started)) / c.scale)
+			j.exec = time.Duration(float64(execEnd.Sub(execStart)) / c.scale)
+			j.formWait = formWait
+			j.batchID = batchID
+			j.batchSize = len(run)
+			if j.state.CompareAndSwap(jobRunning, jobDone) {
+				j.done <- lat + c.overhead
+			} else {
+				jobPool.Put(j)
+			}
 		}
 	}
 }
@@ -510,6 +703,11 @@ func (c *Cluster) SubmitCtx(ctx context.Context, req Request) (Result, error) {
 	}
 	j := newJob(req.Length)
 	j.tokenize = req.Tokenize
+	if d, ok := ctx.Deadline(); ok {
+		// The batch former bounds its collection window by the slack this
+		// deadline leaves.
+		j.deadline = d
+	}
 	if err := c.submit(ctx, j); err != nil {
 		jobPool.Put(j)
 		return Result{}, err
@@ -573,6 +771,9 @@ func (c *Cluster) finish(j *job, lat time.Duration, rec *obs.Recorder) Result {
 		Instance:   j.instID,
 		Peeked:     j.dec.Peeked,
 		Fallback:   j.dec.Fallback,
+		Batch:      j.batchID,
+		BatchSize:  j.batchSize,
+		FormWait:   j.formWait,
 	}
 	rec.RecordSpan(&span)
 	return Result{Latency: lat, Span: span}
@@ -776,6 +977,9 @@ func (c *Cluster) obsSnapshot() obs.Snapshot {
 			MaxLength: maxLens[k],
 			Instances: lvl.Len(),
 			Depth:     lvl.Depth(),
+		}
+		if c.maxBatch > 1 {
+			snap.Levels[k].BatchCap = c.batchCapFor(c.cfg.Profile.Runtimes[k])
 		}
 	}
 	insts := c.ml.Instances()

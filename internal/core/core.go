@@ -50,6 +50,15 @@ type Options struct {
 	// paper's Request Scheduler) or a baseline ("ILB", "IG", "LL",
 	// "INFaaS"). The Lambda/Alpha/MaxPeek knobs only apply to "RS".
 	DispatchPolicy string
+	// BatchSize enables dynamic batching in clusters built by NewCluster
+	// (and in simulations): instances coalesce up to this many same-runtime
+	// requests per kernel, clamped per runtime to the profiled SLO headroom.
+	// 0 or 1 disables batching.
+	BatchSize int
+	// BatchDelay bounds the batch-collection window (modeled time). 0
+	// defaults to SLO/100 when batching is on; negative disables waiting
+	// (greedy formation).
+	BatchDelay time.Duration
 }
 
 // Arlo is a configured system.
@@ -66,6 +75,8 @@ type Arlo struct {
 	maxPeek     int
 	allocPeriod time.Duration
 	policy      string
+	batchSize   int
+	batchDelay  time.Duration
 }
 
 // New builds an Arlo system from an options struct.
@@ -117,6 +128,8 @@ func build(opts Options) (*Arlo, error) {
 		maxPeek:     defaultInt(opts.MaxPeek, 6),
 		allocPeriod: defaultDur(opts.AllocPeriod, 120*time.Second),
 		policy:      opts.DispatchPolicy,
+		batchSize:   opts.BatchSize,
+		batchDelay:  opts.BatchDelay,
 	}
 	if a.policy == "" {
 		a.policy = "RS"
@@ -219,6 +232,7 @@ func (a *Arlo) SimConfig(tr *trace.Trace, g int) (sim.Config, error) {
 		Allocate:          a.AllocatorFunc(),
 		AllocPeriod:       a.allocPeriod,
 		ReplacementTime:   time.Second,
+		MaxBatch:          a.batchSize,
 	}, nil
 }
 
@@ -269,5 +283,7 @@ func (a *Arlo) NewCluster(g int, q []float64) (*cluster.Cluster, error) {
 		Profile:           a.Profile,
 		InitialAllocation: initial,
 		Dispatcher:        a.DispatcherFactory(),
+		MaxBatch:          a.batchSize,
+		BatchDelay:        a.batchDelay,
 	})
 }

@@ -58,6 +58,19 @@ func WithAllocPeriod(d time.Duration) Option {
 	return func(o *Options) { o.AllocPeriod = d }
 }
 
+// WithBatching enables dynamic batching: cluster instances coalesce up to
+// maxSize same-runtime requests per emulated kernel (clamped per runtime
+// to the profiled SLO headroom), holding a partial batch at most maxDelay
+// waiting for followers. maxSize <= 1 disables batching; maxDelay 0
+// selects the SLO-aware default window (SLO/100), negative disables
+// waiting (greedy formation).
+func WithBatching(maxSize int, maxDelay time.Duration) Option {
+	return func(o *Options) {
+		o.BatchSize = maxSize
+		o.BatchDelay = maxDelay
+	}
+}
+
 // NewSystem builds an Arlo system from functional options:
 //
 //	a, err := core.NewSystem(core.WithModel("bert-base"), core.WithSLO(150*time.Millisecond))

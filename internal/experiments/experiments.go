@@ -27,6 +27,14 @@ type Options struct {
 	// Full runs paper-scale durations and rates; the default (quick) mode
 	// scales traces down so the whole suite finishes in minutes.
 	Full bool
+	// BatchSize overrides the dynamic-batching cap for experiments that
+	// exercise the batched live cluster (bench-batch); 0 keeps each
+	// experiment's default.
+	BatchSize int
+	// BatchDelay overrides the batch-collection window for those
+	// experiments; 0 keeps the SLO-aware default, negative forces greedy
+	// formation.
+	BatchDelay time.Duration
 }
 
 // Spec is one runnable experiment.
@@ -62,6 +70,7 @@ func All() []Spec {
 		{"ablation-batch", "Dynamic batch execution trade-off (section 6 extension)", AblationBatch},
 		{"ablation-parallel", "Model parallelism: polymorphing with k-GPU instances (section 6 extension)", AblationParallel},
 		{"ablation-latebinding", "Early vs late request binding through the central buffer", AblationLateBinding},
+		{"bench-batch", "Live-cluster dynamic batching: batch=1 vs batched throughput and sustained p99", BenchBatch},
 	}
 }
 

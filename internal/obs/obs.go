@@ -62,6 +62,16 @@ type Span struct {
 	// Fallback reports that every peeked level was congested and the
 	// scheduler fell back to the top candidate (Algorithm 1 lines 18-20).
 	Fallback bool
+	// Batch is the cluster-wide sequence number of the batched kernel the
+	// request executed in (0 when it ran as a sequential singleton): spans
+	// sharing a Batch value rode the same kernel.
+	Batch int64
+	// BatchSize is how many requests shared that kernel (0 when the request
+	// was not batched).
+	BatchSize int
+	// FormWait is how long the batch former held the request's batch open
+	// collecting followers — the batching tax inside Queue.
+	FormWait time.Duration
 }
 
 // DemotionHops is how many levels past the ideal runtime the request was
@@ -255,9 +265,19 @@ type Recorder struct {
 	// Algorithm 1 demotions, flattened row-major: from*levels + to.
 	demotions []atomic.Int64
 
-	queueH hist
-	execH  hist
-	totalH hist
+	queueH    hist
+	execH     hist
+	totalH    hist
+	formWaitH hist
+
+	// Batch formation aggregates: batches counts executed batches,
+	// batchedReqs their member totals; the per-level pairs feed the
+	// occupancy gauge (mean batch size vs. the profiled cap B_i).
+	batches        atomic.Int64
+	batchedReqs    atomic.Int64
+	batchSizeB     [numBatchBuckets + 1]atomic.Int64
+	levelBatches   []atomic.Int64
+	levelBatchReqs []atomic.Int64
 
 	// snapshot, when set, provides the live cluster state (queue depths,
 	// instance loads) gauges are rendered from at scrape time.
@@ -272,9 +292,77 @@ func NewRecorder(levels int) *Recorder {
 		levels = 1
 	}
 	return &Recorder{
-		levels:    levels,
-		demotions: make([]atomic.Int64, levels*levels),
+		levels:         levels,
+		demotions:      make([]atomic.Int64, levels*levels),
+		levelBatches:   make([]atomic.Int64, levels),
+		levelBatchReqs: make([]atomic.Int64, levels),
 	}
+}
+
+// Batch-size histogram layout: power-of-two buckets le 1,2,4,...,64 plus
+// +Inf — batch caps are small integers, so seven finite buckets cover any
+// plausible B_i.
+const numBatchBuckets = 7
+
+// batchBucketOf returns the finite bucket index for a batch size, or
+// numBatchBuckets for the +Inf slot.
+func batchBucketOf(size int) int {
+	if size <= 1 {
+		return 0
+	}
+	idx := bits.Len64(uint64(size - 1))
+	if idx > numBatchBuckets-1 {
+		return numBatchBuckets
+	}
+	return idx
+}
+
+// batchBucketLE returns the upper boundary of finite batch bucket i.
+func batchBucketLE(i int) int { return 1 << uint(i) }
+
+// RecordBatch counts one executed batch of the given member count on the
+// given runtime level. Out-of-range levels still count toward the global
+// aggregates so the books stay consistent.
+func (r *Recorder) RecordBatch(level, size int) {
+	if r == nil || size < 1 {
+		return
+	}
+	r.batches.Add(1)
+	r.batchedReqs.Add(int64(size))
+	r.batchSizeB[batchBucketOf(size)].Add(1)
+	if level >= 0 && level < r.levels {
+		r.levelBatches[level].Add(1)
+		r.levelBatchReqs[level].Add(int64(size))
+	}
+}
+
+// Batches returns the total executed batches recorded.
+func (r *Recorder) Batches() int64 {
+	if r == nil {
+		return 0
+	}
+	return r.batches.Load()
+}
+
+// BatchedRequests returns the total requests executed inside batches.
+func (r *Recorder) BatchedRequests() int64 {
+	if r == nil {
+		return 0
+	}
+	return r.batchedReqs.Load()
+}
+
+// MeanBatchSize returns the mean members-per-batch for one runtime level
+// (0 when the level has executed no batches, or on an out-of-range level).
+func (r *Recorder) MeanBatchSize(level int) float64 {
+	if r == nil || level < 0 || level >= r.levels {
+		return 0
+	}
+	n := r.levelBatches[level].Load()
+	if n == 0 {
+		return 0
+	}
+	return float64(r.levelBatchReqs[level].Load()) / float64(n)
 }
 
 // Levels returns the number of runtime levels the recorder was sized for.
@@ -318,6 +406,9 @@ func (r *Recorder) RecordSpan(s *Span) {
 	r.queueH.observe(shard, s.Queue)
 	r.execH.observe(shard, s.Exec)
 	r.totalH.observe(shard, s.Total)
+	if s.BatchSize > 0 {
+		r.formWaitH.observe(shard, s.FormWait)
+	}
 	r.completed.Add(1)
 }
 

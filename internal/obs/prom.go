@@ -25,6 +25,9 @@ type LevelStat struct {
 	// Depth is the level's queue depth: outstanding (dispatched but not
 	// completed) requests summed across the level's instances.
 	Depth int
+	// BatchCap is B_i, the level's SLO-clamped dynamic-batching cap (0
+	// when batching is disabled).
+	BatchCap int
 }
 
 // InstanceStat is the scrape-time state of one instance.
@@ -129,11 +132,42 @@ func (r *Recorder) WritePrometheus(w io.Writer) error {
 			fmt.Fprintf(bw, "arlo_instance_utilization{instance=\"%d\",runtime=\"%d\"} %g\n",
 				in.ID, in.Runtime, util)
 		}
+		batchingOn := false
+		for _, l := range snap.Levels {
+			if l.BatchCap > 0 {
+				batchingOn = true
+				break
+			}
+		}
+		if batchingOn {
+			fmt.Fprint(bw, "# HELP arlo_batch_occupancy Mean batch size / profiled cap B_i per runtime level.\n")
+			fmt.Fprint(bw, "# TYPE arlo_batch_occupancy gauge\n")
+			for _, l := range snap.Levels {
+				if l.BatchCap <= 0 {
+					continue
+				}
+				fmt.Fprintf(bw, "arlo_batch_occupancy{level=\"%d\",max_length=\"%d\",cap=\"%d\"} %g\n",
+					l.Level, l.MaxLength, l.BatchCap, r.MeanBatchSize(l.Level)/float64(l.BatchCap))
+			}
+		}
 	}
+
+	fmt.Fprint(bw, "# HELP arlo_batch_size Members per executed dynamic batch.\n")
+	fmt.Fprint(bw, "# TYPE arlo_batch_size histogram\n")
+	var cumBatch int64
+	for b := 0; b < numBatchBuckets; b++ {
+		cumBatch += r.batchSizeB[b].Load()
+		fmt.Fprintf(bw, "arlo_batch_size_bucket{le=\"%d\"} %d\n", batchBucketLE(b), cumBatch)
+	}
+	cumBatch += r.batchSizeB[numBatchBuckets].Load()
+	fmt.Fprintf(bw, "arlo_batch_size_bucket{le=\"+Inf\"} %d\n", cumBatch)
+	fmt.Fprintf(bw, "arlo_batch_size_sum %d\n", r.batchedReqs.Load())
+	fmt.Fprintf(bw, "arlo_batch_size_count %d\n", r.batches.Load())
 
 	writeHist(bw, "arlo_request_queue_seconds", "Queueing delay from dispatch to execution start.", &r.queueH)
 	writeHist(bw, "arlo_request_exec_seconds", "Emulated execution time.", &r.execH)
 	writeHist(bw, "arlo_request_latency_seconds", "End-to-end modeled request latency.", &r.totalH)
+	writeHist(bw, "arlo_batch_form_wait_seconds", "Time batched requests spent in batch formation.", &r.formWaitH)
 
 	return bw.Flush()
 }

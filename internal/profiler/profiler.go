@@ -31,10 +31,14 @@ type Runtime struct {
 	// length distribution.
 	Latency time.Duration
 	// Capacity is M_i: the largest number of queued requests an instance
-	// can drain within the SLO.
+	// can drain within the SLO, executing sequentially (batch 1).
 	Capacity int
 
 	lm *model.LatencyModel
+	// slo is the objective the runtime was profiled against; zero for
+	// hand-constructed Runtimes, which then report batch-1 figures from
+	// the batch-aware accessors.
+	slo time.Duration
 }
 
 // CostOf returns the computation time of one request of the given length
@@ -85,6 +89,74 @@ func (r Runtime) DrainTime(n int) time.Duration {
 	return time.Duration(n) * r.Latency
 }
 
+// batchLatency is L_i(b) for one full kernel: the profiled batch-1
+// latency scaled by the sub-linear batch factor.
+func (r Runtime) batchLatency(b int) time.Duration {
+	if b <= 1 {
+		return r.Latency
+	}
+	if r.lm == nil {
+		return time.Duration(float64(r.Latency) * (1 + 0.5*float64(b-1)))
+	}
+	return time.Duration(float64(r.Latency) * r.lm.BatchScale(b))
+}
+
+// BatchDrainTime is the batch-aware DrainTime: the time to drain n queued
+// requests when the instance executes batches of up to maxBatch — full
+// kernels at L_i(maxBatch) plus one remainder kernel. maxBatch <= 1
+// degrades to the sequential DrainTime.
+func (r Runtime) BatchDrainTime(n, maxBatch int) time.Duration {
+	if n <= 0 {
+		return 0
+	}
+	if maxBatch <= 1 {
+		return r.DrainTime(n)
+	}
+	d := time.Duration(n/maxBatch) * r.batchLatency(maxBatch)
+	if rem := n % maxBatch; rem > 0 {
+		d += r.batchLatency(rem)
+	}
+	return d
+}
+
+// BatchWithinSLO clamps a requested batch cap to what the profiled L_i(b)
+// curve allows: the largest b <= cap whose single-kernel execution still
+// fits in the SLO. This is how B_i is derived from the profile rather
+// than configured blind — a 512-length runtime near its SLO gets a small
+// cap, a short one a large cap. Runtimes without a profiled SLO accept
+// the requested cap unchanged.
+func (r Runtime) BatchWithinSLO(cap int) int {
+	if cap < 1 {
+		return 1
+	}
+	if r.slo <= 0 || r.Latency <= 0 {
+		return cap
+	}
+	b := cap
+	for b > 1 && r.batchLatency(b) > r.slo {
+		b--
+	}
+	return b
+}
+
+// BatchCapacity is the batch-aware M_i: the largest number of queued
+// requests an instance drains within the SLO when it executes batches of
+// up to maxBatch. This is what makes Algorithm 1's congestion estimate
+// (outstanding / capacity, thresholded by lambda) batch-aware — with the
+// sequential Capacity a batching instance looks congested at loads it
+// serves comfortably, and the scheduler over-demotes. Runtimes without a
+// profiled SLO report the sequential Capacity.
+func (r Runtime) BatchCapacity(maxBatch int) int {
+	if maxBatch <= 1 || r.slo <= 0 || r.Latency <= 0 {
+		return r.Capacity
+	}
+	n := r.Capacity
+	for r.BatchDrainTime(n+1, maxBatch) <= r.slo {
+		n++
+	}
+	return n
+}
+
 // MeanLatency returns L_i(B): the profiled mapping from per-instance
 // workload to mean request latency (the paper obtains this curve by
 // offline profiling). B is the average number of requests an instance
@@ -110,6 +182,22 @@ func (r Runtime) MeanLatency(b float64) time.Duration {
 	// every request beyond capacity waits roughly a full drain.
 	atKnee := lat * (1 + knee/(2*(1-knee)))
 	return time.Duration(atKnee + (rho-knee)*m*lat)
+}
+
+// BatchMeanLatency is MeanLatency evaluated at the batched service rate:
+// an instance executing batches of up to maxBatch serves each request in
+// L_i(maxBatch)/maxBatch on average and saturates at BatchCapacity, so
+// the same workload sits at a lower utilization on the queueing curve.
+// This is the service-rate substitution that keeps the congestion
+// estimate honest once instances batch. maxBatch <= 1 is MeanLatency.
+func (r Runtime) BatchMeanLatency(b float64, maxBatch int) time.Duration {
+	if maxBatch <= 1 {
+		return r.MeanLatency(b)
+	}
+	eff := r
+	eff.Latency = r.batchLatency(maxBatch) / time.Duration(maxBatch)
+	eff.Capacity = r.BatchCapacity(maxBatch)
+	return eff.MeanLatency(b)
 }
 
 // Profile is the full offline profile of one model: its runtimes sorted by
@@ -156,6 +244,7 @@ func StaticProfile(lm *model.LatencyModel, maxLengths []int, slo time.Duration) 
 			Latency:     lat,
 			Capacity:    cap,
 			lm:          lm,
+			slo:         slo,
 		}
 	}
 	return &Profile{Model: lm, SLO: slo, Runtimes: rts}, nil
@@ -194,6 +283,7 @@ func DynamicProfile(lm *model.LatencyModel, sampleLengths []int, slo time.Durati
 		Latency:     mean,
 		Capacity:    cap,
 		lm:          lm,
+		slo:         slo,
 	}
 	return &Profile{Model: lm, SLO: slo, Runtimes: []Runtime{rt}}, nil
 }

@@ -259,3 +259,113 @@ func TestDrainTimeMonotone(t *testing.T) {
 		t.Errorf("drain(5) = %v, want %v", r.DrainTime(5), 5*r.Latency)
 	}
 }
+
+func TestBatchDrainTime(t *testing.T) {
+	p := bertBaseProfile(t)
+	r := p.Runtimes[0]
+	// maxBatch 1 is the sequential DrainTime.
+	if got, want := r.BatchDrainTime(5, 1), r.DrainTime(5); got != want {
+		t.Errorf("BatchDrainTime(5, 1) = %v, want DrainTime %v", got, want)
+	}
+	// 10 requests in batches of 4: two full kernels + one remainder of 2.
+	lm := p.Model
+	want := time.Duration(float64(r.Latency)*lm.BatchScale(4))*2 +
+		time.Duration(float64(r.Latency)*lm.BatchScale(2))
+	if got := r.BatchDrainTime(10, 4); got != want {
+		t.Errorf("BatchDrainTime(10, 4) = %v, want %v", got, want)
+	}
+	// Batching must never drain slower than sequential execution.
+	for _, n := range []int{1, 3, 7, 50, 200} {
+		for _, b := range []int{2, 4, 8} {
+			if batched, seq := r.BatchDrainTime(n, b), r.DrainTime(n); batched > seq {
+				t.Errorf("BatchDrainTime(%d, %d) = %v slower than sequential %v", n, b, batched, seq)
+			}
+		}
+	}
+	if r.BatchDrainTime(0, 8) != 0 {
+		t.Error("draining nothing must cost nothing")
+	}
+}
+
+func TestBatchCapacityRaisesCongestionCeiling(t *testing.T) {
+	p := bertBaseProfile(t)
+	for i, r := range p.Runtimes {
+		for _, b := range []int{2, 4, 8} {
+			got := r.BatchCapacity(b)
+			if got < r.Capacity {
+				t.Errorf("runtime %d: BatchCapacity(%d) = %d below sequential %d", i, b, got, r.Capacity)
+			}
+			// Maximality against the SLO, like the sequential capacity.
+			if r.BatchDrainTime(got, b) > p.SLO {
+				t.Errorf("runtime %d: BatchCapacity(%d) = %d does not fit the SLO", i, b, got)
+			}
+			if r.BatchDrainTime(got+1, b) <= p.SLO {
+				t.Errorf("runtime %d: BatchCapacity(%d) = %d is not maximal", i, b, got)
+			}
+		}
+	}
+	// With the default 0.5 marginal batch cost, batch-8 kernels serve
+	// 8/4.5 = 1.78x the sequential rate; the capacity should reflect it.
+	r := p.Runtimes[0]
+	if got := r.BatchCapacity(8); float64(got) < 1.5*float64(r.Capacity) {
+		t.Errorf("BatchCapacity(8) = %d, want >= 1.5x sequential %d", got, r.Capacity)
+	}
+	if r.BatchCapacity(1) != r.Capacity {
+		t.Error("BatchCapacity(1) must be the sequential capacity")
+	}
+}
+
+func TestBatchWithinSLO(t *testing.T) {
+	p := bertBaseProfile(t)
+	short, long := p.Runtimes[0], p.Runtimes[len(p.Runtimes)-1]
+	// The profiled bound is monotone in the requested cap and respects
+	// the SLO for every runtime.
+	for _, r := range []Runtime{short, long} {
+		prev := 0
+		for cap := 1; cap <= 64; cap *= 2 {
+			b := r.BatchWithinSLO(cap)
+			if b < 1 || b > cap {
+				t.Fatalf("BatchWithinSLO(%d) = %d out of range", cap, b)
+			}
+			if b < prev {
+				t.Fatalf("BatchWithinSLO not monotone: %d then %d", prev, b)
+			}
+			if b > 1 && r.BatchDrainTime(b, b) > p.SLO {
+				t.Fatalf("BatchWithinSLO(%d) = %d: one kernel exceeds the SLO", cap, b)
+			}
+			prev = b
+		}
+	}
+	// A longer runtime has less SLO headroom per kernel, so its profiled
+	// batch bound can never exceed the short runtime's.
+	if ls, ll := short.BatchWithinSLO(64), long.BatchWithinSLO(64); ll > ls {
+		t.Errorf("long-runtime bound %d exceeds short-runtime bound %d", ll, ls)
+	}
+	// Hand-built runtimes (no profile, no SLO) accept the cap unchanged.
+	bare := Runtime{Latency: time.Millisecond, Capacity: 10}
+	if got := bare.BatchWithinSLO(8); got != 8 {
+		t.Errorf("unprofiled BatchWithinSLO(8) = %d, want 8", got)
+	}
+	if got := bare.BatchCapacity(8); got != 10 {
+		t.Errorf("unprofiled BatchCapacity(8) = %d, want the sequential 10", got)
+	}
+}
+
+func TestBatchMeanLatency(t *testing.T) {
+	p := bertBaseProfile(t)
+	r := p.Runtimes[2]
+	if got, want := r.BatchMeanLatency(10, 1), r.MeanLatency(10); got != want {
+		t.Errorf("BatchMeanLatency(b, 1) = %v, want MeanLatency %v", got, want)
+	}
+	// At a workload that saturates the sequential curve, the batched
+	// service rate must sit lower on the queueing curve.
+	b := float64(r.Capacity)
+	if seq, batched := r.MeanLatency(b), r.BatchMeanLatency(b, 8); batched >= seq {
+		t.Errorf("batched mean %v not below sequential %v at workload %v", batched, seq, b)
+	}
+	// And it still diverges past its own (larger) saturation point.
+	heavy := 4 * float64(r.BatchCapacity(8))
+	if lat := r.BatchMeanLatency(heavy, 8); lat < p.SLO {
+		t.Errorf("BatchMeanLatency(%v, 8) = %v suspiciously low past saturation", heavy, lat)
+	}
+}

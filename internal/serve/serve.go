@@ -71,6 +71,13 @@ type InferResponse struct {
 	Instance int `json:"instance"`
 	// Runtime is the runtime level the request executed on.
 	Runtime int `json:"runtime"`
+	// Batch is the dynamic batch the request executed in (omitted when the
+	// request ran sequentially); requests sharing a batch id rode the same
+	// emulated kernel.
+	Batch int64 `json:"batch,omitempty"`
+	// BatchSize is how many requests shared that kernel (omitted when
+	// unbatched).
+	BatchSize int `json:"batch_size,omitempty"`
 }
 
 // ErrorBody is the inner object of the versioned error envelope.
@@ -339,6 +346,8 @@ func (s *Server) handleInfer(w http.ResponseWriter, r *http.Request) {
 		DemotionHops:   res.Span.DemotionHops(),
 		Instance:       res.Span.Instance,
 		Runtime:        res.Span.Level,
+		Batch:          res.Span.Batch,
+		BatchSize:      res.Span.BatchSize,
 	})
 }
 
