@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-short race chaos fuzz bench bench-dispatch bench-obs bench-batch experiments experiments-full vet staticcheck lint fmt clean
+.PHONY: all build test test-short race chaos fuzz bench bench-dispatch bench-obs bench-batch bench-serve bench-ingress experiments experiments-full vet staticcheck lint fmt clean
 
 all: build test
 
@@ -16,7 +16,7 @@ test-short:
 	$(GO) test -short ./...
 
 race:
-	$(GO) test -race ./internal/queue/ ./internal/dispatch/ ./internal/cluster/ ./internal/serve/ ./internal/core/ ./internal/multistream/ ./internal/metrics/ ./internal/tokenizer/ ./internal/obs/ ./internal/failover/ ./internal/chaos/ ./internal/batcher/
+	$(GO) test -race ./internal/queue/ ./internal/dispatch/ ./internal/cluster/ ./internal/serve/ ./internal/core/ ./internal/multistream/ ./internal/metrics/ ./internal/tokenizer/ ./internal/obs/ ./internal/failover/ ./internal/chaos/ ./internal/batcher/ ./internal/ring/ ./internal/wire/
 
 # The deterministic fault-injection harness: 500 seeded runs of the live
 # cluster under scripted crashes, slowdowns and cancellations, with the
@@ -30,6 +30,7 @@ fuzz:
 	$(GO) test -run '^$$' -fuzz FuzzTokenizerEncode -fuzztime 30s ./internal/tokenizer/
 	$(GO) test -run '^$$' -fuzz FuzzTraceParse -fuzztime 30s ./internal/trace/
 	$(GO) test -run '^$$' -fuzz FuzzBatchWindow -fuzztime 30s ./internal/batcher/
+	$(GO) test -run '^$$' -fuzz FuzzWireDecode -fuzztime 30s ./internal/wire/
 
 bench:
 	$(GO) test -bench=. -benchmem -run=^$$ .
@@ -51,6 +52,18 @@ bench-obs:
 # while checking sustained p99 against the SLO. Writes BENCH_batch.json.
 bench-batch:
 	$(GO) run ./cmd/arlobench -exp bench-batch
+
+# JSON hot-path allocation guard plus handler- and socket-level serving
+# benchmarks (allocs/op is the number to watch).
+bench-serve:
+	$(GO) test -run TestInferAllocGuard -v ./internal/serve/
+	$(GO) test -bench 'InferJSON' -benchmem -run '^$$' ./internal/serve/
+
+# Ingress hot path at the socket: closed-loop RPS/p50/p99/mallocs per
+# protocol (JSON vs binary wire), an open-loop target-RPS sweep, and the
+# grouped vs per-request submit layer. Writes BENCH_ingress.json.
+bench-ingress:
+	$(GO) run ./cmd/arlobench -exp bench-ingress
 
 # Regenerate every table and figure of the paper (quick mode, ~1 min).
 experiments:

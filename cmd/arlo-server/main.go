@@ -13,12 +13,14 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net"
 	"net/http"
 	"os"
 	"os/signal"
 	"time"
 
 	"arlo/internal/allocator"
+	"arlo/internal/cluster"
 	"arlo/internal/core"
 	"arlo/internal/serve"
 	"arlo/internal/tokenizer"
@@ -37,6 +39,9 @@ func main() {
 		chaosOn     = flag.Bool("chaos", false, "expose /v1/chaos/ fault-injection endpoints (testing only)")
 		batchSize   = flag.Int("batch-size", 1, "dynamic batching cap per instance (<=1 disables)")
 		batchDelay  = flag.Duration("batch-delay", 0, "batch collection window (0 = SLO/100, negative = greedy)")
+		wireAddr    = flag.String("wire-addr", "", "binary wire-protocol listen address (empty disables, e.g. :8081)")
+		ingressOn   = flag.Bool("ingress", false, "submit through sharded ingress rings with grouped dispatch")
+		ingressGrp  = flag.Int("ingress-group", 0, "ingress drain group size (0 = default)")
 	)
 	flag.Parse()
 
@@ -71,9 +76,28 @@ func main() {
 		srvOpts = append(srvOpts, serve.WithChaos())
 		fmt.Println("arlo-server: chaos endpoints enabled at /v1/chaos/{fail,slow,restore}")
 	}
+	if *ingressOn || *ingressGrp > 0 {
+		srvOpts = append(srvOpts, serve.WithIngress(cluster.IngressConfig{MaxGroup: *ingressGrp}))
+	}
 	srv, err := serve.New(tokenizer.New(), cl, srvOpts...)
 	if err != nil {
 		log.Fatalf("arlo-server: %v", err)
+	}
+	defer srv.Close()
+	if *ingressOn || *ingressGrp > 0 {
+		fmt.Println("arlo-server: ring ingress on (grouped dispatch); watch arlo_ingress_wait_seconds on /metrics")
+	}
+	if *wireAddr != "" {
+		wl, err := net.Listen("tcp", *wireAddr)
+		if err != nil {
+			log.Fatalf("arlo-server: wire listener: %v", err)
+		}
+		go func() {
+			if err := srv.ServeWire(wl); err != nil {
+				log.Printf("arlo-server: wire listener: %v", err)
+			}
+		}()
+		fmt.Printf("arlo-server: binary wire protocol on %s\n", *wireAddr)
 	}
 	if *adaptive {
 		scaler, err := allocator.NewAutoScaler(a.SLO())

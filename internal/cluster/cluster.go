@@ -109,14 +109,18 @@ type Config struct {
 
 // Cluster is a running set of emulated GPU workers.
 type Cluster struct {
-	cfg      Config
-	ml       *queue.MultiLevel
-	disp     dispatch.Dispatcher
-	dispCtx  dispatch.ContextDispatcher
-	overhead time.Duration
-	scale    float64
-	depth    int
-	budget   int
+	cfg     Config
+	ml      *queue.MultiLevel
+	disp    dispatch.Dispatcher
+	dispCtx dispatch.ContextDispatcher
+	// dispStale is the amortized group-dispatch interface when the policy
+	// supports it (nil otherwise; SubmitBatch then falls back to the
+	// per-request context dispatch under the shared group lock).
+	dispStale dispatch.GroupDispatcher
+	overhead  time.Duration
+	scale     float64
+	depth     int
+	budget    int
 
 	// maxBatch and batchDelay are the normalized batching knobs (1 / 0
 	// when batching is off); batchSeq numbers executed batches for span
@@ -198,15 +202,16 @@ type job struct {
 	// Span ingredients, written by the submitter (tokenize, dec, instID)
 	// or by the worker before the done send (wait, exec, batch fields) —
 	// the channel send orders them before the submitter's reads.
-	tokenize  time.Duration
-	dispatch  time.Duration
-	wait      time.Duration
-	exec      time.Duration
-	formWait  time.Duration
-	batchID   int64
-	batchSize int
-	dec       dispatch.Decision
-	instID    int
+	tokenize    time.Duration
+	dispatch    time.Duration
+	wait        time.Duration
+	exec        time.Duration
+	formWait    time.Duration
+	ingressWait time.Duration
+	batchID     int64
+	batchSize   int
+	dec         dispatch.Decision
+	instID      int
 }
 
 // failedLatency is the sentinel delivered on the done channel when a job
@@ -234,6 +239,7 @@ func newJob(length int) *job {
 	j.wait = 0
 	j.exec = 0
 	j.formWait = 0
+	j.ingressWait = 0
 	j.batchID = 0
 	j.batchSize = 0
 	j.dec = dispatch.Decision{}
@@ -366,6 +372,7 @@ func New(cfg Config) (*Cluster, error) {
 	} else {
 		c.dispCtx = plainDispatcher{disp}
 	}
+	c.dispStale, _ = disp.(dispatch.GroupDispatcher)
 	if cfg.Observer != nil {
 		c.SetObserver(cfg.Observer)
 	}
@@ -712,6 +719,15 @@ func (c *Cluster) SubmitCtx(ctx context.Context, req Request) (Result, error) {
 		jobPool.Put(j)
 		return Result{}, err
 	}
+	return c.await(ctx, j, rec)
+}
+
+// await blocks until a routed job completes or its context fires — the
+// shared back half of SubmitCtx, Ingress.SubmitCtx and SubmitBatch. On
+// cancellation it races the worker for the job's state: winning the CAS
+// hands ownership to whichever goroutine holds the job next (worker, ring
+// consumer or requeuer), which discards it.
+func (c *Cluster) await(ctx context.Context, j *job, rec *obs.Recorder) (Result, error) {
 	if ctx.Done() == nil {
 		return c.deliver(j, <-j.done, rec)
 	}
@@ -759,21 +775,22 @@ func (c *Cluster) deliver(j *job, lat time.Duration, rec *obs.Recorder) (Result,
 // result. Caller still owns j.
 func (c *Cluster) finish(j *job, lat time.Duration, rec *obs.Recorder) Result {
 	span := obs.Span{
-		Length:     j.length,
-		Enqueued:   j.started,
-		Tokenize:   j.tokenize,
-		Dispatch:   j.dispatch,
-		Queue:      j.wait,
-		Exec:       j.exec,
-		Total:      lat,
-		IdealLevel: j.dec.IdealLevel,
-		Level:      j.dec.Level,
-		Instance:   j.instID,
-		Peeked:     j.dec.Peeked,
-		Fallback:   j.dec.Fallback,
-		Batch:      j.batchID,
-		BatchSize:  j.batchSize,
-		FormWait:   j.formWait,
+		Length:      j.length,
+		Enqueued:    j.started,
+		Tokenize:    j.tokenize,
+		Dispatch:    j.dispatch,
+		Queue:       j.wait,
+		Exec:        j.exec,
+		Total:       lat,
+		IdealLevel:  j.dec.IdealLevel,
+		Level:       j.dec.Level,
+		Instance:    j.instID,
+		Peeked:      j.dec.Peeked,
+		Fallback:    j.dec.Fallback,
+		Batch:       j.batchID,
+		BatchSize:   j.batchSize,
+		FormWait:    j.formWait,
+		IngressWait: j.ingressWait,
 	}
 	rec.RecordSpan(&span)
 	return Result{Latency: lat, Span: span}
@@ -799,6 +816,10 @@ func rejectReason(err error) obs.RejectReason {
 		return obs.RejectCongested
 	case errors.Is(err, ErrClusterClosed):
 		return obs.RejectClosed
+	case errors.Is(err, ErrDeadlineExceeded):
+		// Only the ingress drain rejects on a spent deadline (the direct
+		// path surfaces cancellation through RecordCancel instead).
+		return obs.RejectDeadline
 	default:
 		return obs.RejectOther
 	}

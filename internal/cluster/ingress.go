@@ -1,0 +1,301 @@
+// Ingress is the batched submission path: sharded MPSC rings amortize the
+// per-request handoff (topology read lock, queue stripe locks, scheduler
+// wakeups) across groups of requests while preserving SubmitCtx semantics
+// per member — cancellation-while-queued, typed errors, pooled jobs, and
+// spans that now also carry the ingress_wait stage.
+//
+//	producer goroutines        ring consumers           workers
+//	SubmitCtx ──enqueue──► [shard 0..P-1] ──drain G──► submitBatch ──► w.ch
+//	   │                                                   │
+//	   └────────────── await(j.done) ◄─────────────────────┘
+//
+// submitBatch is where the amortization happens: one topology RLock per
+// group, and (with a GroupDispatcher policy) the queue stripe locks are
+// taken once per touched level via Reheap instead of once per request.
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"math/bits"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"arlo/internal/dispatch"
+	"arlo/internal/obs"
+	"arlo/internal/queue"
+	"arlo/internal/ring"
+)
+
+// BatchResult is one member's outcome of SubmitBatch: exactly one of
+// Result (a completion) or Err (a typed rejection, cancellation or
+// failure) is meaningful, mirroring SubmitCtx's return pair.
+type BatchResult struct {
+	Result Result
+	Err    error
+}
+
+// SubmitBatch dispatches a group of requests in one pass and blocks until
+// every member completes or ctx fires. The group shares one topology
+// read-lock acquisition and — when the active policy implements
+// dispatch.GroupDispatcher — one queue stripe lock per touched runtime
+// level, instead of one of each per request. Per-member semantics are
+// identical to SubmitCtx: each member resolves independently to a
+// completion or a typed error, the ctx deadline and cancellation are
+// honored while queued, and a member whose deadline is already spent when
+// the group is dispatched is rejected with ErrDeadlineExceeded before
+// touching the queue.
+func (c *Cluster) SubmitBatch(ctx context.Context, reqs []Request) []BatchResult {
+	out := make([]BatchResult, len(reqs))
+	rec := c.obsRec.Load()
+	if err := ctx.Err(); err != nil {
+		for i := range out {
+			rec.RecordSubmit()
+			rec.RecordCancel()
+			out[i].Err = cancelErr(err)
+		}
+		return out
+	}
+	deadline, hasDeadline := ctx.Deadline()
+	jobs := make([]*job, len(reqs))
+	for i, r := range reqs {
+		rec.RecordSubmit()
+		j := newJob(r.Length)
+		j.tokenize = r.Tokenize
+		if hasDeadline {
+			j.deadline = deadline
+		}
+		jobs[i] = j
+	}
+	c.submitBatch(jobs)
+	for i, j := range jobs {
+		out[i].Result, out[i].Err = c.await(ctx, j, rec)
+	}
+	return out
+}
+
+// submitBatch routes one drained group of jobs — the amortized counterpart
+// of route(): the topology lock is taken shared once for the whole group,
+// and with a GroupDispatcher policy each touched level's stripe lock is
+// taken once (the deferred Reheap) instead of once per member. Every job
+// is resolved exactly once: handed to a worker, discarded if its
+// submitter already cancelled, or failed with a typed error through its
+// done channel. Callers must have recorded the submissions already.
+func (c *Cluster) submitBatch(jobs []*job) {
+	rec := c.obsRec.Load()
+	c.mu.RLock()
+	if c.closed {
+		c.mu.RUnlock()
+		for _, j := range jobs {
+			c.failJob(j, ErrClusterClosed)
+		}
+		return
+	}
+	now := time.Now()
+	stale := c.dispStale
+	var touched uint64 // bitmask of levels dispatched via DispatchStale
+	for _, j := range jobs {
+		if j.state.Load() == jobCancelled {
+			// The submitter's context fired while the job sat in the ring;
+			// it already returned, so the drain owns (and discards) the job.
+			jobPool.Put(j)
+			continue
+		}
+		if !j.deadline.IsZero() && !now.Before(j.deadline) {
+			// The member's deadline was spent while it waited for its
+			// group: reject before touching the queue, mirroring the batch
+			// former's per-member CAS rule.
+			c.failJob(j, cancelErr(context.DeadlineExceeded))
+			continue
+		}
+		j.ingressWait = now.Sub(j.started)
+		t0 := time.Now()
+		var (
+			inst *queue.Instance
+			dec  dispatch.Decision
+			err  error
+		)
+		if stale != nil {
+			inst, dec, err = stale.DispatchStale(j.length)
+		} else {
+			inst, dec, err = c.dispCtx.DispatchCtx(context.Background(), j.length)
+		}
+		if err != nil {
+			c.failJob(j, err)
+			continue
+		}
+		j.dispatch = time.Since(t0)
+		j.dec = dec
+		j.instID = inst.ID
+		if dec.Level > dec.IdealLevel {
+			rec.RecordDemotion(dec.IdealLevel, dec.Level)
+		}
+		if stale != nil && dec.Level < 64 {
+			touched |= 1 << uint(dec.Level)
+		} else if stale != nil {
+			c.ml.Reheap(dec.Level) // beyond the bitmask's reach; repair now
+		}
+		w := c.workers[inst.ID]
+		if w == nil {
+			c.ml.OnComplete(inst)
+			c.failJob(j, fmt.Errorf("%w: instance %d no longer deployed", ErrCongested, inst.ID))
+			continue
+		}
+		select {
+		case w.ch <- j:
+		default:
+			c.ml.OnComplete(w.inst)
+			c.failJob(j, fmt.Errorf("%w: worker %d queue overflow", ErrCongested, inst.ID))
+		}
+	}
+	// The deferred stripe-lock half of the bargain: one Reheap per level
+	// the group dispatched into restores heap order and the front caches.
+	for touched != 0 {
+		k := bits.TrailingZeros64(touched)
+		touched &^= 1 << uint(k)
+		c.ml.Reheap(k)
+	}
+	c.mu.RUnlock()
+}
+
+// IngressConfig tunes an Ingress. The zero value gives GOMAXPROCS shards
+// of ring.DefaultShardCapacity slots drained in groups of DefaultMaxGroup.
+type IngressConfig struct {
+	// Shards is the submit-ring shard count (<= 0: GOMAXPROCS).
+	Shards int
+	// ShardCapacity is the per-shard slot count, rounded up to a power of
+	// two (<= 0: ring.DefaultShardCapacity). A full ring rejects with
+	// ErrCongested — explicit backpressure instead of queueing latency.
+	ShardCapacity int
+	// MaxGroup caps how many requests one drain hands to SubmitBatch
+	// (<= 0: DefaultMaxGroup). Larger groups amortize more but let the
+	// head of the group wait longer behind the tail's dispatches.
+	MaxGroup int
+}
+
+// DefaultMaxGroup is the drain group cap used when IngressConfig leaves
+// MaxGroup unset.
+const DefaultMaxGroup = 64
+
+// Ingress is the ring-fed submission front end of a cluster: producers
+// enqueue lock-free into per-shard MPSC rings, and one consumer goroutine
+// per shard drains groups into submitBatch. SubmitCtx is a drop-in
+// replacement for Cluster.SubmitCtx with identical per-request semantics.
+type Ingress struct {
+	c      *Cluster
+	r      *ring.Ring[*job]
+	group  int
+	stop   chan struct{}
+	closed atomic.Bool
+	wg     sync.WaitGroup
+}
+
+// NewIngress starts the ring consumers over a running cluster. Close the
+// Ingress before closing the cluster.
+func NewIngress(c *Cluster, cfg IngressConfig) *Ingress {
+	group := cfg.MaxGroup
+	if group <= 0 {
+		group = DefaultMaxGroup
+	}
+	g := &Ingress{
+		c:     c,
+		r:     ring.New[*job](cfg.Shards, cfg.ShardCapacity),
+		group: group,
+		stop:  make(chan struct{}),
+	}
+	for s := 0; s < g.r.Shards(); s++ {
+		g.wg.Add(1)
+		go g.consume(s)
+	}
+	return g
+}
+
+// consume drains one shard in groups for the Ingress's lifetime. A wakeup
+// may race the producer, so an empty drain just parks again.
+func (g *Ingress) consume(shard int) {
+	defer g.wg.Done()
+	buf := make([]*job, 0, g.group)
+	for {
+		buf = g.r.Drain(shard, buf[:0], g.group)
+		if len(buf) > 0 {
+			g.c.submitBatch(buf)
+			continue
+		}
+		if !g.r.Wait(shard, g.stop) {
+			// Stopping: flush what is already published. Anything enqueued
+			// after this final pass is swept by Close.
+			for {
+				buf = g.r.Drain(shard, buf[:0], g.group)
+				if len(buf) == 0 {
+					return
+				}
+				g.c.submitBatch(buf)
+			}
+		}
+	}
+}
+
+// SubmitCtx dispatches one request through the submit ring and blocks
+// until it completes or the context is done — Cluster.SubmitCtx semantics
+// with the handoff amortized. A full ring returns ErrCongested
+// immediately (backpressure); a request whose context fires while ringed
+// is discarded by the drain without touching the queue.
+func (g *Ingress) SubmitCtx(ctx context.Context, req Request) (Result, error) {
+	rec := g.c.obsRec.Load()
+	if err := ctx.Err(); err != nil {
+		rec.RecordSubmit()
+		rec.RecordCancel()
+		return Result{}, cancelErr(err)
+	}
+	if g.closed.Load() {
+		rec.RecordSubmit()
+		rec.RecordReject(obs.RejectClosed)
+		return Result{}, ErrClusterClosed
+	}
+	rec.RecordSubmit()
+	j := newJob(req.Length)
+	j.tokenize = req.Tokenize
+	if d, ok := ctx.Deadline(); ok {
+		j.deadline = d
+	}
+	if _, ok := g.r.Enqueue(j); !ok {
+		jobPool.Put(j)
+		rec.RecordReject(obs.RejectCongested)
+		return Result{}, fmt.Errorf("%w: ingress ring full", ErrCongested)
+	}
+	if g.closed.Load() {
+		// Close may already have swept the rings; reclaim the job if the
+		// sweep has not resolved it, so this submitter cannot hang.
+		if j.state.CompareAndSwap(jobPending, jobCancelled) {
+			rec.RecordReject(obs.RejectClosed)
+			return Result{}, ErrClusterClosed
+		}
+	}
+	return g.c.await(ctx, j, rec)
+}
+
+// Close stops the consumers, drains the rings, and fails anything still
+// ringed with ErrClusterClosed. Idempotent.
+func (g *Ingress) Close() {
+	if g.closed.Swap(true) {
+		return
+	}
+	close(g.stop)
+	g.wg.Wait()
+	// Sweep stragglers that raced the closed flag: their submitters are
+	// parked in await and must see a typed error. Enqueuers that arrive
+	// after this sweep observe closed==true and reclaim their own job.
+	buf := make([]*job, 0, g.group)
+	for s := 0; s < g.r.Shards(); s++ {
+		for {
+			buf = g.r.Drain(s, buf[:0], g.group)
+			if len(buf) == 0 {
+				break
+			}
+			for _, j := range buf {
+				g.c.failJob(j, ErrClusterClosed)
+			}
+		}
+	}
+}

@@ -74,6 +74,22 @@ type ContextDispatcher interface {
 	DispatchCtx(ctx context.Context, length int) (*queue.Instance, Decision, error)
 }
 
+// GroupDispatcher is the amortized-dispatch interface of the batched
+// ingress path: DispatchStale routes exactly like DispatchCtx but records
+// the dispatch with queue.MultiLevel.OnDispatchStale — the outstanding
+// count is incremented, the chosen level's heap repair is deferred. The
+// caller owns the repair: it must call MultiLevel.Reheap once on every
+// level it dispatched into before the group ends, turning G stripe-lock
+// acquisitions into one per touched level. Within a group the policy may
+// therefore read level fronts whose rank is stale by up to the group size
+// (their congestion counts stay exact); see the queue package for the
+// trade-off.
+type GroupDispatcher interface {
+	ContextDispatcher
+	// DispatchStale routes one request with deferred heap repair.
+	DispatchStale(length int) (*queue.Instance, Decision, error)
+}
+
 // RequestScheduler is Arlo's multi-level-queue heuristic (Algorithm 1).
 // It walks candidate runtimes in increasing max_length order, accepting
 // the first whose least-loaded instance is below a congestion threshold
@@ -130,7 +146,30 @@ func (rs *RequestScheduler) DispatchCtx(_ context.Context, length int) (*queue.I
 	return rs.dispatch(length)
 }
 
+// DispatchStale implements GroupDispatcher: the Algorithm 1 walk with the
+// chosen level's heap repair deferred to the caller's per-group Reheap.
+func (rs *RequestScheduler) DispatchStale(length int) (*queue.Instance, Decision, error) {
+	in, dec, err := rs.pick(length)
+	if err != nil {
+		return nil, dec, err
+	}
+	rs.ml.OnDispatchStale(in)
+	return in, dec, nil
+}
+
 func (rs *RequestScheduler) dispatch(length int) (*queue.Instance, Decision, error) {
+	in, dec, err := rs.pick(length)
+	if err != nil {
+		return nil, dec, err
+	}
+	rs.ml.OnDispatch(in) // lines 21-22
+	return in, dec, nil
+}
+
+// pick runs the Algorithm 1 selection walk without recording the
+// dispatch; dispatch and DispatchStale differ only in how the pick is
+// accounted on the queue.
+func (rs *RequestScheduler) pick(length int) (*queue.Instance, Decision, error) {
 	var dec Decision
 	cands := rs.ml.CandidateLevels(length) // line 2
 	if len(cands) == 0 {
@@ -171,7 +210,6 @@ func (rs *RequestScheduler) dispatch(length int) (*queue.Instance, Decision, err
 		return nil, dec, ErrNoInstances
 	}
 	dec.Level = chosen.Runtime
-	rs.ml.OnDispatch(chosen) // lines 21-22
 	return chosen, dec, nil
 }
 

@@ -1,0 +1,388 @@
+package experiments
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"arlo/internal/cluster"
+	"arlo/internal/dispatch"
+	"arlo/internal/model"
+	"arlo/internal/profiler"
+	"arlo/internal/queue"
+	"arlo/internal/serve"
+	"arlo/internal/tokenizer"
+)
+
+// benchIngressArm is one closed-loop socket-level measurement.
+type benchIngressArm struct {
+	Protocol     string  `json:"protocol"`
+	Requests     int     `json:"requests"`
+	Conns        int     `json:"conns"`
+	Workers      int     `json:"workers"`
+	RPS          float64 `json:"rps"`
+	P50MS        float64 `json:"p50_ms"`
+	P99MS        float64 `json:"p99_ms"`
+	MallocsPerOp float64 `json:"mallocs_per_op"`
+}
+
+// benchIngressOpenPoint is one open-loop target-RPS measurement.
+type benchIngressOpenPoint struct {
+	Protocol    string  `json:"protocol"`
+	TargetRPS   float64 `json:"target_rps"`
+	AchievedRPS float64 `json:"achieved_rps"`
+	P50MS       float64 `json:"p50_ms"`
+	P99MS       float64 `json:"p99_ms"`
+	Shed        int     `json:"shed,omitempty"`
+}
+
+// benchIngressSubmit is one in-process submit-layer measurement.
+type benchIngressSubmit struct {
+	NSPerOp      float64 `json:"ns_per_op"`
+	MallocsPerOp float64 `json:"mallocs_per_op"`
+}
+
+// benchIngressResult is the BENCH_ingress.json schema.
+type benchIngressResult struct {
+	TimeScale float64 `json:"timescale"`
+
+	JSON        benchIngressArm `json:"json"`
+	Wire        benchIngressArm `json:"wire"`
+	WireSpeedup float64         `json:"wire_speedup"`
+
+	OpenLoop []benchIngressOpenPoint `json:"open_loop"`
+
+	SubmitPerRequest benchIngressSubmit `json:"submit_per_request"`
+	SubmitGrouped    benchIngressSubmit `json:"submit_grouped"`
+	// GroupedSpeedup is per-request ns/op divided by grouped ns/op —
+	// the amortization win of the ring + SubmitBatch path.
+	GroupedSpeedup float64 `json:"grouped_speedup"`
+}
+
+const benchIngressText = "a representative request body with enough words to tokenize meaningfully"
+
+// pctMS picks the q-quantile of lats (sorted in place) in milliseconds.
+func pctMS(lats []time.Duration, q float64) float64 {
+	if len(lats) == 0 {
+		return 0
+	}
+	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+	idx := int(q * float64(len(lats)-1))
+	return float64(lats[idx]) / float64(time.Millisecond)
+}
+
+// mallocsNow reads the process-wide cumulative allocation count.
+func mallocsNow() uint64 {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	return ms.Mallocs
+}
+
+// BenchIngress measures the ingress hot path at the socket: closed-loop
+// RPS, p50/p99 and mallocs/op for the JSON/HTTP endpoint vs the binary
+// wire protocol over the same ring-fed cluster, an open-loop target-RPS
+// sweep per protocol, and the in-process submit layer (per-request
+// SubmitCtx vs grouped ring submission). Emulated compute is compressed
+// (TimeScale) so the transport and submit overheads dominate what is
+// measured. Results are printed and written to BENCH_ingress.json.
+func BenchIngress(w io.Writer, opt Options) error {
+	const (
+		slo       = 150 * time.Millisecond
+		timeScale = 1e-4
+	)
+	workers := 32
+	perWorker := 75
+	openDur := 600 * time.Millisecond
+	submitOps := 60_000
+	if opt.Full {
+		perWorker = 400
+		openDur = 3 * time.Second
+		submitOps = 400_000
+	}
+
+	p, err := profiler.StaticProfile(model.BertBase(), []int{128, 512}, slo)
+	if err != nil {
+		return err
+	}
+	factory := func(ml *queue.MultiLevel) (dispatch.Dispatcher, error) {
+		return dispatch.NewRequestScheduler(ml)
+	}
+	cl, err := cluster.New(cluster.Config{
+		Profile:           p,
+		InitialAllocation: []int{2, 2},
+		Dispatcher:        factory,
+		TimeScale:         timeScale,
+		Overhead:          -1,
+	})
+	if err != nil {
+		return err
+	}
+	defer cl.Close()
+	srv, err := serve.New(tokenizer.New(), cl,
+		serve.WithMaxLength(512),
+		serve.WithIngress(cluster.IngressConfig{}))
+	if err != nil {
+		return err
+	}
+	defer srv.Close()
+
+	httpLn, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	hs := &http.Server{Handler: srv}
+	go func() { _ = hs.Serve(httpLn) }()
+	defer hs.Close()
+	wireLn, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	go func() { _ = srv.ServeWire(wireLn) }()
+
+	httpClient := &serve.Client{BaseURL: "http://" + httpLn.Addr().String()}
+	wireConns := make([]*serve.WireClient, 4)
+	for i := range wireConns {
+		wc, err := serve.DialWire(wireLn.Addr().String())
+		if err != nil {
+			return err
+		}
+		defer wc.Close()
+		wireConns[i] = wc
+	}
+	var rr atomic.Uint64
+	sendJSON := func(ctx context.Context) error {
+		_, err := httpClient.InferCtx(ctx, benchIngressText)
+		return err
+	}
+	sendWire := func(ctx context.Context) error {
+		wc := wireConns[rr.Add(1)%uint64(len(wireConns))]
+		_, err := wc.InferCtx(ctx, benchIngressText)
+		return err
+	}
+
+	// Closed loop: W workers each issue their quota back to back; RPS is
+	// total/elapsed, latency is per-request at the socket, and mallocs/op
+	// is the process-wide allocation delta over the arm (client and
+	// server share the process, so it is the whole stack's bill).
+	closedLoop := func(protocol string, conns int, send func(context.Context) error) (benchIngressArm, error) {
+		total := workers * perWorker
+		lats := make([]time.Duration, total)
+		var idx atomic.Int64
+		var wg sync.WaitGroup
+		var failures atomic.Int64
+		m0 := mallocsNow()
+		start := time.Now()
+		for wkr := 0; wkr < workers; wkr++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := 0; i < perWorker; i++ {
+					t0 := time.Now()
+					if err := send(context.Background()); err != nil {
+						failures.Add(1)
+						continue
+					}
+					lats[idx.Add(1)-1] = time.Since(t0)
+				}
+			}()
+		}
+		wg.Wait()
+		elapsed := time.Since(start)
+		mallocs := mallocsNow() - m0
+		if n := failures.Load(); n > 0 {
+			return benchIngressArm{}, fmt.Errorf("%s closed loop: %d failures", protocol, n)
+		}
+		lats = lats[:idx.Load()]
+		return benchIngressArm{
+			Protocol:     protocol,
+			Requests:     total,
+			Conns:        conns,
+			Workers:      workers,
+			RPS:          float64(total) / elapsed.Seconds(),
+			P50MS:        pctMS(lats, 0.50),
+			P99MS:        pctMS(lats, 0.99),
+			MallocsPerOp: float64(mallocs) / float64(total),
+		}, nil
+	}
+
+	// Open loop: arrivals paced at the target rate for the window; each
+	// arrival gets its own goroutine, capped so an overloaded server
+	// sheds instead of accumulating unbounded callers.
+	openLoop := func(protocol string, target float64, send func(context.Context) error) benchIngressOpenPoint {
+		interval := time.Duration(float64(time.Second) / target)
+		sem := make(chan struct{}, 512)
+		var mu sync.Mutex
+		var lats []time.Duration
+		var wg sync.WaitGroup
+		shed := 0
+		start := time.Now()
+		for next := start; time.Since(start) < openDur; next = next.Add(interval) {
+			if d := time.Until(next); d > 0 {
+				time.Sleep(d)
+			}
+			select {
+			case sem <- struct{}{}:
+			default:
+				shed++
+				continue
+			}
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				defer func() { <-sem }()
+				t0 := time.Now()
+				if err := send(context.Background()); err == nil {
+					d := time.Since(t0)
+					mu.Lock()
+					lats = append(lats, d)
+					mu.Unlock()
+				}
+			}()
+		}
+		wg.Wait()
+		elapsed := time.Since(start)
+		return benchIngressOpenPoint{
+			Protocol:    protocol,
+			TargetRPS:   target,
+			AchievedRPS: float64(len(lats)) / elapsed.Seconds(),
+			P50MS:       pctMS(lats, 0.50),
+			P99MS:       pctMS(lats, 0.99),
+			Shed:        shed,
+		}
+	}
+
+	jsonArm, err := closedLoop("json", workers, sendJSON)
+	if err != nil {
+		return err
+	}
+	wireArm, err := closedLoop("wire", len(wireConns), sendWire)
+	if err != nil {
+		return err
+	}
+
+	var open []benchIngressOpenPoint
+	for _, frac := range []float64{0.5, 0.9, 1.2} {
+		open = append(open, openLoop("json", frac*jsonArm.RPS, sendJSON))
+	}
+	for _, frac := range []float64{0.5, 0.9, 1.2} {
+		open = append(open, openLoop("wire", frac*wireArm.RPS, sendWire))
+	}
+
+	// Submit layer, in process, on its own cluster with emulated compute
+	// collapsed to ~0 so the submission machinery is the whole bill: the
+	// same request stream through per-request SubmitCtx (DefaultMaxGroup
+	// concurrent producers, one topology RLock + one stripe lock each) vs
+	// the grouped SubmitBatch path (the ring consumers' amortized call,
+	// one of each per group).
+	subCl, err := cluster.New(cluster.Config{
+		Profile:           p,
+		InitialAllocation: []int{2, 2},
+		Dispatcher:        factory,
+		TimeScale:         1e-9,
+		Overhead:          -1,
+	})
+	if err != nil {
+		return err
+	}
+	defer subCl.Close()
+	submitArm := func(grouped bool) (benchIngressSubmit, error) {
+		group := cluster.DefaultMaxGroup
+		ops := submitOps / group * group
+		var wg sync.WaitGroup
+		var failures atomic.Int64
+		m0 := mallocsNow()
+		start := time.Now()
+		if grouped {
+			reqs := make([]cluster.Request, group)
+			for i := range reqs {
+				reqs[i] = cluster.Request{Length: 100}
+			}
+			for done := 0; done < ops; done += group {
+				for _, br := range subCl.SubmitBatch(context.Background(), reqs) {
+					if br.Err != nil {
+						failures.Add(1)
+					}
+				}
+			}
+		} else {
+			per := ops / group
+			for wkr := 0; wkr < group; wkr++ {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					for i := 0; i < per; i++ {
+						if _, err := subCl.SubmitCtx(context.Background(), cluster.Request{Length: 100}); err != nil {
+							failures.Add(1)
+						}
+					}
+				}()
+			}
+			wg.Wait()
+		}
+		elapsed := time.Since(start)
+		mallocs := mallocsNow() - m0
+		if n := failures.Load(); n > 0 {
+			return benchIngressSubmit{}, fmt.Errorf("submit arm: %d failures", n)
+		}
+		return benchIngressSubmit{
+			NSPerOp:      float64(elapsed.Nanoseconds()) / float64(ops),
+			MallocsPerOp: float64(mallocs) / float64(ops),
+		}, nil
+	}
+	perReq, err := submitArm(false)
+	if err != nil {
+		return err
+	}
+	groupedSub, err := submitArm(true)
+	if err != nil {
+		return err
+	}
+
+	res := benchIngressResult{
+		TimeScale:        timeScale,
+		JSON:             jsonArm,
+		Wire:             wireArm,
+		WireSpeedup:      wireArm.RPS / jsonArm.RPS,
+		OpenLoop:         open,
+		SubmitPerRequest: perReq,
+		SubmitGrouped:    groupedSub,
+		GroupedSpeedup:   perReq.NSPerOp / groupedSub.NSPerOp,
+	}
+
+	tw := newTab(w)
+	fmt.Fprintln(tw, "protocol\treqs\trps\tp50 ms\tp99 ms\tmallocs/op")
+	for _, a := range []benchIngressArm{jsonArm, wireArm} {
+		fmt.Fprintf(tw, "%s\t%d\t%.0f\t%.3f\t%.3f\t%.1f\n",
+			a.Protocol, a.Requests, a.RPS, a.P50MS, a.P99MS, a.MallocsPerOp)
+	}
+	tw.Flush()
+	fmt.Fprintf(w, "wire speedup: %.2fx\n\n", res.WireSpeedup)
+	tw = newTab(w)
+	fmt.Fprintln(tw, "open loop\ttarget rps\tachieved\tp50 ms\tp99 ms\tshed")
+	for _, pnt := range open {
+		fmt.Fprintf(tw, "%s\t%.0f\t%.0f\t%.3f\t%.3f\t%d\n",
+			pnt.Protocol, pnt.TargetRPS, pnt.AchievedRPS, pnt.P50MS, pnt.P99MS, pnt.Shed)
+	}
+	tw.Flush()
+	fmt.Fprintf(w, "\nsubmit layer: per-request %.0f ns/op (%.2f mallocs/op), grouped %.0f ns/op (%.2f mallocs/op), %.2fx\n",
+		perReq.NSPerOp, perReq.MallocsPerOp, groupedSub.NSPerOp, groupedSub.MallocsPerOp, res.GroupedSpeedup)
+
+	blob, err := json.MarshalIndent(res, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile("BENCH_ingress.json", append(blob, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintln(w, "wrote BENCH_ingress.json")
+	return nil
+}

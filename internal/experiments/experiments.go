@@ -71,6 +71,7 @@ func All() []Spec {
 		{"ablation-parallel", "Model parallelism: polymorphing with k-GPU instances (section 6 extension)", AblationParallel},
 		{"ablation-latebinding", "Early vs late request binding through the central buffer", AblationLateBinding},
 		{"bench-batch", "Live-cluster dynamic batching: batch=1 vs batched throughput and sustained p99", BenchBatch},
+		{"bench-ingress", "Ingress hot path: JSON vs binary wire protocol at the socket, grouped vs per-request submit", BenchIngress},
 	}
 }
 

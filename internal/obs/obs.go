@@ -72,6 +72,11 @@ type Span struct {
 	// FormWait is how long the batch former held the request's batch open
 	// collecting followers — the batching tax inside Queue.
 	FormWait time.Duration
+	// IngressWait is how long the request sat in the ingress submit ring
+	// before its group was drained and dispatched (0 when submitted
+	// directly). Unlike the other stages it is measured in wall time: the
+	// ring lives upstream of the cluster's modeled clock.
+	IngressWait time.Duration
 }
 
 // DemotionHops is how many levels past the ideal runtime the request was
@@ -98,6 +103,9 @@ const (
 	// RejectUnserviceable: the request exhausted its requeue budget under
 	// repeated instance failures.
 	RejectUnserviceable
+	// RejectDeadline: the request's deadline was already spent when its
+	// ingress group was drained; it was refused before touching the queue.
+	RejectDeadline
 	// RejectOther: any other submission failure.
 	RejectOther
 
@@ -117,6 +125,8 @@ func (r RejectReason) String() string {
 		return "closed"
 	case RejectUnserviceable:
 		return "unserviceable"
+	case RejectDeadline:
+		return "deadline"
 	default:
 		return "other"
 	}
@@ -265,10 +275,11 @@ type Recorder struct {
 	// Algorithm 1 demotions, flattened row-major: from*levels + to.
 	demotions []atomic.Int64
 
-	queueH    hist
-	execH     hist
-	totalH    hist
-	formWaitH hist
+	queueH       hist
+	execH        hist
+	totalH       hist
+	formWaitH    hist
+	ingressWaitH hist
 
 	// Batch formation aggregates: batches counts executed batches,
 	// batchedReqs their member totals; the per-level pairs feed the
@@ -408,6 +419,9 @@ func (r *Recorder) RecordSpan(s *Span) {
 	r.totalH.observe(shard, s.Total)
 	if s.BatchSize > 0 {
 		r.formWaitH.observe(shard, s.FormWait)
+	}
+	if s.IngressWait > 0 {
+		r.ingressWaitH.observe(shard, s.IngressWait)
 	}
 	r.completed.Add(1)
 }

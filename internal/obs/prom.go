@@ -168,6 +168,7 @@ func (r *Recorder) WritePrometheus(w io.Writer) error {
 	writeHist(bw, "arlo_request_exec_seconds", "Emulated execution time.", &r.execH)
 	writeHist(bw, "arlo_request_latency_seconds", "End-to-end modeled request latency.", &r.totalH)
 	writeHist(bw, "arlo_batch_form_wait_seconds", "Time batched requests spent in batch formation.", &r.formWaitH)
+	writeHist(bw, "arlo_ingress_wait_seconds", "Wall time requests spent in the ingress submit ring before group dispatch.", &r.ingressWaitH)
 
 	return bw.Flush()
 }

@@ -1,0 +1,41 @@
+package queue
+
+import "testing"
+
+// TestOnDispatchStaleReheap checks the deferred-repair contract: counts
+// are exact immediately, heap rank (and the cached front) only after
+// Reheap.
+func TestOnDispatchStaleReheap(t *testing.T) {
+	m, err := NewMultiLevel([]int{128})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := NewInstance(1, 0, 0, 10)
+	b := NewInstance(2, 0, 0, 10)
+	for _, in := range []*Instance{a, b} {
+		if err := m.Add(in); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Front is a (least-loaded, lowest-ID) — pile deferred dispatches on it.
+	for i := 0; i < 5; i++ {
+		m.OnDispatchStale(a)
+	}
+	if a.Outstanding() != 5 {
+		t.Fatalf("outstanding %d, want 5 (counts must be exact before Reheap)", a.Outstanding())
+	}
+	if got := m.Level(0).Front(); got != a {
+		t.Fatalf("front moved to %d before Reheap; staleness contract says it stays %d", got.ID, a.ID)
+	}
+	m.Reheap(0)
+	if got := m.Level(0).Front(); got != b {
+		t.Fatalf("front %d after Reheap, want %d (the now least-loaded)", got.ID, b.ID)
+	}
+	// Reheap also absorbs a pending lazy fix-up.
+	m.OnDispatchStale(b)
+	m.Level(0).dirty.Store(true)
+	m.Reheap(0)
+	if m.Level(0).dirty.Load() {
+		t.Fatal("Reheap left the dirty flag set")
+	}
+}

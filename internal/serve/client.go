@@ -7,12 +7,35 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math/rand"
+	"net"
 	"net/http"
 	"time"
 
 	"arlo/internal/cluster"
 	"arlo/internal/dispatch"
 )
+
+// defaultHTTPClient replaces http.DefaultClient as the zero-config
+// transport: the default caps idle connections per host at 2, so a
+// closed-loop caller fleet churns through TCP handshakes and TIME_WAIT
+// sockets. Keep-alives stay on and the idle pool is sized for benchmark
+// fan-in.
+var defaultHTTPClient = &http.Client{
+	Transport: &http.Transport{
+		Proxy: http.ProxyFromEnvironment,
+		DialContext: (&net.Dialer{
+			Timeout:   30 * time.Second,
+			KeepAlive: 30 * time.Second,
+		}).DialContext,
+		ForceAttemptHTTP2:     true,
+		MaxIdleConns:          256,
+		MaxIdleConnsPerHost:   128,
+		IdleConnTimeout:       90 * time.Second,
+		TLSHandshakeTimeout:   10 * time.Second,
+		ExpectContinueTimeout: time.Second,
+	},
+}
 
 // Client is a typed client for the server's API with per-request
 // timeouts and bounded retry-with-backoff for transient failures.
@@ -119,8 +142,12 @@ func (c *Client) InferCtx(ctx context.Context, text string) (*InferResponse, err
 		if attempt >= c.MaxRetries {
 			return nil, lastErr
 		}
+		// Full jitter on the exponential schedule: a uniformly random wait
+		// in (0, backoff] decorrelates retry herds after a shared transient
+		// (congestion, instance failure) instead of synchronizing them.
+		wait := time.Duration(rand.Int63n(int64(backoff))) + 1
 		select {
-		case <-time.After(backoff):
+		case <-time.After(wait):
 		case <-ctx.Done():
 			return nil, lastErr
 		}
@@ -204,5 +231,5 @@ func (c *Client) httpClient() *http.Client {
 	if c.HTTPClient != nil {
 		return c.HTTPClient
 	}
-	return http.DefaultClient
+	return defaultHTTPClient
 }

@@ -24,13 +24,16 @@
 package serve
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
+	"net"
 	"net/http"
 	"net/http/pprof"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -139,6 +142,18 @@ type Server struct {
 	served     atomic.Int64
 	rejected   atomic.Int64
 
+	// ingress, when configured with WithIngress, is the ring-fed submit
+	// path both protocols dispatch through instead of per-request
+	// Cluster.SubmitCtx.
+	ingress    *cluster.Ingress
+	ingressCfg *cluster.IngressConfig
+
+	// closing gates the wire accept loops; listeners holds every listener
+	// handed to ServeWire so Close can unblock them.
+	closing   atomic.Bool
+	listMu    sync.Mutex
+	listeners []net.Listener
+
 	window *metrics.Window
 
 	obsMu    sync.RWMutex
@@ -201,6 +216,16 @@ func WithChaos() Option {
 	}
 }
 
+// WithIngress routes submissions through a cluster.Ingress (sharded
+// submit rings drained in groups) instead of per-request SubmitCtx — the
+// amortized hot path. The server owns the ingress; Close shuts it down.
+func WithIngress(cfg cluster.IngressConfig) Option {
+	return func(s *Server) error {
+		s.ingressCfg = &cfg
+		return nil
+	}
+}
+
 // WithRequestTimeout bounds every inference request server-side: requests
 // still queued when the timeout fires are dequeued and answered 504. The
 // client's own context (disconnect, client-side deadline) is always
@@ -247,6 +272,9 @@ func New(tok *tokenizer.Tokenizer, cl *cluster.Cluster, opts ...Option) (*Server
 		s.rec = obs.NewRecorder(cl.NumLevels())
 		cl.SetObserver(s.rec)
 	}
+	if s.ingressCfg != nil {
+		s.ingress = cluster.NewIngress(cl, *s.ingressCfg)
+	}
 	s.mux.HandleFunc("/v1/infer", s.handleInfer)
 	s.mux.HandleFunc("/v1/stats", s.handleStats)
 	s.mux.HandleFunc("/healthz", s.handleHealth)
@@ -285,6 +313,32 @@ func (s *Server) SetObserver(o Observer) {
 // Recorder returns the observability recorder backing /metrics.
 func (s *Server) Recorder() *obs.Recorder { return s.rec }
 
+// submit dispatches one request through the configured path: the ring
+// ingress when WithIngress was given, per-request SubmitCtx otherwise.
+func (s *Server) submit(ctx context.Context, req cluster.Request) (cluster.Result, error) {
+	if s.ingress != nil {
+		return s.ingress.SubmitCtx(ctx, req)
+	}
+	return s.cluster.SubmitCtx(ctx, req)
+}
+
+// Close stops the wire listeners and the ingress (when configured). The
+// cluster itself stays up — the caller owns it. Idempotent.
+func (s *Server) Close() error {
+	s.closing.Store(true)
+	s.listMu.Lock()
+	ls := s.listeners
+	s.listeners = nil
+	s.listMu.Unlock()
+	for _, l := range ls {
+		_ = l.Close()
+	}
+	if s.ingress != nil {
+		s.ingress.Close()
+	}
+	return nil
+}
+
 func (s *Server) notify(length int, lat time.Duration) {
 	s.obsMu.RLock()
 	o := s.observer
@@ -297,18 +351,25 @@ func (s *Server) notify(length int, lat time.Duration) {
 // ServeHTTP implements http.Handler.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
 
+// bufPool recycles the request-read and response-encode buffers of the
+// JSON hot path, so steady-state serving does not grow one garbage buffer
+// pair per request.
+var bufPool = sync.Pool{New: func() any { return new(bytes.Buffer) }}
+
 func (s *Server) handleInfer(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
 		writeError(w, http.StatusMethodNotAllowed, CodeMethodNotAllowed, "POST required")
 		return
 	}
-	body, err := io.ReadAll(io.LimitReader(r.Body, 1<<20))
-	if err != nil {
+	rb := bufPool.Get().(*bytes.Buffer)
+	rb.Reset()
+	defer bufPool.Put(rb)
+	if _, err := rb.ReadFrom(io.LimitReader(r.Body, 1<<20)); err != nil {
 		writeError(w, http.StatusBadRequest, CodeInvalidRequest, "read error")
 		return
 	}
 	var req InferRequest
-	if err := json.Unmarshal(body, &req); err != nil {
+	if err := json.Unmarshal(rb.Bytes(), &req); err != nil {
 		writeError(w, http.StatusBadRequest, CodeInvalidRequest, "invalid JSON")
 		return
 	}
@@ -324,7 +385,7 @@ func (s *Server) handleInfer(w http.ResponseWriter, r *http.Request) {
 	}
 	tokStart := time.Now()
 	ids := s.tok.Encode(req.Text, s.maxLen)
-	res, err := s.cluster.SubmitCtx(ctx, cluster.Request{
+	res, err := s.submit(ctx, cluster.Request{
 		Length:   len(ids),
 		Tokenize: time.Since(tokStart),
 	})
@@ -337,7 +398,7 @@ func (s *Server) handleInfer(w http.ResponseWriter, r *http.Request) {
 	s.served.Add(1)
 	s.window.Record(res.Latency)
 	s.notify(len(ids), res.Latency)
-	writeJSON(w, InferResponse{
+	resp := InferResponse{
 		Label:          classify(ids),
 		SequenceLength: len(ids),
 		LatencyMS:      float64(res.Latency) / float64(time.Millisecond),
@@ -348,7 +409,75 @@ func (s *Server) handleInfer(w http.ResponseWriter, r *http.Request) {
 		Runtime:        res.Span.Level,
 		Batch:          res.Span.Batch,
 		BatchSize:      res.Span.BatchSize,
-	})
+	}
+	// Hand-rolled encode on a pooled buffer: every field is a number or
+	// one of three fixed labels, so reflection-based marshalling buys
+	// nothing but allocations here.
+	bp := encPool.Get().(*[]byte)
+	b := appendInferResponse((*bp)[:0], &resp)
+	w.Header().Set("Content-Type", "application/json")
+	_, _ = w.Write(b)
+	*bp = b[:0] // keep any grown capacity with the pool
+	encPool.Put(bp)
+}
+
+// encPool recycles response-encode buffers across requests.
+var encPool = sync.Pool{New: func() any {
+	b := make([]byte, 0, 512)
+	return &b
+}}
+
+// appendInferResponse encodes an InferResponse as the exact JSON
+// encoding/json would produce for it (field order, omitempty pair).
+func appendInferResponse(dst []byte, r *InferResponse) []byte {
+	dst = append(dst, `{"label":"`...)
+	dst = append(dst, r.Label...)
+	dst = append(dst, `","sequence_length":`...)
+	dst = strconv.AppendInt(dst, int64(r.SequenceLength), 10)
+	dst = append(dst, `,"latency_ms":`...)
+	dst = appendJSONFloat(dst, r.LatencyMS)
+	dst = append(dst, `,"queue_ms":`...)
+	dst = appendJSONFloat(dst, r.QueueMS)
+	dst = append(dst, `,"exec_ms":`...)
+	dst = appendJSONFloat(dst, r.ExecMS)
+	dst = append(dst, `,"demotion_hops":`...)
+	dst = strconv.AppendInt(dst, int64(r.DemotionHops), 10)
+	dst = append(dst, `,"instance":`...)
+	dst = strconv.AppendInt(dst, int64(r.Instance), 10)
+	dst = append(dst, `,"runtime":`...)
+	dst = strconv.AppendInt(dst, int64(r.Runtime), 10)
+	if r.Batch != 0 {
+		dst = append(dst, `,"batch":`...)
+		dst = strconv.AppendInt(dst, r.Batch, 10)
+	}
+	if r.BatchSize != 0 {
+		dst = append(dst, `,"batch_size":`...)
+		dst = strconv.AppendInt(dst, int64(r.BatchSize), 10)
+	}
+	dst = append(dst, '}', '\n')
+	return dst
+}
+
+// appendJSONFloat matches encoding/json's float formatting (shortest
+// round-trip form, 'e' only for extreme exponents).
+func appendJSONFloat(dst []byte, f float64) []byte {
+	abs := f
+	if abs < 0 {
+		abs = -abs
+	}
+	fmtByte := byte('f')
+	if abs != 0 && (abs < 1e-6 || abs >= 1e21) {
+		fmtByte = 'e'
+	}
+	dst = strconv.AppendFloat(dst, f, fmtByte, -1, 64)
+	if fmtByte == 'e' {
+		// encoding/json cleans e-09 up to e-9; match it byte for byte.
+		if n := len(dst); n >= 4 && dst[n-4] == 'e' && dst[n-3] == '-' && dst[n-2] == '0' {
+			dst[n-2] = dst[n-1]
+			dst = dst[:n-1]
+		}
+	}
+	return dst
 }
 
 // mapError translates dispatch-path errors into the envelope's stable
@@ -510,15 +639,18 @@ func writeError(w http.ResponseWriter, status int, code, msg string) {
 	_ = json.NewEncoder(w).Encode(ErrorEnvelope{Error: ErrorBody{Code: code, Message: msg}})
 }
 
+// inferLabels are the emulated classifier's output classes; wire
+// responses carry the index, JSON responses the string.
+var inferLabels = [3]string{"negative", "neutral", "positive"}
+
 // classify is the emulated discriminative head: a deterministic label over
 // the token ids (FNV-style fold), standing in for BERT's classifier. Two
 // identical inputs always classify identically.
 func classify(ids []int) string {
-	labels := [3]string{"negative", "neutral", "positive"}
 	h := uint64(14695981039346656037)
 	for _, id := range ids {
 		h ^= uint64(id)
 		h *= 1099511628211
 	}
-	return labels[h%3]
+	return inferLabels[h%3]
 }

@@ -1,0 +1,222 @@
+// WireClient speaks the binary ingress protocol: one TCP connection, many
+// in-flight requests, responses matched by id. It is the pipelining
+// counterpart of Client — no per-request connection or HTTP framing, so a
+// closed-loop caller fleet shares one socket.
+
+package serve
+
+import (
+	"bufio"
+	"context"
+	"encoding/binary"
+	"fmt"
+	"net"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"arlo/internal/wire"
+)
+
+// WireClient is a pipelining binary-protocol client. Safe for concurrent
+// use; every in-flight Infer shares the connection.
+type WireClient struct {
+	conn net.Conn
+
+	wmu  sync.Mutex
+	bw   *bufio.Writer
+	wbuf []byte
+
+	mu      sync.Mutex
+	pending map[uint64]chan wire.Response
+	readErr error
+	closed  bool
+
+	nextID atomic.Uint64
+}
+
+// DialWire connects to a server's binary listener.
+func DialWire(addr string) (*WireClient, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	c := &WireClient{
+		conn:    conn,
+		bw:      bufio.NewWriterSize(conn, 32<<10),
+		pending: make(map[uint64]chan wire.Response),
+	}
+	go c.readLoop()
+	return c, nil
+}
+
+// readLoop delivers response frames to their waiting callers until the
+// connection dies, then fails every pending call.
+func (c *WireClient) readLoop() {
+	br := bufio.NewReaderSize(c.conn, 32<<10)
+	var buf []byte
+	for {
+		var payload []byte
+		var err error
+		payload, buf, err = wire.ReadFrame(br, buf)
+		if err != nil {
+			c.fail(err)
+			return
+		}
+		resp, err := wire.DecodeResponse(payload)
+		if err != nil {
+			c.fail(err)
+			return
+		}
+		c.mu.Lock()
+		ch := c.pending[resp.ID]
+		delete(c.pending, resp.ID)
+		c.mu.Unlock()
+		if ch != nil {
+			ch <- resp // buffered; never blocks the read loop
+		}
+	}
+}
+
+// fail poisons the client: every pending and future call returns err.
+func (c *WireClient) fail(err error) {
+	c.mu.Lock()
+	if c.readErr == nil {
+		c.readErr = err
+	}
+	for id, ch := range c.pending {
+		delete(c.pending, id)
+		close(ch)
+	}
+	c.mu.Unlock()
+}
+
+// Close tears down the connection; in-flight calls return an error.
+func (c *WireClient) Close() error {
+	c.mu.Lock()
+	c.closed = true
+	c.mu.Unlock()
+	err := c.conn.Close()
+	c.fail(fmt.Errorf("serve: wire client closed"))
+	return err
+}
+
+// Infer sends one raw-text request with background context.
+func (c *WireClient) Infer(text string) (*InferResponse, error) {
+	return c.InferCtx(context.Background(), text)
+}
+
+// InferCtx sends one raw-text request; the server tokenizes.
+func (c *WireClient) InferCtx(ctx context.Context, text string) (*InferResponse, error) {
+	return c.do(ctx, &wire.Request{Mode: wire.ModeText, Text: text})
+}
+
+// InferTokensCtx sends pre-encoded token ids, skipping server-side
+// tokenization — the lowest-overhead submit path.
+func (c *WireClient) InferTokensCtx(ctx context.Context, tokens []uint32) (*InferResponse, error) {
+	return c.do(ctx, &wire.Request{Mode: wire.ModeTokens, Tokens: tokens})
+}
+
+func (c *WireClient) do(ctx context.Context, req *wire.Request) (*InferResponse, error) {
+	req.ID = c.nextID.Add(1)
+	if d, ok := ctx.Deadline(); ok {
+		req.Deadline = d.UnixNano()
+	}
+	ch := make(chan wire.Response, 1)
+	c.mu.Lock()
+	if err := c.readErr; err != nil {
+		c.mu.Unlock()
+		return nil, fmt.Errorf("serve: wire connection dead: %w", err)
+	}
+	if c.closed {
+		c.mu.Unlock()
+		return nil, fmt.Errorf("serve: wire client closed")
+	}
+	c.pending[req.ID] = ch
+	c.mu.Unlock()
+
+	c.wmu.Lock()
+	c.wbuf = wire.AppendRequest(c.wbuf[:0], req)
+	var hdr [4]byte
+	binary.LittleEndian.PutUint32(hdr[:], uint32(len(c.wbuf)))
+	_, err := c.bw.Write(hdr[:])
+	if err == nil {
+		_, err = c.bw.Write(c.wbuf)
+	}
+	if err == nil {
+		err = c.bw.Flush()
+	}
+	c.wmu.Unlock()
+	if err != nil {
+		c.mu.Lock()
+		delete(c.pending, req.ID)
+		c.mu.Unlock()
+		return nil, err
+	}
+
+	select {
+	case resp, ok := <-ch:
+		if !ok {
+			c.mu.Lock()
+			err := c.readErr
+			c.mu.Unlock()
+			return nil, fmt.Errorf("serve: wire connection dead: %w", err)
+		}
+		return wireToInfer(&resp)
+	case <-ctx.Done():
+		// The server still answers (its side of the deadline fires too);
+		// drop the pending entry so the read loop discards that reply.
+		c.mu.Lock()
+		delete(c.pending, req.ID)
+		c.mu.Unlock()
+		return nil, ctx.Err()
+	}
+}
+
+// wireToInfer translates a binary response into the JSON client's types:
+// errors become *APIError with the same stable code, so errors.Is against
+// the cluster sentinels behaves identically across protocols.
+func wireToInfer(resp *wire.Response) (*InferResponse, error) {
+	if resp.Status != wire.StatusOK {
+		return nil, &APIError{
+			Status:  wireHTTPStatus(resp.Status),
+			Code:    resp.Status.String(),
+			Message: resp.Message,
+		}
+	}
+	label := ""
+	if int(resp.Label) < len(inferLabels) {
+		label = inferLabels[resp.Label]
+	}
+	return &InferResponse{
+		Label:          label,
+		SequenceLength: int(resp.SeqLen),
+		LatencyMS:      float64(resp.LatencyNS) / float64(time.Millisecond),
+		QueueMS:        float64(resp.QueueNS) / float64(time.Millisecond),
+		ExecMS:         float64(resp.ExecNS) / float64(time.Millisecond),
+		DemotionHops:   int(resp.DemotionHops),
+		Instance:       int(resp.Instance),
+		Runtime:        int(resp.Runtime),
+		Batch:          resp.Batch,
+		BatchSize:      int(resp.BatchSize),
+	}, nil
+}
+
+// wireHTTPStatus maps a binary status onto the HTTP status the JSON
+// endpoint would have used, keeping APIError semantics (retryable checks,
+// logging) protocol-independent.
+func wireHTTPStatus(s wire.Status) int {
+	switch s {
+	case wire.StatusInvalid:
+		return http.StatusBadRequest
+	case wire.StatusTooLong:
+		return http.StatusRequestEntityTooLarge
+	case wire.StatusDeadline:
+		return http.StatusGatewayTimeout
+	case wire.StatusCongested, wire.StatusNoInstances, wire.StatusUnavailable, wire.StatusUnserviceable:
+		return http.StatusServiceUnavailable
+	default:
+		return http.StatusInternalServerError
+	}
+}

@@ -1,0 +1,217 @@
+// Binary-protocol front end: the same inference semantics as POST
+// /v1/infer served over internal/wire's length-prefixed frames on a
+// second listener. One connection carries many in-flight requests —
+// clients pipeline and responses return as each request completes,
+// matched by id — so the per-request cost is one frame each way instead
+// of an HTTP round trip.
+
+package serve
+
+import (
+	"bufio"
+	"context"
+	"encoding/binary"
+	"errors"
+	"net"
+	"sync"
+	"time"
+
+	"arlo/internal/cluster"
+	"arlo/internal/dispatch"
+	"arlo/internal/wire"
+)
+
+// ServeWire accepts binary-protocol connections on l until the listener
+// fails or the server is closed (Close closes l and returns nil here).
+// Run it on its own goroutine next to the HTTP listener.
+func (s *Server) ServeWire(l net.Listener) error {
+	s.listMu.Lock()
+	if s.closing.Load() {
+		s.listMu.Unlock()
+		_ = l.Close()
+		return nil
+	}
+	s.listeners = append(s.listeners, l)
+	s.listMu.Unlock()
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			if s.closing.Load() {
+				return nil
+			}
+			return err
+		}
+		go s.serveWireConn(conn)
+	}
+}
+
+// serveWireConn runs one connection: a single read loop decodes frames
+// and fans each request out to its own goroutine, which submits to the
+// cluster and writes its response frame under the shared write lock —
+// out-of-order completion is the point of the id field.
+func (s *Server) serveWireConn(conn net.Conn) {
+	defer conn.Close()
+	br := bufio.NewReaderSize(conn, 32<<10)
+	ww := &wireWriter{bw: bufio.NewWriterSize(conn, 32<<10)}
+	var wg sync.WaitGroup
+	defer wg.Wait()
+	var buf []byte
+	for {
+		var payload []byte
+		var err error
+		payload, buf, err = wire.ReadFrame(br, buf)
+		if err != nil {
+			// EOF, torn frame or an oversized prefix: the stream cannot be
+			// trusted past this point, so drop the connection.
+			return
+		}
+		// Decode aliases the read buffer only for fields we copy below
+		// (Text is copied by string conversion, Tokens decode into a fresh
+		// slice), so the next ReadFrame may reuse buf while the request is
+		// still in flight.
+		req, err := wire.DecodeRequest(payload, nil)
+		if err != nil {
+			ww.send(&wire.Response{ID: req.ID, Status: wire.StatusInvalid, Message: "malformed request"})
+			continue
+		}
+		wg.Add(1)
+		go func(req wire.Request) {
+			defer wg.Done()
+			resp := s.inferWire(&req)
+			ww.send(&resp)
+		}(req)
+	}
+}
+
+// wireWriter serializes response frames from concurrent request
+// goroutines onto one buffered connection writer.
+type wireWriter struct {
+	mu  sync.Mutex
+	bw  *bufio.Writer
+	buf []byte
+}
+
+func (w *wireWriter) send(resp *wire.Response) {
+	w.mu.Lock()
+	w.buf = wire.AppendResponse(w.buf[:0], resp)
+	var hdr [4]byte
+	binary.LittleEndian.PutUint32(hdr[:], uint32(len(w.buf)))
+	_, err := w.bw.Write(hdr[:])
+	if err == nil {
+		_, err = w.bw.Write(w.buf)
+	}
+	if err == nil {
+		err = w.bw.Flush()
+	}
+	w.mu.Unlock()
+	_ = err // a dead peer surfaces as the read loop's error
+}
+
+// inferWire is handleInfer for one decoded binary request.
+func (s *Server) inferWire(req *wire.Request) wire.Response {
+	var (
+		length   int
+		tokTime  time.Duration
+		labelIdx uint8
+	)
+	switch req.Mode {
+	case wire.ModeText:
+		if req.Text == "" {
+			return wire.Response{ID: req.ID, Status: wire.StatusInvalid, Message: "empty text"}
+		}
+		tokStart := time.Now()
+		ids := s.tok.Encode(req.Text, s.maxLen)
+		tokTime = time.Since(tokStart)
+		length = len(ids)
+		labelIdx = classifyIndex(ids)
+	case wire.ModeTokens:
+		if len(req.Tokens) == 0 {
+			return wire.Response{ID: req.ID, Status: wire.StatusInvalid, Message: "empty token ids"}
+		}
+		if len(req.Tokens) > s.maxLen {
+			// Mirror the tokenizer's cap on the pre-encoded path.
+			req.Tokens = req.Tokens[:s.maxLen]
+		}
+		length = len(req.Tokens)
+		labelIdx = classifyTokens(req.Tokens)
+	default:
+		return wire.Response{ID: req.ID, Status: wire.StatusInvalid, Message: "unknown mode"}
+	}
+
+	ctx := context.Background()
+	if req.Deadline != 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithDeadline(ctx, time.Unix(0, req.Deadline))
+		defer cancel()
+	}
+	if s.reqTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, s.reqTimeout)
+		defer cancel()
+	}
+	res, err := s.submit(ctx, cluster.Request{Length: length, Tokenize: tokTime})
+	if err != nil {
+		s.rejected.Add(1)
+		return wire.Response{ID: req.ID, Status: wireStatus(err), Message: err.Error()}
+	}
+	s.served.Add(1)
+	s.window.Record(res.Latency)
+	s.notify(length, res.Latency)
+	return wire.Response{
+		ID:           req.ID,
+		Status:       wire.StatusOK,
+		Label:        labelIdx,
+		SeqLen:       uint32(length),
+		LatencyNS:    uint64(res.Latency),
+		QueueNS:      uint64(res.Span.Queue),
+		ExecNS:       uint64(res.Span.Exec),
+		DemotionHops: uint16(res.Span.DemotionHops()),
+		Instance:     uint32(res.Span.Instance),
+		Runtime:      uint32(res.Span.Level),
+		Batch:        res.Span.Batch,
+		BatchSize:    uint32(res.Span.BatchSize),
+	}
+}
+
+// wireStatus is mapError's binary twin.
+func wireStatus(err error) wire.Status {
+	switch {
+	case errors.Is(err, dispatch.ErrTooLong):
+		return wire.StatusTooLong
+	case errors.Is(err, cluster.ErrDeadlineExceeded):
+		return wire.StatusDeadline
+	case errors.Is(err, cluster.ErrUnserviceable):
+		return wire.StatusUnserviceable
+	case errors.Is(err, cluster.ErrCongested):
+		return wire.StatusCongested
+	case errors.Is(err, dispatch.ErrNoInstances):
+		return wire.StatusNoInstances
+	case errors.Is(err, cluster.ErrClusterClosed):
+		return wire.StatusUnavailable
+	default:
+		return wire.StatusInternal
+	}
+}
+
+// classifyIndex is classify returning the label index instead of the
+// string.
+func classifyIndex(ids []int) uint8 {
+	h := uint64(14695981039346656037)
+	for _, id := range ids {
+		h ^= uint64(id)
+		h *= 1099511628211
+	}
+	return uint8(h % 3)
+}
+
+// classifyTokens folds pre-encoded token ids with the same hash so a
+// ModeTokens request classifies identically to the ModeText request it
+// was encoded from.
+func classifyTokens(ids []uint32) uint8 {
+	h := uint64(14695981039346656037)
+	for _, id := range ids {
+		h ^= uint64(id)
+		h *= 1099511628211
+	}
+	return uint8(h % 3)
+}

@@ -1,0 +1,304 @@
+// Package wire is the binary ingress protocol: length-prefixed frames
+// multiplexed over one connection, built to keep the serving hot path off
+// the JSON/HTTP tax (header parsing, escaping, per-request allocations,
+// one connection churn per in-flight request).
+//
+// Framing (all integers little-endian):
+//
+//	u32 payload length | payload
+//
+// Request payload:
+//
+//	u8 kind=1 | u64 id | i64 deadline (unix nanos, 0 = none) | u8 mode |
+//	  mode 0 (raw text):  UTF-8 bytes to tokenize server-side
+//	  mode 1 (token ids): u32 count | count x u32 ids pre-encoded client-side
+//
+// Response payload:
+//
+//	u8 kind=2 | u64 id | u8 status |
+//	  status 0 (ok):   u8 label | u32 seq_len | u64 latency_ns |
+//	                   u64 queue_ns | u64 exec_ns | u16 demotion_hops |
+//	                   u32 instance | u32 runtime | i64 batch | u32 batch_size
+//	  status != 0:     UTF-8 error message
+//
+// Ids are chosen by the client and echoed verbatim, so responses may
+// return out of submission order and clients can pipeline: many requests
+// in flight on one connection, matched by id on the way back. The u32
+// length prefix is bounded by MaxFrame on both sides; a peer that sends a
+// longer frame is protocol-broken and the connection is dropped rather
+// than resynchronized.
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// Frame kinds (first payload byte).
+const (
+	KindRequest  = 1
+	KindResponse = 2
+)
+
+// Request modes.
+const (
+	// ModeText carries raw text the server tokenizes.
+	ModeText = 0
+	// ModeTokens carries token ids pre-encoded client-side; the server
+	// skips tokenization entirely.
+	ModeTokens = 1
+)
+
+// MaxFrame bounds a frame payload (matches the JSON endpoint's 1 MiB
+// request cap). ReadFrame rejects longer frames before buffering them.
+const MaxFrame = 1 << 20
+
+// Status is the response outcome: StatusOK or the binary twin of the JSON
+// envelope's stable error code.
+type Status uint8
+
+// Response statuses. The numeric values are wire format — append only.
+const (
+	StatusOK Status = iota
+	StatusInvalid
+	StatusTooLong
+	StatusCongested
+	StatusNoInstances
+	StatusUnavailable
+	StatusUnserviceable
+	StatusDeadline
+	StatusInternal
+	numStatuses
+)
+
+// String returns the JSON envelope's stable code for the status.
+func (s Status) String() string {
+	switch s {
+	case StatusOK:
+		return "ok"
+	case StatusInvalid:
+		return "invalid_request"
+	case StatusTooLong:
+		return "too_long"
+	case StatusCongested:
+		return "congested"
+	case StatusNoInstances:
+		return "no_instances"
+	case StatusUnavailable:
+		return "unavailable"
+	case StatusUnserviceable:
+		return "unserviceable"
+	case StatusDeadline:
+		return "deadline_exceeded"
+	case StatusInternal:
+		return "internal"
+	}
+	return fmt.Sprintf("status(%d)", uint8(s))
+}
+
+// Retryable reports whether the status is a transient condition the JSON
+// endpoint would answer 503 for.
+func (s Status) Retryable() bool {
+	switch s {
+	case StatusCongested, StatusNoInstances, StatusUnavailable, StatusUnserviceable:
+		return true
+	}
+	return false
+}
+
+// Request is one decoded inference request.
+type Request struct {
+	// ID is the client-chosen multiplexing id, echoed on the response.
+	ID uint64
+	// Deadline is the request deadline in unix nanoseconds (0 = none).
+	Deadline int64
+	// Mode is ModeText or ModeTokens.
+	Mode uint8
+	// Text is the input to tokenize (ModeText).
+	Text string
+	// Tokens are the pre-encoded token ids (ModeTokens).
+	Tokens []uint32
+}
+
+// Response is one decoded inference reply; the fields mirror the JSON
+// InferResponse with durations in nanoseconds.
+type Response struct {
+	ID           uint64
+	Status       Status
+	Label        uint8
+	SeqLen       uint32
+	LatencyNS    uint64
+	QueueNS      uint64
+	ExecNS       uint64
+	DemotionHops uint16
+	Instance     uint32
+	Runtime      uint32
+	Batch        int64
+	BatchSize    uint32
+	// Message is the error detail when Status != StatusOK.
+	Message string
+}
+
+// Decode errors. ErrFrameTooLarge aborts the connection (the stream
+// cannot be resynchronized); the others are per-frame.
+var (
+	ErrFrameTooLarge = errors.New("wire: frame exceeds MaxFrame")
+	ErrShortPayload  = errors.New("wire: truncated payload")
+	ErrBadKind       = errors.New("wire: unexpected frame kind")
+	ErrBadMode       = errors.New("wire: unknown request mode")
+	ErrBadStatus     = errors.New("wire: unknown response status")
+)
+
+const (
+	reqHeaderLen  = 1 + 8 + 8 + 1 // kind, id, deadline, mode
+	respHeaderLen = 1 + 8 + 1     // kind, id, status
+	respOKLen     = respHeaderLen + 1 + 4 + 8 + 8 + 8 + 2 + 4 + 4 + 8 + 4
+)
+
+// AppendFrame appends the length prefix and payload to dst. Use with a
+// payload built by AppendRequest/AppendResponse on a reused buffer, then
+// write dst in one syscall.
+func AppendFrame(dst, payload []byte) []byte {
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(len(payload)))
+	return append(dst, payload...)
+}
+
+// ReadFrame reads one length-prefixed payload into buf (grown as needed)
+// and returns the payload slice, valid until the next call with the same
+// buffer. io.EOF is returned bare only on a clean frame boundary.
+func ReadFrame(r io.Reader, buf []byte) ([]byte, []byte, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, buf, err
+	}
+	n := binary.LittleEndian.Uint32(hdr[:])
+	if n > MaxFrame {
+		return nil, buf, ErrFrameTooLarge
+	}
+	if cap(buf) < int(n) {
+		buf = make([]byte, n)
+	}
+	buf = buf[:n]
+	if _, err := io.ReadFull(r, buf); err != nil {
+		if err == io.EOF {
+			err = io.ErrUnexpectedEOF
+		}
+		return nil, buf, err
+	}
+	return buf, buf, nil
+}
+
+// AppendRequest appends the encoded request payload (no length prefix).
+func AppendRequest(dst []byte, r *Request) []byte {
+	dst = append(dst, KindRequest)
+	dst = binary.LittleEndian.AppendUint64(dst, r.ID)
+	dst = binary.LittleEndian.AppendUint64(dst, uint64(r.Deadline))
+	dst = append(dst, r.Mode)
+	switch r.Mode {
+	case ModeTokens:
+		dst = binary.LittleEndian.AppendUint32(dst, uint32(len(r.Tokens)))
+		for _, id := range r.Tokens {
+			dst = binary.LittleEndian.AppendUint32(dst, id)
+		}
+	default:
+		dst = append(dst, r.Text...)
+	}
+	return dst
+}
+
+// DecodeRequest parses a request payload. The returned Request aliases p
+// (Text and Tokens reference its bytes where possible) — copy before
+// reusing the read buffer if the request outlives the frame. Tokens are
+// decoded into tokens[:0] when a scratch slice is supplied.
+func DecodeRequest(p []byte, tokens []uint32) (Request, error) {
+	var r Request
+	if len(p) < reqHeaderLen {
+		return r, ErrShortPayload
+	}
+	if p[0] != KindRequest {
+		return r, ErrBadKind
+	}
+	r.ID = binary.LittleEndian.Uint64(p[1:])
+	r.Deadline = int64(binary.LittleEndian.Uint64(p[9:]))
+	r.Mode = p[17]
+	body := p[reqHeaderLen:]
+	switch r.Mode {
+	case ModeText:
+		r.Text = string(body)
+	case ModeTokens:
+		if len(body) < 4 {
+			return r, ErrShortPayload
+		}
+		n := binary.LittleEndian.Uint32(body)
+		body = body[4:]
+		if uint64(len(body)) != uint64(n)*4 {
+			return r, fmt.Errorf("%w: %d token bytes for count %d", ErrShortPayload, len(body), n)
+		}
+		toks := tokens[:0]
+		for i := uint32(0); i < n; i++ {
+			toks = append(toks, binary.LittleEndian.Uint32(body[i*4:]))
+		}
+		r.Tokens = toks
+	default:
+		return r, ErrBadMode
+	}
+	return r, nil
+}
+
+// AppendResponse appends the encoded response payload (no length prefix).
+func AppendResponse(dst []byte, r *Response) []byte {
+	dst = append(dst, KindResponse)
+	dst = binary.LittleEndian.AppendUint64(dst, r.ID)
+	dst = append(dst, uint8(r.Status))
+	if r.Status != StatusOK {
+		return append(dst, r.Message...)
+	}
+	dst = append(dst, r.Label)
+	dst = binary.LittleEndian.AppendUint32(dst, r.SeqLen)
+	dst = binary.LittleEndian.AppendUint64(dst, r.LatencyNS)
+	dst = binary.LittleEndian.AppendUint64(dst, r.QueueNS)
+	dst = binary.LittleEndian.AppendUint64(dst, r.ExecNS)
+	dst = binary.LittleEndian.AppendUint16(dst, r.DemotionHops)
+	dst = binary.LittleEndian.AppendUint32(dst, r.Instance)
+	dst = binary.LittleEndian.AppendUint32(dst, r.Runtime)
+	dst = binary.LittleEndian.AppendUint64(dst, uint64(r.Batch))
+	dst = binary.LittleEndian.AppendUint32(dst, r.BatchSize)
+	return dst
+}
+
+// DecodeResponse parses a response payload. Message aliases p on error
+// statuses.
+func DecodeResponse(p []byte) (Response, error) {
+	var r Response
+	if len(p) < respHeaderLen {
+		return r, ErrShortPayload
+	}
+	if p[0] != KindResponse {
+		return r, ErrBadKind
+	}
+	r.ID = binary.LittleEndian.Uint64(p[1:])
+	r.Status = Status(p[9])
+	if r.Status >= numStatuses {
+		return r, ErrBadStatus
+	}
+	if r.Status != StatusOK {
+		r.Message = string(p[respHeaderLen:])
+		return r, nil
+	}
+	if len(p) < respOKLen {
+		return r, ErrShortPayload
+	}
+	r.Label = p[10]
+	r.SeqLen = binary.LittleEndian.Uint32(p[11:])
+	r.LatencyNS = binary.LittleEndian.Uint64(p[15:])
+	r.QueueNS = binary.LittleEndian.Uint64(p[23:])
+	r.ExecNS = binary.LittleEndian.Uint64(p[31:])
+	r.DemotionHops = binary.LittleEndian.Uint16(p[39:])
+	r.Instance = binary.LittleEndian.Uint32(p[41:])
+	r.Runtime = binary.LittleEndian.Uint32(p[45:])
+	r.Batch = int64(binary.LittleEndian.Uint64(p[49:]))
+	r.BatchSize = binary.LittleEndian.Uint32(p[57:])
+	return r, nil
+}
