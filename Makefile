@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-short race chaos fuzz bench bench-dispatch bench-obs bench-batch bench-serve bench-ingress experiments experiments-full vet staticcheck lint fmt clean
+.PHONY: all build test test-short race chaos fuzz bench bench-dispatch bench-obs bench-batch bench-serve bench-ingress bench-generate experiments experiments-full vet staticcheck lint fmt clean
 
 all: build test
 
@@ -16,11 +16,13 @@ test-short:
 	$(GO) test -short ./...
 
 race:
-	$(GO) test -race ./internal/queue/ ./internal/dispatch/ ./internal/cluster/ ./internal/serve/ ./internal/core/ ./internal/multistream/ ./internal/metrics/ ./internal/tokenizer/ ./internal/obs/ ./internal/failover/ ./internal/chaos/ ./internal/batcher/ ./internal/ring/ ./internal/wire/
+	$(GO) test -race ./internal/queue/ ./internal/dispatch/ ./internal/cluster/ ./internal/serve/ ./internal/core/ ./internal/multistream/ ./internal/metrics/ ./internal/tokenizer/ ./internal/obs/ ./internal/failover/ ./internal/chaos/ ./internal/batcher/ ./internal/ring/ ./internal/wire/ ./internal/trace/ ./internal/model/
 
 # The deterministic fault-injection harness: 500 seeded runs of the live
 # cluster under scripted crashes, slowdowns and cancellations, with the
-# conservation invariants audited after every run.
+# conservation invariants audited after every run. The ManySeeds pattern
+# also matches the generative sweep (continuous batching, per-iteration
+# conservation plus full-token-count audit).
 chaos:
 	$(GO) test -race -run 'TestConservationManySeeds|TestScripted|TestRecovery|TestCrossCheck' -v ./internal/chaos/
 
@@ -28,7 +30,8 @@ chaos:
 # per target (same budget CI uses).
 fuzz:
 	$(GO) test -run '^$$' -fuzz FuzzTokenizerEncode -fuzztime 30s ./internal/tokenizer/
-	$(GO) test -run '^$$' -fuzz FuzzTraceParse -fuzztime 30s ./internal/trace/
+	$(GO) test -run '^$$' -fuzz 'FuzzTraceParse$$' -fuzztime 30s ./internal/trace/
+	$(GO) test -run '^$$' -fuzz FuzzGenerativeTraceParse -fuzztime 30s ./internal/trace/
 	$(GO) test -run '^$$' -fuzz FuzzBatchWindow -fuzztime 30s ./internal/batcher/
 	$(GO) test -run '^$$' -fuzz FuzzWireDecode -fuzztime 30s ./internal/wire/
 
@@ -64,6 +67,13 @@ bench-serve:
 # grouped vs per-request submit layer. Writes BENCH_ingress.json.
 bench-ingress:
 	$(GO) run ./cmd/arlobench -exp bench-ingress
+
+# Continuous (iteration-level) batching vs run-to-completion on a
+# generative burst: same prompts and output budgets through both worker
+# loops; continuous must win throughput at equal-or-better p99 TTFT.
+# Writes BENCH_generate.json.
+bench-generate:
+	$(GO) run ./cmd/arlobench -exp bench-generate
 
 # Regenerate every table and figure of the paper (quick mode, ~1 min).
 experiments:

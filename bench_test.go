@@ -105,7 +105,7 @@ func benchComparison(b *testing.B, lm *model.LatencyModel, slo time.Duration, ra
 // BenchmarkFig8AutoScaled measures a full auto-scaled simulation (Fig. 8
 // conditions, shortened trace).
 func BenchmarkFig8AutoScaled(b *testing.B) {
-	a, err := core.New(core.Options{Model: "bert-large", AllocPeriod: 30 * time.Second})
+	a, err := core.NewSystem(core.WithModel("bert-large"), core.WithAllocPeriod(30*time.Second))
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -370,7 +370,7 @@ func BenchmarkFig11RuntimeSweep(b *testing.B) {
 // BenchmarkTable3PeriodicAllocation measures the periodic-allocation
 // policy end to end (Table 3 conditions, shortened trace).
 func BenchmarkTable3PeriodicAllocation(b *testing.B) {
-	a, err := core.New(core.Options{Model: "bert-large", AllocPeriod: 20 * time.Second})
+	a, err := core.NewSystem(core.WithModel("bert-large"), core.WithAllocPeriod(20*time.Second))
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -426,7 +426,7 @@ func BenchmarkTable4Dispatchers(b *testing.B) {
 // BenchmarkFig12AllocationSeries measures the Runtime Scheduler tracking a
 // drifting trace (Fig. 12 conditions, shortened).
 func BenchmarkFig12AllocationSeries(b *testing.B) {
-	a, err := core.New(core.Options{Model: "bert-large", AllocPeriod: 15 * time.Second})
+	a, err := core.NewSystem(core.WithModel("bert-large"), core.WithAllocPeriod(15*time.Second))
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -450,7 +450,7 @@ func BenchmarkFig12AllocationSeries(b *testing.B) {
 // section 5.2.1 calibration (the prototype half runs in real time and is
 // exercised by cmd/arlobench -exp calib).
 func BenchmarkCalibrationSimulator(b *testing.B) {
-	a, err := core.New(core.Options{})
+	a, err := core.NewSystem()
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -472,7 +472,7 @@ func BenchmarkCalibrationSimulator(b *testing.B) {
 // the even-split heuristic on identical demand (design choice: exact
 // Pareto-DP vs cheap heuristics).
 func BenchmarkAblationExactVsEvenAllocation(b *testing.B) {
-	a, err := core.New(core.Options{})
+	a, err := core.NewSystem()
 	if err != nil {
 		b.Fatal(err)
 	}

@@ -39,17 +39,23 @@ func main() {
 		chaosOn     = flag.Bool("chaos", false, "expose /v1/chaos/ fault-injection endpoints (testing only)")
 		batchSize   = flag.Int("batch-size", 1, "dynamic batching cap per instance (<=1 disables)")
 		batchDelay  = flag.Duration("batch-delay", 0, "batch collection window (0 = SLO/100, negative = greedy)")
+		continuous  = flag.Bool("continuous", false, "iteration-level (continuous) batching for generative workloads")
+		meanOut     = flag.Float64("mean-out-tokens", 0, "expected output length hint for continuous capacity planning (0 = default 16)")
 		wireAddr    = flag.String("wire-addr", "", "binary wire-protocol listen address (empty disables, e.g. :8081)")
 		ingressOn   = flag.Bool("ingress", false, "submit through sharded ingress rings with grouped dispatch")
 		ingressGrp  = flag.Int("ingress-group", 0, "ingress drain group size (0 = default)")
 	)
 	flag.Parse()
 
-	a, err := core.NewSystem(
+	sysOpts := []core.Option{
 		core.WithModel(*model),
 		core.WithDispatchPolicy(*policy),
 		core.WithBatching(*batchSize, *batchDelay),
-	)
+	}
+	if *continuous {
+		sysOpts = append(sysOpts, core.WithContinuousBatching(*batchSize, *meanOut))
+	}
+	a, err := core.NewSystem(sysOpts...)
 	if err != nil {
 		log.Fatalf("arlo-server: %v", err)
 	}
@@ -129,7 +135,10 @@ func main() {
 	}()
 	fmt.Printf("arlo-server: %s on %s with %d emulated GPUs (%d runtimes, policy %s, SLO %v); metrics at /metrics\n",
 		*model, *addr, *gpus, len(a.Profile.Runtimes), *policy, a.SLO())
-	if *batchSize > 1 {
+	if *continuous {
+		fmt.Printf("arlo-server: continuous (iteration-level) batching on (slots %d); POST /v1/generate, watch arlo_ttft_seconds on /metrics\n",
+			*batchSize)
+	} else if *batchSize > 1 {
 		fmt.Printf("arlo-server: dynamic batching on (cap %d, window %v); watch arlo_batch_size on /metrics\n",
 			*batchSize, *batchDelay)
 	}

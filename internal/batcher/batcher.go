@@ -98,6 +98,31 @@ func (f *Former[T]) Next(buf []T) (batch []T, ok bool) {
 // its first member's arrival at the Former to Next's return.
 func (f *Former[T]) FormedIn() time.Duration { return time.Since(f.firstAt) }
 
+// Poll collects up to max already-queued items into buf without blocking —
+// the iteration-level admission path. A continuous-batching worker with
+// sequences mid-decode calls Poll once per iteration to refill freed slots:
+// it must never stall the decode of sequences already running, so there is
+// no collection window here (the running batch *is* the window). Items
+// arrive in Source order, preserving FIFO within the runtime level.
+//
+// open is false once Source is closed and drained; items collected on the
+// closing call are still returned and must be processed.
+func (f *Former[T]) Poll(buf []T, max int) (batch []T, open bool) {
+	batch = buf
+	for len(batch) < max {
+		select {
+		case it, ok := <-f.Source:
+			if !ok {
+				return batch, false
+			}
+			batch = append(batch, it)
+		default:
+			return batch, true
+		}
+	}
+	return batch, true
+}
+
 // wait is the window phase: the queue ran dry before the batch filled, so
 // wait out the remaining collection window for followers.
 func (f *Former[T]) wait(batch []T, max int) ([]T, bool) {

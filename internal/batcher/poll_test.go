@@ -1,0 +1,201 @@
+package batcher
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// pollWorld drives a Former.Poll-based admission loop the way the
+// continuous-batching worker does — items occupy a decode slot for a few
+// iterations, freed slots refill from the queue each round — and checks it
+// round-for-round against a naive reference model (a plain FIFO queue with
+// the same slot accounting).
+type pollWorld struct {
+	slots  int
+	src    chan int
+	former *Former[int]
+
+	// worker state: remaining iterations per admitted item id.
+	active map[int]int
+	// reference state.
+	refQueue  []int
+	refActive map[int]int
+
+	admitted []int // admission order, for FIFO + exactly-once audit
+	buf      []int
+}
+
+func newPollWorld(slots, capacity int) *pollWorld {
+	src := make(chan int, capacity)
+	return &pollWorld{
+		slots:     slots,
+		src:       src,
+		former:    &Former[int]{Source: src, Policy: Policy{MaxSize: slots}},
+		active:    make(map[int]int),
+		refActive: make(map[int]int),
+	}
+}
+
+// round runs one admission + decode iteration and audits it against the
+// reference model. remain maps item id -> its decode residency.
+func (w *pollWorld) round(t *testing.T, remain []int) {
+	t.Helper()
+
+	// Admission through the Former.
+	free := w.slots - len(w.active)
+	var polled []int
+	if free > 0 {
+		var open bool
+		polled, open = w.former.Poll(w.buf[:0], free)
+		if !open {
+			t.Fatal("source closed unexpectedly")
+		}
+		for _, id := range polled {
+			if _, dup := w.active[id]; dup {
+				t.Fatalf("item %d admitted twice into the active set", id)
+			}
+			w.active[id] = remain[id]
+			w.admitted = append(w.admitted, id)
+		}
+	}
+	if len(w.active) > w.slots {
+		t.Fatalf("size cap violated: %d active > %d slots", len(w.active), w.slots)
+	}
+
+	// Reference admission: FIFO from the queue into free slots.
+	refFree := w.slots - len(w.refActive)
+	var refPolled []int
+	for len(refPolled) < refFree && len(w.refQueue) > 0 {
+		id := w.refQueue[0]
+		w.refQueue = w.refQueue[1:]
+		w.refActive[id] = remain[id]
+		refPolled = append(refPolled, id)
+	}
+
+	// The Former must admit exactly the reference's items, in order.
+	if len(polled) != len(refPolled) {
+		t.Fatalf("admitted %v, reference admitted %v", polled, refPolled)
+	}
+	for i := range polled {
+		if polled[i] != refPolled[i] {
+			t.Fatalf("admission order diverged: %v vs reference %v", polled, refPolled)
+		}
+	}
+
+	// One decode iteration: everything resident advances, finished exits.
+	for id := range w.active {
+		w.active[id]--
+		if w.active[id] <= 0 {
+			delete(w.active, id)
+		}
+	}
+	for id := range w.refActive {
+		w.refActive[id]--
+		if w.refActive[id] <= 0 {
+			delete(w.refActive, id)
+		}
+	}
+}
+
+func (w *pollWorld) enqueue(id int) {
+	w.src <- id
+	w.refQueue = append(w.refQueue, id)
+}
+
+// TestPollMatchesReferenceModel drives random schedules — bursty arrivals,
+// variable residencies, slots freeing mid-flight — and demands the
+// Poll-based admission loop match the naive model exactly: every item
+// admitted exactly once, FIFO within the level, size cap never exceeded
+// even when slots free up between polls.
+func TestPollMatchesReferenceModel(t *testing.T) {
+	for seed := int64(0); seed < 50; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		slots := 1 + rng.Intn(8)
+		n := 20 + rng.Intn(180)
+		w := newPollWorld(slots, n)
+		remain := make([]int, n)
+		for i := range remain {
+			remain[i] = 1 + rng.Intn(5)
+		}
+
+		next := 0
+		for rounds := 0; next < n || len(w.active) > 0 || len(w.refQueue) > 0; rounds++ {
+			if rounds > 10*n+100 {
+				t.Fatalf("seed %d: admission loop did not drain", seed)
+			}
+			// Bursty arrivals: 0-4 items land before this iteration.
+			for k := rng.Intn(5); k > 0 && next < n; k-- {
+				w.enqueue(next)
+				next++
+			}
+			w.round(t, remain)
+		}
+
+		if len(w.admitted) != n {
+			t.Fatalf("seed %d: admitted %d of %d items", seed, len(w.admitted), n)
+		}
+		for i, id := range w.admitted {
+			if id != i {
+				t.Fatalf("seed %d: FIFO broken: position %d admitted item %d", seed, i, id)
+			}
+		}
+	}
+}
+
+// TestPollNeverBlocks pins the non-blocking contract: an empty source
+// yields an empty batch immediately with open=true.
+func TestPollNeverBlocks(t *testing.T) {
+	src := make(chan int)
+	f := &Former[int]{Source: src, Policy: Policy{MaxSize: 4}}
+	batch, open := f.Poll(nil, 4)
+	if !open {
+		t.Fatal("open source reported closed")
+	}
+	if len(batch) != 0 {
+		t.Fatalf("empty source yielded %v", batch)
+	}
+}
+
+// TestPollClosedSource pins shutdown: items already queued on the closing
+// call are still delivered, and open flips false only once drained.
+func TestPollClosedSource(t *testing.T) {
+	src := make(chan int, 4)
+	src <- 1
+	src <- 2
+	close(src)
+	f := &Former[int]{Source: src}
+	batch, open := f.Poll(nil, 8)
+	if open {
+		t.Error("drained closed source should report open=false")
+	}
+	if len(batch) != 2 || batch[0] != 1 || batch[1] != 2 {
+		t.Fatalf("closing poll lost items: %v", batch)
+	}
+	batch, open = f.Poll(batch[:0], 8)
+	if open || len(batch) != 0 {
+		t.Fatalf("post-close poll: batch=%v open=%v", batch, open)
+	}
+}
+
+// TestPollHonorsMax pins the size cap when the queue holds more than the
+// free slots: exactly max items come out, the rest stay queued in order.
+func TestPollHonorsMax(t *testing.T) {
+	src := make(chan int, 10)
+	for i := 0; i < 10; i++ {
+		src <- i
+	}
+	f := &Former[int]{Source: src}
+	batch, open := f.Poll(nil, 3)
+	if !open || len(batch) != 3 {
+		t.Fatalf("poll(3): batch=%v open=%v", batch, open)
+	}
+	batch, open = f.Poll(batch[:0], 100)
+	if !open || len(batch) != 7 {
+		t.Fatalf("second poll should yield the 7 remaining, got %v", batch)
+	}
+	for i, id := range batch {
+		if id != i+3 {
+			t.Fatalf("order broken across polls: %v", batch)
+		}
+	}
+}

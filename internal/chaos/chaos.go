@@ -84,6 +84,16 @@ type Config struct {
 	// BatchDelay bounds the batch-collection window in modeled time (see
 	// cluster.Config.BatchDelay).
 	BatchDelay time.Duration
+	// Generative switches the cluster to the continuous (iteration-level)
+	// batching loop and gives every request an output budget: the trace's
+	// own OutTokens when set, otherwise a seeded draw from
+	// [1, MaxNewTokens]. Conservation extends to the iteration level — a
+	// completed request must deliver its full token count (crash-displaced
+	// partial generations restart, they do not leak).
+	Generative bool
+	// MaxNewTokens bounds the drawn output budgets (default 32; only read
+	// when Generative).
+	MaxNewTokens int
 }
 
 // Report is the audited outcome of one run. Submitted is partitioned
@@ -163,6 +173,10 @@ func Run(cfg Config) (*Report, error) {
 			return dispatch.NewRequestScheduler(ml)
 		}
 	}
+	maxNew := cfg.MaxNewTokens
+	if maxNew < 1 {
+		maxNew = 32
+	}
 	rec := obs.NewRecorder(len(cfg.Profile.MaxLengths()))
 	cl, err := cluster.New(cluster.Config{
 		Profile:           cfg.Profile,
@@ -174,6 +188,8 @@ func Run(cfg Config) (*Report, error) {
 		Observer:          rec,
 		MaxBatch:          cfg.MaxBatch,
 		BatchDelay:        cfg.BatchDelay,
+		Continuous:        cfg.Generative,
+		MeanOutTokens:     float64(maxNew+1) / 2,
 	})
 	if err != nil {
 		return nil, err
@@ -200,13 +216,23 @@ func Run(cfg Config) (*Report, error) {
 	}
 	sort.SliceStable(steps, func(i, j int) bool { return steps[i].at < steps[j].at })
 
-	// Cancellation deadlines are drawn up front, in schedule order, so
-	// the stimulus depends only on the seed.
+	// Cancellation deadlines and output budgets are drawn up front, in
+	// schedule order, so the stimulus depends only on the seed.
 	deadlines := make([]time.Duration, len(steps))
+	budgets := make([]int, len(steps))
 	for i, st := range steps {
-		if st.req != nil && rng.Float64() < cfg.CancelFraction {
+		if st.req == nil {
+			continue
+		}
+		if rng.Float64() < cfg.CancelFraction {
 			// Tight enough to race queueing and the failure windows.
 			deadlines[i] = time.Duration(1+rng.Intn(5)) * time.Millisecond
+		}
+		if cfg.Generative {
+			budgets[i] = st.req.OutTokens
+			if budgets[i] < 1 {
+				budgets[i] = 1 + rng.Intn(maxNew)
+			}
 		}
 	}
 
@@ -271,6 +297,7 @@ func Run(cfg Config) (*Report, error) {
 		rep.Submitted++
 		length := st.req.Length
 		deadline := deadlines[i]
+		budget := budgets[i]
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
@@ -280,7 +307,13 @@ func Run(cfg Config) (*Report, error) {
 				ctx, cancel = context.WithTimeout(ctx, time.Duration(float64(deadline)*scale))
 				defer cancel()
 			}
-			_, err := cl.SubmitCtx(ctx, cluster.Request{Length: length})
+			res, err := cl.SubmitCtx(ctx, cluster.Request{Length: length, MaxNewTokens: budget})
+			if err == nil && budget > 0 && res.Span.OutTokens != budget {
+				// Iteration-level conservation: a completion must carry its
+				// full generation — a short count means a crash-displaced
+				// partial leaked through as finished.
+				err = fmt.Errorf("chaos: completed with %d of %d tokens", res.Span.OutTokens, budget)
+			}
 			classify(err)
 		}()
 	}

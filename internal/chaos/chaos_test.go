@@ -69,6 +69,54 @@ func TestConservationManySeeds(t *testing.T) {
 	}
 }
 
+// TestConservationManySeedsGenerative re-runs the conservation sweep with
+// the cluster in continuous (iteration-level) batching mode and every
+// request carrying an output budget. The invariants tighten: beyond the
+// outcome partition and balanced books, every completion must deliver its
+// full token count — a crash mid-decode displaces the resident sequence,
+// which restarts and finishes exactly once; partial generations never
+// surface as completed. Run with -race to also audit the per-iteration
+// admission synchronization.
+func TestConservationManySeedsGenerative(t *testing.T) {
+	seeds := 150
+	if testing.Short() {
+		seeds = 40
+	}
+	p := testProfile(t)
+	for seed := 0; seed < seeds; seed++ {
+		tr, err := trace.Generate(trace.Generative(int64(seed), 120, 200*time.Millisecond, 8, 32))
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg := Config{
+			Profile:        p,
+			Allocation:     []int{1, 2},
+			Trace:          tr,
+			TimeScale:      0.02,
+			Seed:           int64(seed),
+			CancelFraction: 0.2,
+			MaxBatch:       4,
+			Generative:     true,
+			MaxNewTokens:   32,
+			Events: []Event{
+				{At: 20 * time.Millisecond, Kind: Slow, Runtime: 1, Factor: 3},
+				{At: 50 * time.Millisecond, Kind: Fail, Runtime: 1, Downtime: 60 * time.Millisecond},
+				{At: 100 * time.Millisecond, Kind: Fail, Runtime: -1, Downtime: 0},
+			},
+		}
+		rep, err := Run(cfg)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if err := rep.Check(); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if rep.Submitted != len(cfg.Trace.Requests) {
+			t.Fatalf("seed %d: submitted %d of %d trace requests", seed, rep.Submitted, len(cfg.Trace.Requests))
+		}
+	}
+}
+
 // TestScriptedPermanentFailure pins the deterministic end state of a
 // permanent crash: the runtime's allocation shrinks by one, displaced
 // work is visible on the requeue counters, and the books still balance.

@@ -105,6 +105,19 @@ type Config struct {
 	// SLO-aware Profile.SLO/100; negative disables waiting entirely
 	// (greedy formation — batches are whatever is already queued).
 	BatchDelay time.Duration
+	// Continuous switches workers to iteration-level (continuous)
+	// batching for generative workloads: the batch is re-formed every
+	// iteration, completed sequences exit immediately, and queued requests
+	// are admitted into freed decode slots mid-flight (no collection
+	// window while sequences are resident). Slot count per instance is the
+	// same SLO-clamped B_i the run-to-completion path uses. Encoder
+	// requests flow through unchanged (a prefill-only iteration).
+	Continuous bool
+	// MeanOutTokens hints the expected output length of generative
+	// requests for the capacity model (the gen-aware M_i fed into the
+	// queue's lambda-congestion estimate). 0 defaults to 16. Only read
+	// when Continuous is set.
+	MeanOutTokens float64
 }
 
 // Cluster is a running set of emulated GPU workers.
@@ -124,10 +137,13 @@ type Cluster struct {
 
 	// maxBatch and batchDelay are the normalized batching knobs (1 / 0
 	// when batching is off); batchSeq numbers executed batches for span
-	// correlation.
+	// correlation. continuous selects the iteration-level worker loop and
+	// meanOut is its capacity-model output-length hint.
 	maxBatch   int
 	batchDelay time.Duration
 	batchSeq   atomic.Int64
+	continuous bool
+	meanOut    float64
 
 	// obsRec is the observability recorder; nil disables recording (all
 	// recorder methods are nil-receiver safe, so the hot path pays one
@@ -212,6 +228,13 @@ type job struct {
 	batchSize   int
 	dec         dispatch.Decision
 	instID      int
+
+	// maxNew is the request's output token budget (0 = encoder request);
+	// ttft and outTokens are the generative results the worker writes
+	// before the done send.
+	maxNew    int
+	ttft      time.Duration
+	outTokens int
 }
 
 // failedLatency is the sentinel delivered on the done channel when a job
@@ -244,6 +267,9 @@ func newJob(length int) *job {
 	j.batchSize = 0
 	j.dec = dispatch.Decision{}
 	j.instID = 0
+	j.maxNew = 0
+	j.ttft = 0
+	j.outTokens = 0
 	return j
 }
 
@@ -354,6 +380,10 @@ func New(cfg Config) (*Cluster, error) {
 		// for followers can never dominate the latency budget.
 		batchDelay = cfg.Profile.SLO / 100
 	}
+	meanOut := cfg.MeanOutTokens
+	if meanOut < 1 {
+		meanOut = 16
+	}
 	c := &Cluster{
 		cfg:        cfg,
 		ml:         ml,
@@ -366,6 +396,8 @@ func New(cfg Config) (*Cluster, error) {
 		budget:     budget,
 		maxBatch:   maxBatch,
 		batchDelay: batchDelay,
+		continuous: cfg.Continuous,
+		meanOut:    meanOut,
 	}
 	if cd, ok := disp.(dispatch.ContextDispatcher); ok {
 		c.dispCtx = cd
@@ -396,9 +428,14 @@ func (c *Cluster) addWorker(rtIdx int) error {
 	// With batching, the instance's congestion ceiling is the batch-aware
 	// M_i: the sequential capacity would make Algorithm 1's lambda
 	// threshold see congestion at loads a batching instance drains within
-	// the SLO, over-demoting into larger runtimes.
+	// the SLO, over-demoting into larger runtimes. A continuous-batching
+	// instance additionally holds decode slots for many iterations per
+	// request, so its ceiling is the generative M_i.
 	capn := rt.Capacity
-	if bcap := c.batchCapFor(rt); bcap > 1 {
+	bcap := c.batchCapFor(rt)
+	if c.continuous {
+		capn = rt.GenCapacity(bcap, c.meanOut)
+	} else if bcap > 1 {
 		capn = rt.BatchCapacity(bcap)
 	}
 	inst := &queue.Instance{ID: c.nextID, Runtime: rtIdx, MaxCapacity: capn}
@@ -410,9 +447,12 @@ func (c *Cluster) addWorker(rtIdx int) error {
 	w.slow.Store(math.Float64bits(1))
 	c.workers[inst.ID] = w
 	c.wg.Add(1)
-	if c.batchCapFor(rt) > 1 {
+	switch {
+	case c.continuous:
+		go c.runWorkerContinuous(w, rt)
+	case bcap > 1:
 		go c.runWorkerBatched(w, rt)
-	} else {
+	default:
 		go c.runWorker(w, rt)
 	}
 	return nil
@@ -479,7 +519,13 @@ func (c *Cluster) runWorker(w *worker, rt profiler.Runtime) {
 			continue
 		}
 		execStart := time.Now()
-		cost := time.Duration(float64(rt.CostOf(j.length)) * c.scale * w.slowFactor())
+		modeled := rt.CostOf(j.length)
+		if j.maxNew > 1 {
+			// Generative request on a sequential worker: run-to-completion,
+			// prefill plus maxNew-1 decode steps as one emulated kernel.
+			modeled = rt.GenCostOf(j.length, j.maxNew)
+		}
+		cost := time.Duration(float64(modeled) * c.scale * w.slowFactor())
 		interrupted := c.emulate(w, timer, execStart, cost)
 		c.ml.OnComplete(w.inst)
 		if interrupted {
@@ -499,6 +545,12 @@ func (c *Cluster) runWorker(w *worker, rt profiler.Runtime) {
 		lat = time.Duration(float64(lat) / c.scale)
 		j.wait = time.Duration(float64(execStart.Sub(j.started)) / c.scale)
 		j.exec = time.Duration(float64(time.Since(execStart)) / c.scale)
+		if j.maxNew >= 1 {
+			// First token lands at the end of the prefill; the execution is
+			// emulated from the same model, so the split is the model's.
+			j.ttft = j.wait + rt.CostOf(j.length)
+			j.outTokens = j.maxNew
+		}
 		if j.state.CompareAndSwap(jobRunning, jobDone) {
 			j.done <- lat + c.overhead
 		} else {
@@ -581,7 +633,7 @@ func (c *Cluster) runWorkerBatched(w *worker, rt profiler.Runtime) {
 		Interrupt: w.kill,
 	}
 	var batch, run []*job
-	var lengths []int
+	var lengths, outs []int
 	for {
 		var ok bool
 		batch, ok = former.Next(batch[:0])
@@ -603,7 +655,8 @@ func (c *Cluster) runWorkerBatched(w *worker, rt profiler.Runtime) {
 		}
 		// Promote members; a lost CAS is a cancellation during formation
 		// and drops only that member.
-		run, lengths = run[:0], lengths[:0]
+		run, lengths, outs = run[:0], lengths[:0], outs[:0]
+		anyGen := false
 		for _, j := range batch {
 			if !j.state.CompareAndSwap(jobPending, jobRunning) {
 				c.ml.OnComplete(w.inst)
@@ -612,6 +665,13 @@ func (c *Cluster) runWorkerBatched(w *worker, rt profiler.Runtime) {
 			}
 			run = append(run, j)
 			lengths = append(lengths, j.length)
+			out := j.maxNew
+			if out < 1 {
+				out = 1
+			} else {
+				anyGen = true
+			}
+			outs = append(outs, out)
 		}
 		if len(run) == 0 {
 			continue
@@ -620,7 +680,14 @@ func (c *Cluster) runWorkerBatched(w *worker, rt profiler.Runtime) {
 		batchID := c.batchSeq.Add(1)
 		c.obsRec.Load().RecordBatch(rt.Index, len(run))
 		execStart := time.Now()
-		cost := time.Duration(float64(rt.BatchCostOf(lengths)) * c.scale * w.slowFactor())
+		modeled := rt.BatchCostOf(lengths)
+		if anyGen {
+			// Run-to-completion generative semantics: every slot stays held
+			// until the longest output finishes — the baseline the
+			// continuous loop is benchmarked against.
+			modeled = rt.GenBatchCostOf(lengths, outs)
+		}
+		cost := time.Duration(float64(modeled) * c.scale * w.slowFactor())
 		interrupted := c.emulate(w, timer, execStart, cost)
 		for range run {
 			c.ml.OnComplete(w.inst)
@@ -639,6 +706,10 @@ func (c *Cluster) runWorkerBatched(w *worker, rt profiler.Runtime) {
 			continue
 		}
 		execEnd := time.Now()
+		var prefill time.Duration
+		if anyGen {
+			prefill = rt.BatchCostOf(lengths)
+		}
 		for _, j := range run {
 			lat := time.Duration(float64(execEnd.Sub(j.started)) / c.scale)
 			j.wait = time.Duration(float64(execStart.Sub(j.started)) / c.scale)
@@ -646,6 +717,12 @@ func (c *Cluster) runWorkerBatched(w *worker, rt profiler.Runtime) {
 			j.formWait = formWait
 			j.batchID = batchID
 			j.batchSize = len(run)
+			if j.maxNew >= 1 {
+				// Every member's first token lands when the shared prefill
+				// kernel ends (modeled split of the emulated execution).
+				j.ttft = j.wait + prefill
+				j.outTokens = j.maxNew
+			}
 			if j.state.CompareAndSwap(jobRunning, jobDone) {
 				j.done <- lat + c.overhead
 			} else {
@@ -663,6 +740,10 @@ type Request struct {
 	// input; it is folded into the request's span for the full
 	// tokenize -> complete decomposition.
 	Tokenize time.Duration
+	// MaxNewTokens is the generative output budget: the request decodes
+	// this many tokens (the prefill yields the first). 0 submits a plain
+	// encoder request.
+	MaxNewTokens int
 }
 
 // Result is the outcome of one completed request: the modeled latency
@@ -710,6 +791,9 @@ func (c *Cluster) SubmitCtx(ctx context.Context, req Request) (Result, error) {
 	}
 	j := newJob(req.Length)
 	j.tokenize = req.Tokenize
+	if req.MaxNewTokens > 0 {
+		j.maxNew = req.MaxNewTokens
+	}
 	if d, ok := ctx.Deadline(); ok {
 		// The batch former bounds its collection window by the slack this
 		// deadline leaves.
@@ -791,6 +875,8 @@ func (c *Cluster) finish(j *job, lat time.Duration, rec *obs.Recorder) Result {
 		BatchSize:   j.batchSize,
 		FormWait:    j.formWait,
 		IngressWait: j.ingressWait,
+		OutTokens:   j.outTokens,
+		TTFT:        j.ttft,
 	}
 	rec.RecordSpan(&span)
 	return Result{Latency: lat, Span: span}
@@ -1082,6 +1168,9 @@ func (c *Cluster) Replay(tr *trace.Trace) (*ReplayResult, error) {
 			time.Sleep(wait)
 		}
 		j := newJob(r.Length)
+		if r.OutTokens > 0 {
+			j.maxNew = r.OutTokens
+		}
 		if err := c.submit(context.Background(), j); err != nil {
 			jobPool.Put(j)
 			mu.Lock()

@@ -1,0 +1,239 @@
+package cluster
+
+import (
+	"time"
+
+	"arlo/internal/batcher"
+	"arlo/internal/obs"
+	"arlo/internal/profiler"
+)
+
+// Continuous (iteration-level) batching: instead of forming a batch once
+// and running it to completion, the worker re-forms its batch every
+// iteration. One iteration prefills the sequences admitted this round and
+// advances every resident sequence by one decode token, as a single
+// emulated kernel priced by the prefill+decode model
+// (Runtime.BatchCostOf + Runtime.DecodeStepCost). A sequence that emits
+// its last token leaves at the end of the iteration — its slot is open to
+// the next queued request on the very next one — so short outputs never
+// wait for long ones, which is where the throughput and TTFT win over the
+// run-to-completion loop comes from.
+//
+// Admission rule: with every slot empty the worker blocks in the batch
+// former's windowed Next (the SLO-aware collection window still shapes the
+// initial batch); with sequences mid-decode it switches to the
+// non-blocking Poll — decode iterations are never delayed to wait for
+// followers, the running batch itself is the collection window.
+
+// genSeq is one occupied decode slot.
+type genSeq struct {
+	j *job
+	// remain counts decode iterations still owed after the prefill (the
+	// prefill yields the first token).
+	remain int
+	// ctx is the current context length: prompt plus generated tokens.
+	ctx int
+	// prefilled marks sequences past their prefill iteration.
+	prefilled bool
+	// admitted is the wall-clock start of the sequence's prefill iteration.
+	admitted time.Time
+	// batchID/batchSize snapshot the prefill iteration for span
+	// correlation (the iteration a request joined, and how many sequences
+	// shared it).
+	batchID   int64
+	batchSize int
+}
+
+// runWorkerContinuous is the iteration-level worker loop.
+//
+// Lifecycle semantics per sequence, audited by the chaos harness's
+// generative mode:
+//
+//   - join-mid-flight: a request admitted through Poll is promoted
+//     pending -> running exactly like a formed batch member; a lost CAS is
+//     a cancellation while queued and drops only that request;
+//   - mid-decode cancellation: the submitter's running -> abandoned CAS is
+//     observed by the per-iteration sweep, which frees the slot instead of
+//     decoding dead tokens;
+//   - crash: a kill interrupts the in-flight iteration and every resident
+//     sequence restarts from scratch through the failover demotion path
+//     (partial generations are lost, as on a real GPU), while still-queued
+//     work drains through the same requeue path as the other loops.
+func (c *Cluster) runWorkerContinuous(w *worker, rt profiler.Runtime) {
+	defer c.wg.Done()
+	timer := time.NewTimer(time.Hour)
+	if !timer.Stop() {
+		<-timer.C
+	}
+	defer timer.Stop()
+	slots := c.batchCapFor(rt)
+	// The deadline slack a member must keep at admission: a full-width
+	// prefill plus its expected decode residency, in wall time.
+	decodeEst := time.Duration(float64(rt.DecodeStepUniform(slots, rt.MaxLength)) * (c.meanOut - 1))
+	execEstimate := time.Duration(float64(rt.BatchDrainTime(slots, slots)+decodeEst) * c.scale)
+	former := &batcher.Former[*job]{
+		Source: w.ch,
+		Policy: batcher.Policy{
+			MaxSize:  slots,
+			MaxDelay: time.Duration(float64(c.batchDelay) * c.scale),
+		},
+		Deadline: func(j *job) (time.Time, bool) {
+			if j.deadline.IsZero() {
+				return time.Time{}, false
+			}
+			return j.deadline.Add(-execEstimate), true
+		},
+		Interrupt: w.kill,
+	}
+
+	var (
+		active   []genSeq
+		incoming []*job
+		newLens  []int // prompt lengths prefilled this iteration
+		ctxs     []int // contexts decoded this iteration
+		closed   bool
+	)
+
+	// requeueActive displaces every resident sequence through the failover
+	// path (crash semantics: the partial generation is lost).
+	requeueActive := func() {
+		for i := range active {
+			j := active[i].j
+			c.ml.OnComplete(w.inst)
+			if j.state.CompareAndSwap(jobRunning, jobPending) {
+				c.redispatch(j, obs.RequeueInflight)
+			} else {
+				jobPool.Put(j)
+			}
+		}
+		active = active[:0]
+	}
+
+	for {
+		// Admission.
+		incoming = incoming[:0]
+		if len(active) == 0 {
+			if closed {
+				return
+			}
+			var ok bool
+			incoming, ok = former.Next(incoming)
+			if !ok {
+				return
+			}
+		} else if free := slots - len(active); free > 0 && !closed {
+			var open bool
+			incoming, open = former.Poll(incoming, free)
+			closed = !open
+		}
+
+		if w.dead.Load() {
+			// Crashed: requeue instead of executing. Queued admissions
+			// re-enter dispatch from their queued state, residents from
+			// in-flight; the loop keeps draining the channel until it
+			// closes.
+			for _, j := range incoming {
+				c.ml.OnComplete(w.inst)
+				if j.state.Load() == jobCancelled {
+					jobPool.Put(j)
+					continue
+				}
+				c.redispatch(j, obs.RequeueQueued)
+			}
+			requeueActive()
+			continue
+		}
+
+		// Promote admissions into open slots; a lost CAS is a cancellation
+		// while queued and drops only that request.
+		now := time.Now()
+		for _, j := range incoming {
+			if !j.state.CompareAndSwap(jobPending, jobRunning) {
+				c.ml.OnComplete(w.inst)
+				jobPool.Put(j)
+				continue
+			}
+			out := j.maxNew
+			if out < 1 {
+				out = 1 // encoder request: prefill-only residency
+			}
+			active = append(active, genSeq{j: j, remain: out - 1, ctx: j.length, admitted: now})
+		}
+
+		// Sweep mid-decode cancellations: an abandoned sequence frees its
+		// slot now rather than decoding tokens nobody will read.
+		for i := 0; i < len(active); {
+			if active[i].j.state.Load() == jobAbandoned {
+				c.ml.OnComplete(w.inst)
+				jobPool.Put(active[i].j)
+				active[i] = active[len(active)-1]
+				active = active[:len(active)-1]
+				continue
+			}
+			i++
+		}
+		if len(active) == 0 {
+			continue
+		}
+
+		// One iteration: prefill the newcomers, decode everything resident.
+		newLens, ctxs = newLens[:0], ctxs[:0]
+		for i := range active {
+			if active[i].prefilled {
+				ctxs = append(ctxs, active[i].ctx)
+			} else {
+				newLens = append(newLens, active[i].ctx)
+			}
+		}
+		modeled := rt.BatchCostOf(newLens) + rt.DecodeStepCost(ctxs)
+		batchID := c.batchSeq.Add(1)
+		c.obsRec.Load().RecordBatch(rt.Index, len(active))
+		iterStart := time.Now()
+		cost := time.Duration(float64(modeled) * c.scale * w.slowFactor())
+		if c.emulate(w, timer, iterStart, cost) {
+			// Killed mid-iteration: every resident computation is lost.
+			requeueActive()
+			continue
+		}
+		iterEnd := time.Now()
+
+		// Advance: newcomers took their first token from the prefill,
+		// residents one more; finished sequences exit immediately.
+		for i := 0; i < len(active); {
+			s := &active[i]
+			if s.prefilled {
+				s.ctx++
+				s.remain--
+			} else {
+				s.prefilled = true
+				s.batchID = batchID
+				s.batchSize = len(active)
+				j := s.j
+				j.wait = time.Duration(float64(s.admitted.Sub(j.started)) / c.scale)
+				if j.maxNew >= 1 {
+					j.ttft = time.Duration(float64(iterEnd.Sub(j.started)) / c.scale)
+				}
+			}
+			if s.remain > 0 {
+				i++
+				continue
+			}
+			j := s.j
+			c.ml.OnComplete(w.inst)
+			j.exec = time.Duration(float64(iterEnd.Sub(s.admitted)) / c.scale)
+			j.batchID = s.batchID
+			j.batchSize = s.batchSize
+			if j.maxNew >= 1 {
+				j.outTokens = j.maxNew
+			}
+			lat := time.Duration(float64(iterEnd.Sub(j.started)) / c.scale)
+			if j.state.CompareAndSwap(jobRunning, jobDone) {
+				j.done <- lat + c.overhead
+			} else {
+				jobPool.Put(j)
+			}
+			active[i] = active[len(active)-1]
+			active = active[:len(active)-1]
+		}
+	}
+}

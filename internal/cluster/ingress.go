@@ -63,6 +63,9 @@ func (c *Cluster) SubmitBatch(ctx context.Context, reqs []Request) []BatchResult
 		rec.RecordSubmit()
 		j := newJob(r.Length)
 		j.tokenize = r.Tokenize
+		if r.MaxNewTokens > 0 {
+			j.maxNew = r.MaxNewTokens
+		}
 		if hasDeadline {
 			j.deadline = deadline
 		}
@@ -256,6 +259,9 @@ func (g *Ingress) SubmitCtx(ctx context.Context, req Request) (Result, error) {
 	rec.RecordSubmit()
 	j := newJob(req.Length)
 	j.tokenize = req.Tokenize
+	if req.MaxNewTokens > 0 {
+		j.maxNew = req.MaxNewTokens
+	}
 	if d, ok := ctx.Deadline(); ok {
 		j.deadline = d
 	}

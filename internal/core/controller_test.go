@@ -9,7 +9,7 @@ import (
 )
 
 func TestNewControllerValidation(t *testing.T) {
-	a, err := New(Options{})
+	a, err := NewSystem()
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -22,7 +22,7 @@ func TestControllerReallocatesTowardDemand(t *testing.T) {
 	if testing.Short() {
 		t.Skip("real-time control loop")
 	}
-	a, err := New(Options{})
+	a, err := NewSystem()
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -81,7 +81,7 @@ func TestControllerAutoScalesOut(t *testing.T) {
 	if testing.Short() {
 		t.Skip("real-time control loop")
 	}
-	a, err := New(Options{})
+	a, err := NewSystem()
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -122,7 +122,7 @@ func TestControllerAutoScalesOut(t *testing.T) {
 }
 
 func TestControllerStopIdempotent(t *testing.T) {
-	a, err := New(Options{})
+	a, err := NewSystem()
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -59,6 +59,14 @@ type Options struct {
 	// defaults to SLO/100 when batching is on; negative disables waiting
 	// (greedy formation).
 	BatchDelay time.Duration
+	// Continuous switches clusters built by NewCluster to iteration-level
+	// (continuous) batching for generative workloads: batches re-form
+	// every iteration, finished sequences exit immediately, and queued
+	// requests join freed decode slots mid-flight.
+	Continuous bool
+	// MeanOutTokens hints the expected generative output length for the
+	// continuous capacity model (0 defaults to 16).
+	MeanOutTokens float64
 }
 
 // Arlo is a configured system.
@@ -77,12 +85,9 @@ type Arlo struct {
 	policy      string
 	batchSize   int
 	batchDelay  time.Duration
+	continuous  bool
+	meanOut     float64
 }
-
-// New builds an Arlo system from an options struct.
-//
-// Deprecated: use NewSystem with functional options.
-func New(opts Options) (*Arlo, error) { return build(opts) }
 
 func build(opts Options) (*Arlo, error) {
 	lm := opts.LatencyModel
@@ -130,6 +135,8 @@ func build(opts Options) (*Arlo, error) {
 		policy:      opts.DispatchPolicy,
 		batchSize:   opts.BatchSize,
 		batchDelay:  opts.BatchDelay,
+		continuous:  opts.Continuous,
+		meanOut:     opts.MeanOutTokens,
 	}
 	if a.policy == "" {
 		a.policy = "RS"
@@ -285,5 +292,7 @@ func (a *Arlo) NewCluster(g int, q []float64) (*cluster.Cluster, error) {
 		Dispatcher:        a.DispatcherFactory(),
 		MaxBatch:          a.batchSize,
 		BatchDelay:        a.batchDelay,
+		Continuous:        a.continuous,
+		MeanOutTokens:     a.meanOut,
 	})
 }

@@ -9,7 +9,7 @@ import (
 )
 
 func TestNewDefaults(t *testing.T) {
-	a, err := New(Options{})
+	a, err := NewSystem()
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -25,35 +25,35 @@ func TestNewDefaults(t *testing.T) {
 }
 
 func TestNewValidation(t *testing.T) {
-	if _, err := New(Options{Model: "gpt-9000"}); err == nil {
+	if _, err := NewSystem(WithModel("gpt-9000")); err == nil {
 		t.Error("unknown model should fail")
 	}
-	if _, err := New(Options{Model: "dolly"}); err == nil {
+	if _, err := NewSystem(WithModel("dolly")); err == nil {
 		t.Error("dolly without SLO should fail (no preset)")
 	}
-	if _, err := New(Options{NumRuntimes: 7}); err == nil {
+	if _, err := NewSystem(WithNumRuntimes(7)); err == nil {
 		t.Error("non-divisor runtime count should fail")
 	}
-	if _, err := New(Options{Lambda: 2}); err == nil {
+	if _, err := NewSystem(WithSchedulerParams(2, 0, 0)); err == nil {
 		t.Error("bad lambda should fail")
 	}
-	if _, err := New(Options{Alpha: -1}); err == nil {
+	if _, err := NewSystem(WithSchedulerParams(0, -1, 0)); err == nil {
 		t.Error("bad alpha should fail")
 	}
-	if _, err := New(Options{MaxPeek: -3}); err == nil {
+	if _, err := NewSystem(WithSchedulerParams(0, 0, -3)); err == nil {
 		t.Error("bad peek level should fail")
 	}
 }
 
 func TestNewWithCustomSLOAndModel(t *testing.T) {
-	a, err := New(Options{Model: "dolly", SLO: 2 * time.Second, NumRuntimes: 4})
+	a, err := NewSystem(WithModel("dolly"), WithSLO(2*time.Second), WithNumRuntimes(4))
 	if err != nil {
 		t.Fatal(err)
 	}
 	if len(a.Profile.Runtimes) != 4 {
 		t.Errorf("runtimes = %d, want 4", len(a.Profile.Runtimes))
 	}
-	b, err := New(Options{LatencyModel: model.BertLarge()})
+	b, err := NewSystem(WithLatencyModel(model.BertLarge()))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -63,7 +63,7 @@ func TestNewWithCustomSLOAndModel(t *testing.T) {
 }
 
 func TestDemandAndAllocate(t *testing.T) {
-	a, err := New(Options{})
+	a, err := NewSystem()
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -96,7 +96,7 @@ func TestDemandAndAllocate(t *testing.T) {
 }
 
 func TestSimulateEndToEnd(t *testing.T) {
-	a, err := New(Options{})
+	a, err := NewSystem()
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -124,7 +124,7 @@ func TestSimulateEndToEnd(t *testing.T) {
 }
 
 func TestSimulateAutoScaled(t *testing.T) {
-	a, err := New(Options{})
+	a, err := NewSystem()
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -145,7 +145,7 @@ func TestSimulateAutoScaled(t *testing.T) {
 }
 
 func TestNewClusterEvenAndSolved(t *testing.T) {
-	a, err := New(Options{})
+	a, err := NewSystem()
 	if err != nil {
 		t.Fatal(err)
 	}

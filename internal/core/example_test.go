@@ -9,10 +9,10 @@ import (
 	"arlo/internal/trace"
 )
 
-// ExampleNew shows the one-call construction of a full Arlo system with
+// ExampleNewSystem shows the one-call construction of a full Arlo system with
 // the paper's defaults.
-func ExampleNew() {
-	a, err := core.New(core.Options{Model: "bert-base"})
+func ExampleNewSystem() {
+	a, err := core.NewSystem(core.WithModel("bert-base"))
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -27,7 +27,7 @@ func ExampleNew() {
 // explicit demand vector: most GPUs go to the loaded short bins, and the
 // largest runtime always keeps an instance (Eq. 7).
 func ExampleArlo_Allocate() {
-	a, err := core.New(core.Options{Model: "bert-base"})
+	a, err := core.NewSystem(core.WithModel("bert-base"))
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -51,7 +51,7 @@ func ExampleArlo_Allocate() {
 // ExampleArlo_Simulate runs the full system on a synthesized trace; with
 // a fixed seed the simulation is fully deterministic.
 func ExampleArlo_Simulate() {
-	a, err := core.New(core.Options{Model: "bert-base"})
+	a, err := core.NewSystem(core.WithModel("bert-base"))
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -71,6 +71,21 @@ func WithBatching(maxSize int, maxDelay time.Duration) Option {
 	}
 }
 
+// WithContinuousBatching switches clusters built by NewCluster to
+// iteration-level (continuous) batching for generative workloads: up to
+// maxSize decode slots per instance (clamped per runtime to the profiled
+// SLO headroom), batches re-formed every iteration, finished sequences
+// exiting immediately and queued requests admitted into freed slots
+// mid-flight. meanOutTokens hints the expected output length for the
+// gen-aware capacity model (0 defaults to 16).
+func WithContinuousBatching(maxSize int, meanOutTokens float64) Option {
+	return func(o *Options) {
+		o.BatchSize = maxSize
+		o.Continuous = true
+		o.MeanOutTokens = meanOutTokens
+	}
+}
+
 // NewSystem builds an Arlo system from functional options:
 //
 //	a, err := core.NewSystem(core.WithModel("bert-base"), core.WithSLO(150*time.Millisecond))

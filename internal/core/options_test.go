@@ -81,18 +81,3 @@ func TestNewSystemRejectsBadOptions(t *testing.T) {
 		t.Error("runtime count not dividing max length should fail")
 	}
 }
-
-func TestDeprecatedNewMatchesNewSystem(t *testing.T) {
-	viaStruct, err := New(Options{Model: "bert-base", Lambda: 0.7})
-	if err != nil {
-		t.Fatal(err)
-	}
-	viaOpts, err := NewSystem(WithModel("bert-base"), WithSchedulerParams(0.7, 0, 0))
-	if err != nil {
-		t.Fatal(err)
-	}
-	if viaStruct.lambda != viaOpts.lambda || viaStruct.alpha != viaOpts.alpha {
-		t.Errorf("constructors disagree: (%v,%v) vs (%v,%v)",
-			viaStruct.lambda, viaStruct.alpha, viaOpts.lambda, viaOpts.alpha)
-	}
-}

@@ -1,0 +1,208 @@
+package experiments
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"os"
+	"sort"
+	"sync"
+	"time"
+
+	"arlo/internal/cluster"
+	"arlo/internal/dispatch"
+	"arlo/internal/model"
+	"arlo/internal/obs"
+	"arlo/internal/profiler"
+	"arlo/internal/queue"
+	"arlo/internal/trace"
+)
+
+// benchGenerateResult is the BENCH_generate.json schema: one arm per
+// batching discipline on the same generative burst, so CI (or a reviewer)
+// can assert the continuous-batching win — higher throughput at
+// equal-or-better p99 TTFT — without parsing the table.
+type benchGenerateResult struct {
+	Workload      string  `json:"workload"`
+	Requests      int     `json:"requests"`
+	GPUs          int     `json:"gpus"`
+	BatchCap      int     `json:"batch_cap"`
+	MeanOutTokens float64 `json:"mean_out_tokens"`
+	MaxOutTokens  int     `json:"max_out_tokens"`
+
+	RunToCompletion benchGenArm `json:"run_to_completion"`
+	Continuous      benchGenArm `json:"continuous"`
+
+	// Speedup is continuous throughput over run-to-completion throughput.
+	Speedup float64 `json:"speedup"`
+	// TTFTOK is true when the continuous arm's p99 TTFT is no worse than
+	// run-to-completion's — the acceptance gate together with Speedup > 1.
+	TTFTOK bool `json:"ttft_ok"`
+}
+
+type benchGenArm struct {
+	ThroughputRPS float64 `json:"throughput_rps"`
+	DrainMS       float64 `json:"drain_ms"`
+	MeanTTFTMS    float64 `json:"mean_ttft_ms"`
+	P99TTFTMS     float64 `json:"p99_ttft_ms"`
+	MeanTPOTMS    float64 `json:"mean_tpot_ms"`
+}
+
+// BenchGenerate measures continuous (iteration-level) batching against
+// run-to-completion batching on the live cluster with a generative burst:
+// the same requests — uniform prompt lengths, geometric output budgets —
+// are drained once with the batch held until every member finishes
+// decoding, and once with the batch re-formed every iteration (completed
+// sequences exit immediately, queued requests join freed decode slots
+// mid-flight). Continuous batching must win on throughput while holding
+// p99 TTFT equal or better: early exits return capacity sooner AND queued
+// requests reach their prefill without waiting out a stranger's long
+// generation. Results are printed and written to BENCH_generate.json.
+func BenchGenerate(w io.Writer, opt Options) error {
+	const (
+		gpus    = 4
+		slo     = 150 * time.Millisecond
+		meanOut = 48
+		maxOut  = 256
+	)
+	requests := 256
+	if opt.Full {
+		requests = 1024
+	}
+	batchCap := opt.BatchSize
+	if batchCap <= 1 {
+		batchCap = 8
+	}
+
+	lm := model.BertBase()
+	p, err := profiler.StaticProfile(lm, []int{lm.Arch().MaxLength}, slo)
+	if err != nil {
+		return err
+	}
+	factory := func(ml *queue.MultiLevel) (dispatch.Dispatcher, error) {
+		return dispatch.NewRequestScheduler(ml)
+	}
+
+	// One shared request set: both arms see identical prompts and budgets.
+	rng := rand.New(rand.NewSource(opt.Seed))
+	lengths := make([]int, requests)
+	budgets := make([]int, requests)
+	sampler := trace.GeometricOutputs{Mean: meanOut, Max: maxOut}
+	for i := range lengths {
+		lengths[i] = 1 + rng.Intn(lm.Arch().MaxLength)
+		budgets[i] = sampler.SampleOutput(rng, 0)
+	}
+
+	drain := func(continuous bool) (benchGenArm, error) {
+		cl, err := cluster.New(cluster.Config{
+			Profile:           p,
+			InitialAllocation: []int{gpus},
+			Dispatcher:        factory,
+			Overhead:          -1,
+			MaxBatch:          batchCap,
+			BatchDelay:        opt.BatchDelay,
+			Continuous:        continuous,
+			MeanOutTokens:     meanOut,
+		})
+		if err != nil {
+			return benchGenArm{}, err
+		}
+		defer cl.Close()
+		spans := make([]obs.Span, requests)
+		errs := make(chan error, requests)
+		var wg sync.WaitGroup
+		start := time.Now()
+		for i := range lengths {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				res, err := cl.SubmitCtx(context.Background(), cluster.Request{
+					Length:       lengths[i],
+					MaxNewTokens: budgets[i],
+				})
+				if err != nil {
+					errs <- err
+					return
+				}
+				spans[i] = res.Span
+			}(i)
+		}
+		wg.Wait()
+		elapsed := time.Since(start)
+		select {
+		case err := <-errs:
+			return benchGenArm{}, fmt.Errorf("generative burst: %w", err)
+		default:
+		}
+
+		ttfts := make([]time.Duration, 0, requests)
+		var ttftSum, tpotSum time.Duration
+		tpotN := 0
+		for _, s := range spans {
+			ttfts = append(ttfts, s.TTFT)
+			ttftSum += s.TTFT
+			if tpot := s.TPOT(); tpot > 0 {
+				tpotSum += tpot
+				tpotN++
+			}
+		}
+		sort.Slice(ttfts, func(i, j int) bool { return ttfts[i] < ttfts[j] })
+		p99 := ttfts[(len(ttfts)*99)/100]
+		arm := benchGenArm{
+			ThroughputRPS: float64(requests) / elapsed.Seconds(),
+			DrainMS:       float64(elapsed) / float64(time.Millisecond),
+			MeanTTFTMS:    float64(ttftSum) / float64(requests) / float64(time.Millisecond),
+			P99TTFTMS:     float64(p99) / float64(time.Millisecond),
+		}
+		if tpotN > 0 {
+			arm.MeanTPOTMS = float64(tpotSum) / float64(tpotN) / float64(time.Millisecond)
+		}
+		return arm, nil
+	}
+
+	rtc, err := drain(false)
+	if err != nil {
+		return err
+	}
+	cont, err := drain(true)
+	if err != nil {
+		return err
+	}
+
+	res := benchGenerateResult{
+		Workload:        "generative-burst-uniform-prompts-geometric-outputs",
+		Requests:        requests,
+		GPUs:            gpus,
+		BatchCap:        batchCap,
+		MeanOutTokens:   meanOut,
+		MaxOutTokens:    maxOut,
+		RunToCompletion: rtc,
+		Continuous:      cont,
+		Speedup:         cont.ThroughputRPS / rtc.ThroughputRPS,
+		TTFTOK:          cont.P99TTFTMS <= rtc.P99TTFTMS,
+	}
+
+	tw := newTab(w)
+	fmt.Fprintln(tw, "arm\tthroughput(req/s)\tdrain(ms)\tmean TTFT(ms)\tp99 TTFT(ms)\tmean TPOT(ms)")
+	fmt.Fprintf(tw, "run-to-completion\t%.0f\t%.1f\t%.1f\t%.1f\t%.3f\n",
+		rtc.ThroughputRPS, rtc.DrainMS, rtc.MeanTTFTMS, rtc.P99TTFTMS, rtc.MeanTPOTMS)
+	fmt.Fprintf(tw, "continuous\t%.0f\t%.1f\t%.1f\t%.1f\t%.3f\n",
+		cont.ThroughputRPS, cont.DrainMS, cont.MeanTTFTMS, cont.P99TTFTMS, cont.MeanTPOTMS)
+	if err := tw.Flush(); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "speedup %.2fx; p99 TTFT %.1f ms vs %.1f ms (continuous no worse: %v)\n",
+		res.Speedup, cont.P99TTFTMS, rtc.P99TTFTMS, res.TTFTOK)
+
+	blob, err := json.MarshalIndent(res, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile("BENCH_generate.json", append(blob, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintln(w, "wrote BENCH_generate.json")
+	return nil
+}

@@ -72,6 +72,7 @@ func All() []Spec {
 		{"ablation-latebinding", "Early vs late request binding through the central buffer", AblationLateBinding},
 		{"bench-batch", "Live-cluster dynamic batching: batch=1 vs batched throughput and sustained p99", BenchBatch},
 		{"bench-ingress", "Ingress hot path: JSON vs binary wire protocol at the socket, grouped vs per-request submit", BenchIngress},
+		{"bench-generate", "Continuous (iteration-level) vs run-to-completion batching on a generative burst", BenchGenerate},
 	}
 }
 

@@ -10,11 +10,11 @@ import (
 
 func twoStreams(t testing.TB, baseRate, largeRate float64, d time.Duration) []*Stream {
 	t.Helper()
-	base, err := core.New(core.Options{Model: "bert-base"})
+	base, err := core.NewSystem(core.WithModel("bert-base"))
 	if err != nil {
 		t.Fatal(err)
 	}
-	large, err := core.New(core.Options{Model: "bert-large"})
+	large, err := core.NewSystem(core.WithModel("bert-large"))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -37,7 +37,7 @@ func TestStreamValidate(t *testing.T) {
 	if err := nilStream.Validate(); err == nil {
 		t.Error("nil stream should fail")
 	}
-	a, err := core.New(core.Options{})
+	a, err := core.NewSystem()
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -56,11 +56,11 @@ func TestStreamValidate(t *testing.T) {
 
 func TestPartitionConservesAndFavorsHeavyStream(t *testing.T) {
 	// Same model, very different loads: the loaded stream must get more.
-	a1, err := core.New(core.Options{})
+	a1, err := core.NewSystem()
 	if err != nil {
 		t.Fatal(err)
 	}
-	a2, err := core.New(core.Options{})
+	a2, err := core.NewSystem()
 	if err != nil {
 		t.Fatal(err)
 	}

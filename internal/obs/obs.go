@@ -77,6 +77,23 @@ type Span struct {
 	// directly). Unlike the other stages it is measured in wall time: the
 	// ring lives upstream of the cluster's modeled clock.
 	IngressWait time.Duration
+	// OutTokens is how many tokens the request generated (0 for encoder
+	// requests, >= 1 for generative ones).
+	OutTokens int
+	// TTFT is the time from submission to the request's first generated
+	// token — the end of its prefill iteration. Zero for encoder requests,
+	// whose only "token" is the classification result at Total.
+	TTFT time.Duration
+}
+
+// TPOT is the mean time per output token after the first (the decode-side
+// latency axis of generative serving). Zero when the request generated at
+// most one token.
+func (s *Span) TPOT() time.Duration {
+	if s.OutTokens <= 1 || s.TTFT <= 0 || s.Total <= s.TTFT {
+		return 0
+	}
+	return (s.Total - s.TTFT) / time.Duration(s.OutTokens-1)
 }
 
 // DemotionHops is how many levels past the ideal runtime the request was
@@ -280,6 +297,8 @@ type Recorder struct {
 	totalH       hist
 	formWaitH    hist
 	ingressWaitH hist
+	ttftH        hist
+	tpotH        hist
 
 	// Batch formation aggregates: batches counts executed batches,
 	// batchedReqs their member totals; the per-level pairs feed the
@@ -422,6 +441,12 @@ func (r *Recorder) RecordSpan(s *Span) {
 	}
 	if s.IngressWait > 0 {
 		r.ingressWaitH.observe(shard, s.IngressWait)
+	}
+	if s.OutTokens > 0 && s.TTFT > 0 {
+		r.ttftH.observe(shard, s.TTFT)
+		if tpot := s.TPOT(); tpot > 0 {
+			r.tpotH.observe(shard, tpot)
+		}
 	}
 	r.completed.Add(1)
 }

@@ -169,6 +169,8 @@ func (r *Recorder) WritePrometheus(w io.Writer) error {
 	writeHist(bw, "arlo_request_latency_seconds", "End-to-end modeled request latency.", &r.totalH)
 	writeHist(bw, "arlo_batch_form_wait_seconds", "Time batched requests spent in batch formation.", &r.formWaitH)
 	writeHist(bw, "arlo_ingress_wait_seconds", "Wall time requests spent in the ingress submit ring before group dispatch.", &r.ingressWaitH)
+	writeHist(bw, "arlo_ttft_seconds", "Time to first generated token (generative requests only).", &r.ttftH)
+	writeHist(bw, "arlo_tpot_seconds", "Mean time per output token after the first (generative requests only).", &r.tpotH)
 
 	return bw.Flush()
 }

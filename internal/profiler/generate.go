@@ -1,0 +1,113 @@
+package profiler
+
+// Generative (prefill + decode) profiling: the per-iteration cost queries
+// the continuous-batching worker loop consumes, plus the run-to-completion
+// generative batch cost it is benchmarked against, and the gen-aware M_i
+// that keeps the queue's lambda-congestion estimate honest once instances
+// hold decode slots for many iterations.
+
+import "time"
+
+// DecodeStepCost returns the cost of one decode iteration over sequences
+// at the given context lengths on this runtime. Decode kernels are
+// shape-dynamic even when the prefill runtime was compiled statically (the
+// per-step KV-cache lookup is a GEMV over exact context, not a padded
+// encoder pass), so the model's decode-step curve applies to both
+// compilation modes. Hand-constructed Runtimes (no latency model) fall
+// back to one full profiled latency per iteration — conservative, but
+// well-defined.
+func (r Runtime) DecodeStepCost(ctxLens []int) time.Duration {
+	if len(ctxLens) == 0 {
+		return 0
+	}
+	if r.lm == nil {
+		return r.Latency
+	}
+	return r.lm.DecodeStepLatency(ctxLens)
+}
+
+// DecodeStepUniform is DecodeStepCost for b sequences at one context.
+func (r Runtime) DecodeStepUniform(b, ctx int) time.Duration {
+	if b <= 0 {
+		return 0
+	}
+	if r.lm == nil {
+		return r.Latency
+	}
+	return r.lm.DecodeStepLatencyUniform(b, ctx)
+}
+
+// GenCostOf returns the run-to-completion cost of one generative request
+// executed alone: prefill at the request length plus out-1 decode steps at
+// the growing context. out <= 1 is the plain CostOf (the prefill yields
+// the first token).
+func (r Runtime) GenCostOf(length, out int) time.Duration {
+	cost := r.CostOf(length)
+	for t := 1; t < out; t++ {
+		cost += r.DecodeStepUniform(1, length+t)
+	}
+	return cost
+}
+
+// DecodeTailCost returns the decode cost after the prefill when the given
+// requests run as one run-to-completion batch: every slot stays occupied
+// until the longest output finishes, so each of the maxOut-1 iterations
+// runs at full batch width — the padding-in-time that continuous batching
+// removes. Add BatchCostOf(lengths) for the total.
+func (r Runtime) DecodeTailCost(lengths, outs []int) time.Duration {
+	if len(lengths) == 0 || len(lengths) != len(outs) {
+		return 0
+	}
+	maxOut := 0
+	for _, o := range outs {
+		if o > maxOut {
+			maxOut = o
+		}
+	}
+	var tail time.Duration
+	ctxs := make([]int, len(lengths))
+	for t := 1; t < maxOut; t++ {
+		for i, l := range lengths {
+			ctxs[i] = l + t
+		}
+		tail += r.DecodeStepCost(ctxs)
+	}
+	return tail
+}
+
+// GenBatchCostOf is the full run-to-completion generative batch cost:
+// prefill over the whole batch plus the decode tail.
+func (r Runtime) GenBatchCostOf(lengths, outs []int) time.Duration {
+	return r.BatchCostOf(lengths) + r.DecodeTailCost(lengths, outs)
+}
+
+// GenCapacity is the generative M_i: the largest number of queued requests
+// an instance drains within the SLO when it serves them through slots
+// decode-slots of a continuous-batching loop, each request generating
+// meanOut tokens on average. The per-request service share is the prefill
+// kernel amortized over the batch plus the request's own decode
+// iterations, each amortized over a full iteration (admission keeps slots
+// occupied under load, which is when capacity matters). Contexts are taken
+// at the runtime's MaxLength — the conservative end of the decode curve.
+// Runtimes without a profiled SLO report BatchCapacity unchanged.
+func (r Runtime) GenCapacity(slots int, meanOut float64) int {
+	if slots < 1 {
+		slots = 1
+	}
+	if r.slo <= 0 || r.Latency <= 0 {
+		return r.BatchCapacity(slots)
+	}
+	if meanOut < 1 {
+		meanOut = 1
+	}
+	share := float64(r.batchLatency(slots))/float64(slots) +
+		(meanOut-1)*float64(r.DecodeStepUniform(slots, r.MaxLength))/float64(slots)
+	if share <= 0 {
+		return r.BatchCapacity(slots)
+	}
+	n := int(float64(r.slo) / share)
+	if n < 1 {
+		n = 1
+	}
+	return n
+}

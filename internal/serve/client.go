@@ -119,28 +119,38 @@ func (c *Client) InferCtx(ctx context.Context, text string) (*InferResponse, err
 	if err != nil {
 		return nil, err
 	}
+	var out InferResponse
+	if err := c.postJSON(ctx, "/v1/infer", body, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// postJSON posts body to path and decodes a 200 reply into out, retrying
+// transient failures under the client's policy.
+func (c *Client) postJSON(ctx context.Context, path string, body []byte, out any) error {
 	backoff := c.Backoff
 	if backoff <= 0 {
 		backoff = 50 * time.Millisecond
 	}
 	var lastErr error
 	for attempt := 0; ; attempt++ {
-		out, err := c.inferOnce(ctx, body)
+		err := c.postOnce(ctx, path, body, out)
 		if err == nil {
-			return out, nil
+			return nil
 		}
 		lastErr = err
 		// The caller's context ending is never retryable; neither are
 		// non-retryable API statuses.
 		if ctx.Err() != nil {
-			return nil, lastErr
+			return lastErr
 		}
 		var apiErr *APIError
 		if errors.As(err, &apiErr) && !retryable(apiErr.Status) {
-			return nil, lastErr
+			return lastErr
 		}
 		if attempt >= c.MaxRetries {
-			return nil, lastErr
+			return lastErr
 		}
 		// Full jitter on the exponential schedule: a uniformly random wait
 		// in (0, backoff] decorrelates retry herds after a shared transient
@@ -149,36 +159,32 @@ func (c *Client) InferCtx(ctx context.Context, text string) (*InferResponse, err
 		select {
 		case <-time.After(wait):
 		case <-ctx.Done():
-			return nil, lastErr
+			return lastErr
 		}
 		backoff *= 2
 	}
 }
 
-func (c *Client) inferOnce(ctx context.Context, body []byte) (*InferResponse, error) {
+func (c *Client) postOnce(ctx context.Context, path string, body []byte, out any) error {
 	if c.Timeout > 0 {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, c.Timeout)
 		defer cancel()
 	}
-	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.BaseURL+"/v1/infer", bytes.NewReader(body))
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.BaseURL+path, bytes.NewReader(body))
 	if err != nil {
-		return nil, err
+		return err
 	}
 	req.Header.Set("Content-Type", "application/json")
 	resp, err := c.httpClient().Do(req)
 	if err != nil {
-		return nil, err
+		return err
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
-		return nil, decodeError(resp)
+		return decodeError(resp)
 	}
-	var out InferResponse
-	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
-		return nil, err
-	}
-	return &out, nil
+	return json.NewDecoder(resp.Body).Decode(out)
 }
 
 // decodeError turns a non-2xx reply into an *APIError, tolerating

@@ -316,14 +316,3 @@ func TestPprofBehindOption(t *testing.T) {
 		ts.Close()
 	}
 }
-
-func TestDeprecatedNewServerStillWorks(t *testing.T) {
-	_, cl := testServer(t)
-	srv, err := NewServer(tokenizer.New(), cl, 256)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if srv.maxLen != 256 {
-		t.Errorf("max length = %d, want 256", srv.maxLen)
-	}
-}

@@ -10,6 +10,9 @@
 //
 //	POST /v1/infer   — classify text; errors use the versioned envelope
 //	                   {"error":{"code":..., "message":...}}
+//	POST /v1/generate — generate max_new_tokens tokens from a prompt;
+//	                   reports TTFT/TPOT alongside the lifecycle span and
+//	                   rejects unknown fields with unsupported_field
 //	GET  /v1/stats   — JSON serving counters and window percentiles
 //	GET  /metrics    — Prometheus text exposition of the cluster's
 //	                   observability plane (counters, demotion matrix,
@@ -86,8 +89,8 @@ type InferResponse struct {
 // ErrorBody is the inner object of the versioned error envelope.
 type ErrorBody struct {
 	// Code is a stable machine-readable error class: invalid_request,
-	// too_long, congested, no_instances, unavailable, deadline_exceeded,
-	// method_not_allowed or internal.
+	// unsupported_field, too_long, congested, no_instances, unavailable,
+	// deadline_exceeded, method_not_allowed or internal.
 	Code string `json:"code"`
 	// Message is human-readable detail.
 	Message string `json:"message"`
@@ -276,6 +279,7 @@ func New(tok *tokenizer.Tokenizer, cl *cluster.Cluster, opts ...Option) (*Server
 		s.ingress = cluster.NewIngress(cl, *s.ingressCfg)
 	}
 	s.mux.HandleFunc("/v1/infer", s.handleInfer)
+	s.mux.HandleFunc("/v1/generate", s.handleGenerate)
 	s.mux.HandleFunc("/v1/stats", s.handleStats)
 	s.mux.HandleFunc("/healthz", s.handleHealth)
 	s.mux.Handle("/metrics", s.rec.Handler())
@@ -292,14 +296,6 @@ func New(tok *tokenizer.Tokenizer, cl *cluster.Cluster, opts ...Option) (*Server
 		s.mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	}
 	return s, nil
-}
-
-// NewServer wires a tokenizer and a running cluster into an HTTP handler.
-// maxLen caps the encoded sequence length (the model's maximum input).
-//
-// Deprecated: use New with WithMaxLength.
-func NewServer(tok *tokenizer.Tokenizer, cl *cluster.Cluster, maxLen int) (*Server, error) {
-	return New(tok, cl, WithMaxLength(maxLen))
 }
 
 // SetObserver installs (or clears, with nil) the served-request observer.
@@ -485,6 +481,8 @@ func appendJSONFloat(dst []byte, f float64) []byte {
 // a spent deadline maps to 504 so they do not.
 func mapError(err error) (status int, code string) {
 	switch {
+	case errors.Is(err, ErrUnsupportedField):
+		return http.StatusBadRequest, CodeUnsupportedField
 	case errors.Is(err, dispatch.ErrTooLong):
 		return http.StatusRequestEntityTooLarge, CodeTooLong
 	case errors.Is(err, cluster.ErrDeadlineExceeded):

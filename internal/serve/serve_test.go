@@ -32,22 +32,22 @@ func testServer(t *testing.T) (*Server, *cluster.Cluster) {
 		t.Fatal(err)
 	}
 	t.Cleanup(cl.Close)
-	srv, err := NewServer(tokenizer.New(), cl, 512)
+	srv, err := New(tokenizer.New(), cl, WithMaxLength(512))
 	if err != nil {
 		t.Fatal(err)
 	}
 	return srv, cl
 }
 
-func TestNewServerValidation(t *testing.T) {
+func TestNewValidation(t *testing.T) {
 	_, cl := testServer(t)
-	if _, err := NewServer(nil, cl, 512); err == nil {
+	if _, err := New(nil, cl); err == nil {
 		t.Error("nil tokenizer should fail")
 	}
-	if _, err := NewServer(tokenizer.New(), nil, 512); err == nil {
+	if _, err := New(tokenizer.New(), nil); err == nil {
 		t.Error("nil cluster should fail")
 	}
-	if _, err := NewServer(tokenizer.New(), cl, 1); err == nil {
+	if _, err := New(tokenizer.New(), cl, WithMaxLength(1)); err == nil {
 		t.Error("tiny max length should fail")
 	}
 }

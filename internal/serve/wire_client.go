@@ -118,7 +118,56 @@ func (c *WireClient) InferTokensCtx(ctx context.Context, tokens []uint32) (*Infe
 	return c.do(ctx, &wire.Request{Mode: wire.ModeTokens, Tokens: tokens})
 }
 
+// Generate sends one generative request with background context.
+func (c *WireClient) Generate(text string, maxNewTokens int) (*GenerateResponse, error) {
+	return c.GenerateCtx(context.Background(), text, maxNewTokens)
+}
+
+// GenerateCtx sends one KindGenRequest frame and decodes the
+// KindGenResponse trailer (TTFT, generated token count).
+func (c *WireClient) GenerateCtx(ctx context.Context, text string, maxNewTokens int) (*GenerateResponse, error) {
+	resp, err := c.doRaw(ctx, &wire.Request{
+		Kind:         wire.KindGenRequest,
+		Mode:         wire.ModeText,
+		Text:         text,
+		MaxNewTokens: uint32(maxNewTokens),
+	})
+	if err != nil {
+		return nil, err
+	}
+	label := ""
+	if int(resp.Label) < len(inferLabels) {
+		label = inferLabels[resp.Label]
+	}
+	out := &GenerateResponse{
+		Label:          label,
+		SequenceLength: int(resp.SeqLen),
+		OutputTokens:   int(resp.OutTokens),
+		TTFTMS:         float64(resp.TTFTNS) / float64(time.Millisecond),
+		LatencyMS:      float64(resp.LatencyNS) / float64(time.Millisecond),
+		QueueMS:        float64(resp.QueueNS) / float64(time.Millisecond),
+		ExecMS:         float64(resp.ExecNS) / float64(time.Millisecond),
+		DemotionHops:   int(resp.DemotionHops),
+		Instance:       int(resp.Instance),
+		Runtime:        int(resp.Runtime),
+		Batch:          resp.Batch,
+		BatchSize:      int(resp.BatchSize),
+	}
+	if resp.OutTokens > 1 && resp.LatencyNS > resp.TTFTNS {
+		out.TPOTMS = float64(resp.LatencyNS-resp.TTFTNS) / float64(resp.OutTokens-1) / float64(time.Millisecond)
+	}
+	return out, nil
+}
+
 func (c *WireClient) do(ctx context.Context, req *wire.Request) (*InferResponse, error) {
+	resp, err := c.doRaw(ctx, req)
+	if err != nil {
+		return nil, err
+	}
+	return wireToInfer(resp)
+}
+
+func (c *WireClient) doRaw(ctx context.Context, req *wire.Request) (*wire.Response, error) {
 	req.ID = c.nextID.Add(1)
 	if d, ok := ctx.Deadline(); ok {
 		req.Deadline = d.UnixNano()
@@ -163,7 +212,14 @@ func (c *WireClient) do(ctx context.Context, req *wire.Request) (*InferResponse,
 			c.mu.Unlock()
 			return nil, fmt.Errorf("serve: wire connection dead: %w", err)
 		}
-		return wireToInfer(&resp)
+		if resp.Status != wire.StatusOK {
+			return nil, &APIError{
+				Status:  wireHTTPStatus(resp.Status),
+				Code:    resp.Status.String(),
+				Message: resp.Message,
+			}
+		}
+		return &resp, nil
 	case <-ctx.Done():
 		// The server still answers (its side of the deadline fires too);
 		// drop the pending entry so the read loop discards that reply.
@@ -174,17 +230,11 @@ func (c *WireClient) do(ctx context.Context, req *wire.Request) (*InferResponse,
 	}
 }
 
-// wireToInfer translates a binary response into the JSON client's types:
-// errors become *APIError with the same stable code, so errors.Is against
-// the cluster sentinels behaves identically across protocols.
+// wireToInfer translates an ok binary response into the JSON client's
+// types; doRaw already turned error statuses into *APIError with the same
+// stable code, so errors.Is against the cluster sentinels behaves
+// identically across protocols.
 func wireToInfer(resp *wire.Response) (*InferResponse, error) {
-	if resp.Status != wire.StatusOK {
-		return nil, &APIError{
-			Status:  wireHTTPStatus(resp.Status),
-			Code:    resp.Status.String(),
-			Message: resp.Message,
-		}
-	}
 	label := ""
 	if int(resp.Label) < len(inferLabels) {
 		label = inferLabels[resp.Label]
@@ -208,7 +258,7 @@ func wireToInfer(resp *wire.Response) (*InferResponse, error) {
 // logging) protocol-independent.
 func wireHTTPStatus(s wire.Status) int {
 	switch s {
-	case wire.StatusInvalid:
+	case wire.StatusInvalid, wire.StatusUnsupportedField:
 		return http.StatusBadRequest
 	case wire.StatusTooLong:
 		return http.StatusRequestEntityTooLarge

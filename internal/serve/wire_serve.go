@@ -12,6 +12,7 @@ import (
 	"context"
 	"encoding/binary"
 	"errors"
+	"fmt"
 	"net"
 	"sync"
 	"time"
@@ -71,6 +72,13 @@ func (s *Server) serveWireConn(conn net.Conn) {
 		// still in flight.
 		req, err := wire.DecodeRequest(payload, nil)
 		if err != nil {
+			// A kind or mode this server does not speak is the binary twin
+			// of an unknown JSON field: reject it as unsupported rather than
+			// malformed, so versioned clients can tell the two apart.
+			if errors.Is(err, wire.ErrBadKind) || errors.Is(err, wire.ErrBadMode) {
+				ww.send(&wire.Response{ID: req.ID, Status: wire.StatusUnsupportedField, Message: err.Error()})
+				continue
+			}
 			ww.send(&wire.Response{ID: req.ID, Status: wire.StatusInvalid, Message: "malformed request"})
 			continue
 		}
@@ -107,8 +115,16 @@ func (w *wireWriter) send(resp *wire.Response) {
 	_ = err // a dead peer surfaces as the read loop's error
 }
 
-// inferWire is handleInfer for one decoded binary request.
+// inferWire is handleInfer (or, for KindGenRequest frames, handleGenerate)
+// for one decoded binary request: gen requests carry their output budget
+// through the cluster and are answered with a KindGenResponse frame whose
+// trailer holds TTFT and the generated token count.
 func (s *Server) inferWire(req *wire.Request) wire.Response {
+	gen := req.Kind == wire.KindGenRequest
+	if gen && (req.MaxNewTokens < 1 || req.MaxNewTokens > MaxNewTokensLimit) {
+		return wire.Response{ID: req.ID, Status: wire.StatusInvalid,
+			Message: fmt.Sprintf("max_new_tokens must be in [1, %d], got %d", MaxNewTokensLimit, req.MaxNewTokens)}
+	}
 	var (
 		length   int
 		tokTime  time.Duration
@@ -149,7 +165,11 @@ func (s *Server) inferWire(req *wire.Request) wire.Response {
 		ctx, cancel = context.WithTimeout(ctx, s.reqTimeout)
 		defer cancel()
 	}
-	res, err := s.submit(ctx, cluster.Request{Length: length, Tokenize: tokTime})
+	creq := cluster.Request{Length: length, Tokenize: tokTime}
+	if gen {
+		creq.MaxNewTokens = int(req.MaxNewTokens)
+	}
+	res, err := s.submit(ctx, creq)
 	if err != nil {
 		s.rejected.Add(1)
 		return wire.Response{ID: req.ID, Status: wireStatus(err), Message: err.Error()}
@@ -157,7 +177,7 @@ func (s *Server) inferWire(req *wire.Request) wire.Response {
 	s.served.Add(1)
 	s.window.Record(res.Latency)
 	s.notify(length, res.Latency)
-	return wire.Response{
+	resp := wire.Response{
 		ID:           req.ID,
 		Status:       wire.StatusOK,
 		Label:        labelIdx,
@@ -171,11 +191,19 @@ func (s *Server) inferWire(req *wire.Request) wire.Response {
 		Batch:        res.Span.Batch,
 		BatchSize:    uint32(res.Span.BatchSize),
 	}
+	if gen {
+		resp.Kind = wire.KindGenResponse
+		resp.TTFTNS = uint64(res.Span.TTFT)
+		resp.OutTokens = uint32(res.Span.OutTokens)
+	}
+	return resp
 }
 
 // wireStatus is mapError's binary twin.
 func wireStatus(err error) wire.Status {
 	switch {
+	case errors.Is(err, ErrUnsupportedField):
+		return wire.StatusUnsupportedField
 	case errors.Is(err, dispatch.ErrTooLong):
 		return wire.StatusTooLong
 	case errors.Is(err, cluster.ErrDeadlineExceeded):

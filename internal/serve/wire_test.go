@@ -204,3 +204,32 @@ func TestAppendInferResponseMatchesJSON(t *testing.T) {
 		}
 	}
 }
+
+func TestWireGenerateEndToEnd(t *testing.T) {
+	srv, _ := testServer(t)
+	addr := startWire(t, srv)
+	c, err := DialWire(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	resp, err := c.Generate("the quick brown fox jumps over the lazy dog", 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.OutputTokens != 8 {
+		t.Errorf("output tokens = %d, want 8", resp.OutputTokens)
+	}
+	if resp.TTFTMS <= 0 {
+		t.Errorf("ttft = %vms, want > 0", resp.TTFTMS)
+	}
+	if resp.LatencyMS < resp.TTFTMS {
+		t.Errorf("latency %vms < ttft %vms", resp.LatencyMS, resp.TTFTMS)
+	}
+
+	// A budget outside [1, MaxNewTokensLimit] is invalid, not unsupported.
+	if _, err := c.Generate("hi", 0); err == nil {
+		t.Error("zero max_new_tokens should fail")
+	}
+}

@@ -1,0 +1,112 @@
+package trace
+
+import (
+	"math"
+	"math/rand"
+	"time"
+)
+
+// Generative trace mode: each request carries an output token budget drawn
+// from an output-length distribution, alongside the existing input-length
+// distribution. Measured generative workloads are short-heavy with a long
+// tail (most completions stop after a sentence, a few run to the cap), so
+// the default sampler is geometric with a hard cap.
+
+// OutputSampler draws per-request output token counts.
+type OutputSampler interface {
+	// SampleOutput returns the number of tokens the request generates
+	// (>= 1), possibly conditioned on arrival time.
+	SampleOutput(rng *rand.Rand, at time.Duration) int
+}
+
+// GeometricOutputs samples output lengths from a capped geometric
+// distribution with the given mean: P(n) ∝ (1-p)^(n-1) p with p = 1/Mean.
+// Short-heavy with an exponential tail, truncated at Max.
+type GeometricOutputs struct {
+	// Mean is the uncapped mean output length (>= 1).
+	Mean float64
+	// Max caps a single request's output (the serving-side max_new_tokens
+	// budget); 0 means no cap.
+	Max int
+}
+
+// SampleOutput implements OutputSampler.
+func (g GeometricOutputs) SampleOutput(rng *rand.Rand, _ time.Duration) int {
+	mean := g.Mean
+	if mean < 1 {
+		mean = 1
+	}
+	// Inverse-CDF of the geometric distribution on {1, 2, ...}.
+	p := 1 / mean
+	u := rng.Float64()
+	n := 1 + int(math.Floor(math.Log(1-u)/math.Log(1-p)))
+	if n < 1 {
+		n = 1
+	}
+	if g.Max > 0 && n > g.Max {
+		n = g.Max
+	}
+	return n
+}
+
+// FixedOutputs gives every request the same output budget — the degenerate
+// sampler used by tests and calibration runs.
+type FixedOutputs struct{ Tokens int }
+
+// SampleOutput implements OutputSampler.
+func (f FixedOutputs) SampleOutput(*rand.Rand, time.Duration) int {
+	if f.Tokens < 1 {
+		return 1
+	}
+	return f.Tokens
+}
+
+// Generative returns the generative workload configuration: Poisson
+// arrivals at the given rate, the recalibrated (max 512) input-length
+// distribution, and geometric outputs with the given mean capped at
+// maxOut.
+func Generative(seed int64, rate float64, duration time.Duration, meanOut float64, maxOut int) Config {
+	return Config{
+		Seed:     seed,
+		Duration: duration,
+		Arrivals: Poisson{Rate: rate},
+		Lengths:  TwitterRecalibrated(seed),
+		Outputs:  GeometricOutputs{Mean: meanOut, Max: maxOut},
+	}
+}
+
+// Generative reports whether any request of the trace carries an output
+// budget — the predicate that selects the 4-column CSV format.
+func (t *Trace) Generative() bool {
+	for _, r := range t.Requests {
+		if r.OutTokens > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// OutTokens returns every request's output budget, in arrival order.
+func (t *Trace) OutTokens() []int {
+	out := make([]int, len(t.Requests))
+	for i, r := range t.Requests {
+		out[i] = r.OutTokens
+	}
+	return out
+}
+
+// MeanOutTokens returns the mean output budget over generative requests
+// (0 for a pure encoder trace).
+func (t *Trace) MeanOutTokens() float64 {
+	sum, n := 0, 0
+	for _, r := range t.Requests {
+		if r.OutTokens > 0 {
+			sum += r.OutTokens
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return float64(sum) / float64(n)
+}

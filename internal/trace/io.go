@@ -12,9 +12,21 @@ import (
 )
 
 // WriteCSV serializes the trace as "id,at_ms,length" rows with a header —
-// the format cmd/arlotrace emits.
+// the format cmd/arlotrace emits. Generative traces (any request with an
+// output budget) add a fourth out_tokens column; ReadCSV accepts both.
 func (t *Trace) WriteCSV(w io.Writer) error {
 	bw := bufio.NewWriter(w)
+	if t.Generative() {
+		if _, err := fmt.Fprintln(bw, "id,at_ms,length,out_tokens"); err != nil {
+			return err
+		}
+		for _, r := range t.Requests {
+			if _, err := fmt.Fprintf(bw, "%d,%.3f,%d,%d\n", r.ID, float64(r.At)/float64(time.Millisecond), r.Length, r.OutTokens); err != nil {
+				return err
+			}
+		}
+		return bw.Flush()
+	}
 	if _, err := fmt.Fprintln(bw, "id,at_ms,length"); err != nil {
 		return err
 	}
@@ -26,12 +38,13 @@ func (t *Trace) WriteCSV(w io.Writer) error {
 	return bw.Flush()
 }
 
-// ReadCSV parses a trace from the WriteCSV format. Requests must be
-// sorted by arrival time; the trace duration is the given value, or just
-// past the last arrival when duration <= 0.
+// ReadCSV parses a trace from the WriteCSV format: 3-column encoder rows
+// ("id,at_ms,length") or 4-column generative rows (+ out_tokens), mixed
+// freely. Requests must be sorted by arrival time; the trace duration is
+// the given value, or just past the last arrival when duration <= 0.
 func ReadCSV(r io.Reader, duration time.Duration) (*Trace, error) {
 	cr := csv.NewReader(r)
-	cr.FieldsPerRecord = 3
+	cr.FieldsPerRecord = -1 // 3 or 4 columns, validated per row below
 	rows, err := cr.ReadAll()
 	if err != nil {
 		return nil, fmt.Errorf("trace: reading CSV: %w", err)
@@ -46,6 +59,9 @@ func ReadCSV(r io.Reader, duration time.Duration) (*Trace, error) {
 	reqs := make([]Request, 0, len(rows)-start)
 	var prev time.Duration
 	for i := start; i < len(rows); i++ {
+		if len(rows[i]) != 3 && len(rows[i]) != 4 {
+			return nil, fmt.Errorf("trace: row %d: want 3 or 4 fields, got %d", i, len(rows[i]))
+		}
 		id, err := strconv.ParseInt(rows[i][0], 10, 64)
 		if err != nil {
 			return nil, fmt.Errorf("trace: row %d: bad id %q", i, rows[i][0])
@@ -58,12 +74,19 @@ func ReadCSV(r io.Reader, duration time.Duration) (*Trace, error) {
 		if err != nil || length < 1 {
 			return nil, fmt.Errorf("trace: row %d: bad length %q", i, rows[i][2])
 		}
+		outTokens := 0
+		if len(rows[i]) == 4 {
+			outTokens, err = strconv.Atoi(rows[i][3])
+			if err != nil || outTokens < 0 {
+				return nil, fmt.Errorf("trace: row %d: bad out_tokens %q", i, rows[i][3])
+			}
+		}
 		at := time.Duration(atMS * float64(time.Millisecond))
 		if at < prev {
 			return nil, fmt.Errorf("trace: row %d: arrivals not sorted (%v after %v)", i, at, prev)
 		}
 		prev = at
-		reqs = append(reqs, Request{ID: id, At: at, Length: length})
+		reqs = append(reqs, Request{ID: id, At: at, Length: length, OutTokens: outTokens})
 	}
 	d := duration
 	if d <= 0 {

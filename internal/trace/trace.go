@@ -15,6 +15,10 @@ type Request struct {
 	At time.Duration
 	// Length is the tokenized input sequence length.
 	Length int
+	// OutTokens is the number of tokens the request generates. 0 marks an
+	// encoder (classify-style) request; generative traces draw it from the
+	// Config's output sampler.
+	OutTokens int
 }
 
 // Trace is a generated request stream.
@@ -35,6 +39,9 @@ type Config struct {
 	Arrivals ArrivalProcess
 	// Lengths samples per-request sequence lengths.
 	Lengths LengthSampler
+	// Outputs samples per-request output token counts; nil produces an
+	// encoder trace (OutTokens 0 on every request).
+	Outputs OutputSampler
 }
 
 // Generate synthesizes a trace from the configuration. Generation is
@@ -54,6 +61,9 @@ func Generate(cfg Config) (*Trace, error) {
 	reqs := make([]Request, len(ats))
 	for i, at := range ats {
 		reqs[i] = Request{ID: int64(i), At: at, Length: cfg.Lengths.SampleLength(rng, at)}
+		if cfg.Outputs != nil {
+			reqs[i].OutTokens = cfg.Outputs.SampleOutput(rng, at)
+		}
 	}
 	return &Trace{Requests: reqs, Duration: cfg.Duration}, nil
 }

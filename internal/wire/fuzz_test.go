@@ -15,6 +15,10 @@ func FuzzWireDecode(f *testing.F) {
 	f.Add(AppendRequest(nil, &Request{ID: 3, Mode: ModeTokens}))
 	f.Add(AppendResponse(nil, &Response{ID: 4, Status: StatusOK, Label: 1, SeqLen: 64, LatencyNS: 1}))
 	f.Add(AppendResponse(nil, &Response{ID: 5, Status: StatusCongested, Message: "busy"}))
+	f.Add(AppendRequest(nil, &Request{Kind: KindGenRequest, ID: 6, Mode: ModeText, Text: "prompt", MaxNewTokens: 16}))
+	f.Add(AppendRequest(nil, &Request{Kind: KindGenRequest, ID: 7, Mode: ModeTokens, Tokens: []uint32{9, 9}, MaxNewTokens: 1}))
+	f.Add(AppendResponse(nil, &Response{Kind: KindGenResponse, ID: 8, Status: StatusOK, SeqLen: 32, LatencyNS: 2, TTFTNS: 1, OutTokens: 4}))
+	f.Add(AppendResponse(nil, &Response{Kind: KindGenResponse, ID: 9, Status: StatusUnsupportedField, Message: "unknown frame kind"}))
 	f.Add([]byte{})
 	f.Add([]byte{KindRequest})
 	f.Add([]byte{KindResponse, 0, 0, 0, 0, 0, 0, 0, 0, 0xff})
@@ -26,6 +30,7 @@ func FuzzWireDecode(f *testing.F) {
 				t.Fatalf("re-decode rejected own encoding: %v", err)
 			}
 			if re.ID != req.ID || re.Deadline != req.Deadline || re.Mode != req.Mode ||
+				re.Kind != req.Kind || re.MaxNewTokens != req.MaxNewTokens ||
 				re.Text != req.Text || len(re.Tokens) != len(req.Tokens) {
 				t.Fatalf("request identity broken: %+v vs %+v", req, re)
 			}

@@ -21,6 +21,16 @@
 //	                   u32 instance | u32 runtime | i64 batch | u32 batch_size
 //	  status != 0:     UTF-8 error message
 //
+// Generative request payload (kind=3) is the request payload with the
+// generation parameters between the mode byte and the body:
+//
+//	u8 kind=3 | u64 id | i64 deadline | u8 mode | u32 max_new_tokens | body
+//
+// Generative response payload (kind=4) is the response payload with the
+// generative timings appended to the ok block:
+//
+//	... u32 batch_size | u64 ttft_ns | u32 out_tokens
+//
 // Ids are chosen by the client and echoed verbatim, so responses may
 // return out of submission order and clients can pipeline: many requests
 // in flight on one connection, matched by id on the way back. The u32
@@ -40,6 +50,12 @@ import (
 const (
 	KindRequest  = 1
 	KindResponse = 2
+	// KindGenRequest is a generative request: KindRequest plus generation
+	// parameters (max_new_tokens).
+	KindGenRequest = 3
+	// KindGenResponse is a generative reply: KindResponse plus TTFT and
+	// the generated token count.
+	KindGenResponse = 4
 )
 
 // Request modes.
@@ -70,6 +86,9 @@ const (
 	StatusUnserviceable
 	StatusDeadline
 	StatusInternal
+	// StatusUnsupportedField rejects a request carrying a field or frame
+	// variant the server does not implement.
+	StatusUnsupportedField
 	numStatuses
 )
 
@@ -94,6 +113,8 @@ func (s Status) String() string {
 		return "deadline_exceeded"
 	case StatusInternal:
 		return "internal"
+	case StatusUnsupportedField:
+		return "unsupported_field"
 	}
 	return fmt.Sprintf("status(%d)", uint8(s))
 }
@@ -110,12 +131,16 @@ func (s Status) Retryable() bool {
 
 // Request is one decoded inference request.
 type Request struct {
+	// Kind is KindRequest or KindGenRequest; 0 encodes as KindRequest.
+	Kind uint8
 	// ID is the client-chosen multiplexing id, echoed on the response.
 	ID uint64
 	// Deadline is the request deadline in unix nanoseconds (0 = none).
 	Deadline int64
 	// Mode is ModeText or ModeTokens.
 	Mode uint8
+	// MaxNewTokens is the generative output budget (KindGenRequest only).
+	MaxNewTokens uint32
 	// Text is the input to tokenize (ModeText).
 	Text string
 	// Tokens are the pre-encoded token ids (ModeTokens).
@@ -125,6 +150,8 @@ type Request struct {
 // Response is one decoded inference reply; the fields mirror the JSON
 // InferResponse with durations in nanoseconds.
 type Response struct {
+	// Kind is KindResponse or KindGenResponse; 0 encodes as KindResponse.
+	Kind         uint8
 	ID           uint64
 	Status       Status
 	Label        uint8
@@ -137,6 +164,10 @@ type Response struct {
 	Runtime      uint32
 	Batch        int64
 	BatchSize    uint32
+	// TTFTNS and OutTokens are the generative timings (KindGenResponse
+	// only): time to first token and generated token count.
+	TTFTNS    uint64
+	OutTokens uint32
 	// Message is the error detail when Status != StatusOK.
 	Message string
 }
@@ -152,9 +183,12 @@ var (
 )
 
 const (
-	reqHeaderLen  = 1 + 8 + 8 + 1 // kind, id, deadline, mode
-	respHeaderLen = 1 + 8 + 1     // kind, id, status
-	respOKLen     = respHeaderLen + 1 + 4 + 8 + 8 + 8 + 2 + 4 + 4 + 8 + 4
+	reqHeaderLen     = 1 + 8 + 8 + 1 // kind, id, deadline, mode
+	genReqHeaderLen  = reqHeaderLen + 4
+	respHeaderLen    = 1 + 8 + 1 // kind, id, status
+	respOKLen        = respHeaderLen + 1 + 4 + 8 + 8 + 8 + 2 + 4 + 4 + 8 + 4
+	genRespOKLen     = respOKLen + 8 + 4
+	genRespTrailerAt = respOKLen // offset of ttft_ns in a gen ok payload
 )
 
 // AppendFrame appends the length prefix and payload to dst. Use with a
@@ -191,11 +225,20 @@ func ReadFrame(r io.Reader, buf []byte) ([]byte, []byte, error) {
 }
 
 // AppendRequest appends the encoded request payload (no length prefix).
+// Kind 0 encodes as KindRequest; KindGenRequest adds the generation
+// parameters.
 func AppendRequest(dst []byte, r *Request) []byte {
-	dst = append(dst, KindRequest)
+	kind := r.Kind
+	if kind == 0 {
+		kind = KindRequest
+	}
+	dst = append(dst, kind)
 	dst = binary.LittleEndian.AppendUint64(dst, r.ID)
 	dst = binary.LittleEndian.AppendUint64(dst, uint64(r.Deadline))
 	dst = append(dst, r.Mode)
+	if kind == KindGenRequest {
+		dst = binary.LittleEndian.AppendUint32(dst, r.MaxNewTokens)
+	}
 	switch r.Mode {
 	case ModeTokens:
 		dst = binary.LittleEndian.AppendUint32(dst, uint32(len(r.Tokens)))
@@ -217,13 +260,21 @@ func DecodeRequest(p []byte, tokens []uint32) (Request, error) {
 	if len(p) < reqHeaderLen {
 		return r, ErrShortPayload
 	}
-	if p[0] != KindRequest {
+	if p[0] != KindRequest && p[0] != KindGenRequest {
 		return r, ErrBadKind
 	}
+	r.Kind = p[0]
 	r.ID = binary.LittleEndian.Uint64(p[1:])
 	r.Deadline = int64(binary.LittleEndian.Uint64(p[9:]))
 	r.Mode = p[17]
 	body := p[reqHeaderLen:]
+	if r.Kind == KindGenRequest {
+		if len(p) < genReqHeaderLen {
+			return r, ErrShortPayload
+		}
+		r.MaxNewTokens = binary.LittleEndian.Uint32(p[reqHeaderLen:])
+		body = p[genReqHeaderLen:]
+	}
 	switch r.Mode {
 	case ModeText:
 		r.Text = string(body)
@@ -248,8 +299,14 @@ func DecodeRequest(p []byte, tokens []uint32) (Request, error) {
 }
 
 // AppendResponse appends the encoded response payload (no length prefix).
+// Kind 0 encodes as KindResponse; KindGenResponse appends the generative
+// trailer to the ok block.
 func AppendResponse(dst []byte, r *Response) []byte {
-	dst = append(dst, KindResponse)
+	kind := r.Kind
+	if kind == 0 {
+		kind = KindResponse
+	}
+	dst = append(dst, kind)
 	dst = binary.LittleEndian.AppendUint64(dst, r.ID)
 	dst = append(dst, uint8(r.Status))
 	if r.Status != StatusOK {
@@ -265,6 +322,10 @@ func AppendResponse(dst []byte, r *Response) []byte {
 	dst = binary.LittleEndian.AppendUint32(dst, r.Runtime)
 	dst = binary.LittleEndian.AppendUint64(dst, uint64(r.Batch))
 	dst = binary.LittleEndian.AppendUint32(dst, r.BatchSize)
+	if kind == KindGenResponse {
+		dst = binary.LittleEndian.AppendUint64(dst, r.TTFTNS)
+		dst = binary.LittleEndian.AppendUint32(dst, r.OutTokens)
+	}
 	return dst
 }
 
@@ -275,9 +336,10 @@ func DecodeResponse(p []byte) (Response, error) {
 	if len(p) < respHeaderLen {
 		return r, ErrShortPayload
 	}
-	if p[0] != KindResponse {
+	if p[0] != KindResponse && p[0] != KindGenResponse {
 		return r, ErrBadKind
 	}
+	r.Kind = p[0]
 	r.ID = binary.LittleEndian.Uint64(p[1:])
 	r.Status = Status(p[9])
 	if r.Status >= numStatuses {
@@ -289,6 +351,13 @@ func DecodeResponse(p []byte) (Response, error) {
 	}
 	if len(p) < respOKLen {
 		return r, ErrShortPayload
+	}
+	if r.Kind == KindGenResponse {
+		if len(p) < genRespOKLen {
+			return r, ErrShortPayload
+		}
+		r.TTFTNS = binary.LittleEndian.Uint64(p[genRespTrailerAt:])
+		r.OutTokens = binary.LittleEndian.Uint32(p[genRespTrailerAt+8:])
 	}
 	r.Label = p[10]
 	r.SeqLen = binary.LittleEndian.Uint32(p[11:])

@@ -13,6 +13,9 @@ func TestRequestRoundTrip(t *testing.T) {
 		{ID: 42, Deadline: 1_700_000_000_000_000_000, Mode: ModeText, Text: ""},
 		{ID: 7, Mode: ModeTokens, Tokens: []uint32{101, 2023, 102}},
 		{ID: 1<<64 - 1, Mode: ModeTokens, Tokens: nil},
+		{Kind: KindGenRequest, ID: 8, Mode: ModeText, Text: "generate from this", MaxNewTokens: 32},
+		{Kind: KindGenRequest, ID: 9, Deadline: 1_700_000_000_000_000_000, Mode: ModeTokens,
+			Tokens: []uint32{7, 8, 9}, MaxNewTokens: 1},
 	}
 	for _, want := range cases {
 		p := AppendRequest(nil, &want)
@@ -22,6 +25,16 @@ func TestRequestRoundTrip(t *testing.T) {
 		}
 		if got.ID != want.ID || got.Deadline != want.Deadline || got.Mode != want.Mode || got.Text != want.Text {
 			t.Errorf("round trip: got %+v want %+v", got, want)
+		}
+		if got.MaxNewTokens != want.MaxNewTokens {
+			t.Errorf("max_new_tokens: got %d want %d", got.MaxNewTokens, want.MaxNewTokens)
+		}
+		wantKind := want.Kind
+		if wantKind == 0 {
+			wantKind = KindRequest
+		}
+		if got.Kind != wantKind {
+			t.Errorf("kind: got %d want %d", got.Kind, wantKind)
 		}
 		if len(got.Tokens) != len(want.Tokens) {
 			t.Fatalf("tokens: got %v want %v", got.Tokens, want.Tokens)
@@ -36,11 +49,15 @@ func TestRequestRoundTrip(t *testing.T) {
 
 func TestResponseRoundTrip(t *testing.T) {
 	cases := []Response{
-		{ID: 9, Status: StatusOK, Label: 2, SeqLen: 128, LatencyNS: 5_000_000,
+		{Kind: KindResponse, ID: 9, Status: StatusOK, Label: 2, SeqLen: 128, LatencyNS: 5_000_000,
 			QueueNS: 1_000, ExecNS: 4_999_000, DemotionHops: 1, Instance: 3,
 			Runtime: 1, Batch: 77, BatchSize: 4},
-		{ID: 10, Status: StatusCongested, Message: "worker 3 queue overflow"},
-		{ID: 11, Status: StatusDeadline, Message: ""},
+		{Kind: KindResponse, ID: 10, Status: StatusCongested, Message: "worker 3 queue overflow"},
+		{Kind: KindResponse, ID: 11, Status: StatusDeadline, Message: ""},
+		{Kind: KindGenResponse, ID: 12, Status: StatusOK, Label: 1, SeqLen: 64, LatencyNS: 9_000_000,
+			QueueNS: 2_000, ExecNS: 8_998_000, Instance: 2, Runtime: 3, Batch: 5, BatchSize: 2,
+			TTFTNS: 3_000_000, OutTokens: 17},
+		{Kind: KindGenResponse, ID: 13, Status: StatusUnsupportedField, Message: "unknown frame kind"},
 	}
 	for _, want := range cases {
 		p := AppendResponse(nil, &want)
