@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-short race chaos fuzz bench bench-dispatch bench-obs bench-batch bench-serve bench-ingress bench-generate experiments experiments-full vet staticcheck lint fmt clean
+.PHONY: all build test test-short race chaos fuzz bench bench-dispatch bench-obs bench-batch bench-serve bench-ingress bench-generate bench-tenants experiments experiments-full vet staticcheck lint fmt clean
 
 all: build test
 
@@ -16,7 +16,7 @@ test-short:
 	$(GO) test -short ./...
 
 race:
-	$(GO) test -race ./internal/queue/ ./internal/dispatch/ ./internal/cluster/ ./internal/serve/ ./internal/core/ ./internal/multistream/ ./internal/metrics/ ./internal/tokenizer/ ./internal/obs/ ./internal/failover/ ./internal/chaos/ ./internal/batcher/ ./internal/ring/ ./internal/wire/ ./internal/trace/ ./internal/model/
+	$(GO) test -race ./internal/queue/ ./internal/dispatch/ ./internal/cluster/ ./internal/serve/ ./internal/core/ ./internal/multistream/ ./internal/metrics/ ./internal/tokenizer/ ./internal/obs/ ./internal/failover/ ./internal/chaos/ ./internal/batcher/ ./internal/ring/ ./internal/wire/ ./internal/trace/ ./internal/model/ ./internal/tenant/
 
 # The deterministic fault-injection harness: 500 seeded runs of the live
 # cluster under scripted crashes, slowdowns and cancellations, with the
@@ -34,6 +34,7 @@ fuzz:
 	$(GO) test -run '^$$' -fuzz FuzzGenerativeTraceParse -fuzztime 30s ./internal/trace/
 	$(GO) test -run '^$$' -fuzz FuzzBatchWindow -fuzztime 30s ./internal/batcher/
 	$(GO) test -run '^$$' -fuzz FuzzWireDecode -fuzztime 30s ./internal/wire/
+	$(GO) test -run '^$$' -fuzz FuzzTenantConfigParse -fuzztime 30s ./internal/tenant/
 
 bench:
 	$(GO) test -bench=. -benchmem -run=^$$ .
@@ -74,6 +75,13 @@ bench-ingress:
 # Writes BENCH_generate.json.
 bench-generate:
 	$(GO) run ./cmd/arlobench -exp bench-generate
+
+# Noisy-neighbor isolation on the live cluster: a steady victim tenant
+# against a 9x bursting tenant, baseline (shared queue) vs token-bucket
+# admission + weighted fair dispatch. The victim's p99 must improve and
+# every noisy rejection must be the typed 429. Writes BENCH_tenants.json.
+bench-tenants:
+	$(GO) run ./cmd/arlobench -exp bench-tenants
 
 # Regenerate every table and figure of the paper (quick mode, ~1 min).
 experiments:

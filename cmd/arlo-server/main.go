@@ -23,6 +23,7 @@ import (
 	"arlo/internal/cluster"
 	"arlo/internal/core"
 	"arlo/internal/serve"
+	"arlo/internal/tenant"
 	"arlo/internal/tokenizer"
 )
 
@@ -44,6 +45,7 @@ func main() {
 		wireAddr    = flag.String("wire-addr", "", "binary wire-protocol listen address (empty disables, e.g. :8081)")
 		ingressOn   = flag.Bool("ingress", false, "submit through sharded ingress rings with grouped dispatch")
 		ingressGrp  = flag.Int("ingress-group", 0, "ingress drain group size (0 = default)")
+		tenantsCfg  = flag.String("tenants-config", "", "JSON tenant config file enabling multi-tenant admission and fair sharing")
 	)
 	flag.Parse()
 
@@ -54,6 +56,17 @@ func main() {
 	}
 	if *continuous {
 		sysOpts = append(sysOpts, core.WithContinuousBatching(*batchSize, *meanOut))
+	}
+	if *tenantsCfg != "" {
+		data, err := os.ReadFile(*tenantsCfg)
+		if err != nil {
+			log.Fatalf("arlo-server: tenants config: %v", err)
+		}
+		cfgs, err := tenant.ParseConfig(data)
+		if err != nil {
+			log.Fatalf("arlo-server: tenants config: %v", err)
+		}
+		sysOpts = append(sysOpts, core.WithTenants(cfgs...))
 	}
 	a, err := core.NewSystem(sysOpts...)
 	if err != nil {
@@ -135,6 +148,10 @@ func main() {
 	}()
 	fmt.Printf("arlo-server: %s on %s with %d emulated GPUs (%d runtimes, policy %s, SLO %v); metrics at /metrics\n",
 		*model, *addr, *gpus, len(a.Profile.Runtimes), *policy, a.SLO())
+	if *tenantsCfg != "" {
+		fmt.Printf("arlo-server: multi-tenant mode on (%s); admin at /v1/tenants, watch arlo_admission_total on /metrics\n",
+			*tenantsCfg)
+	}
 	if *continuous {
 		fmt.Printf("arlo-server: continuous (iteration-level) batching on (slots %d); POST /v1/generate, watch arlo_ttft_seconds on /metrics\n",
 			*batchSize)

@@ -47,6 +47,12 @@ type Former[T any] struct {
 	// start executing (its SLO slack). The collection window never extends
 	// past the earliest deadline among collected members.
 	Deadline func(T) (time.Time, bool)
+	// Window, when non-nil, reports a per-item cap on the collection
+	// window (SLO-class policy: interactive members shrink the window,
+	// batch-class members tolerate the full MaxDelay). The wait never
+	// extends past any member's arrival plus its window. Items without an
+	// opinion return ok=false and inherit MaxDelay.
+	Window func(T) (time.Duration, bool)
 	// Interrupt, when non-nil, aborts the collection wait when it becomes
 	// readable (a crashed worker must stop forming and start draining).
 	// Items already collected are still returned.
@@ -129,8 +135,12 @@ func (f *Former[T]) wait(batch []T, max int) ([]T, bool) {
 	if f.Policy.MaxDelay <= 0 {
 		return batch, true
 	}
-	limit := time.Now().Add(f.Policy.MaxDelay)
+	now := time.Now()
+	limit := now.Add(f.Policy.MaxDelay)
 	limit = f.clampToDeadlines(limit, batch)
+	// Members collected so far anchor their window caps at the batch's
+	// first arrival: that is how long the batch has already been open.
+	limit = f.clampToWindows(limit, batch, f.firstAt)
 	for len(batch) < max {
 		remain := time.Until(limit)
 		if remain <= 0 {
@@ -151,6 +161,7 @@ func (f *Former[T]) wait(batch []T, max int) ([]T, bool) {
 			// A new member with less slack shrinks the window for everyone:
 			// the batch starts when its most urgent member must.
 			limit = f.clampToDeadlines(limit, batch[len(batch)-1:])
+			limit = f.clampToWindows(limit, batch[len(batch)-1:], time.Now())
 		case <-f.timer.C:
 			return batch, true
 		case <-f.Interrupt:
@@ -169,6 +180,22 @@ func (f *Former[T]) clampToDeadlines(limit time.Time, items []T) time.Time {
 	for _, it := range items {
 		if d, ok := f.Deadline(it); ok && d.Before(limit) {
 			limit = d
+		}
+	}
+	return limit
+}
+
+// clampToWindows lowers limit to the earliest per-item window expiry
+// among items, each anchored at the given arrival instant.
+func (f *Former[T]) clampToWindows(limit time.Time, items []T, at time.Time) time.Time {
+	if f.Window == nil {
+		return limit
+	}
+	for _, it := range items {
+		if w, ok := f.Window(it); ok {
+			if exp := at.Add(w); exp.Before(limit) {
+				limit = exp
+			}
 		}
 	}
 	return limit

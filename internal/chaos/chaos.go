@@ -31,6 +31,7 @@ import (
 	"arlo/internal/obs"
 	"arlo/internal/profiler"
 	"arlo/internal/queue"
+	"arlo/internal/tenant"
 	"arlo/internal/trace"
 )
 
@@ -94,6 +95,12 @@ type Config struct {
 	// MaxNewTokens bounds the drawn output budgets (default 32; only read
 	// when Generative).
 	MaxNewTokens int
+	// Tenants, when non-empty, runs the cluster in multi-tenant mode:
+	// every request is assigned a seeded tenant draw from this list, and
+	// the conservation audit extends per tenant — token-bucket rejections
+	// must be typed, counted exactly once, and agree with the registry's
+	// own books.
+	Tenants []tenant.Config
 }
 
 // Report is the audited outcome of one run. Submitted is partitioned
@@ -107,9 +114,19 @@ type Report struct {
 	// cancellations nor budget exhaustion (congestion, no instances,
 	// too-long).
 	OtherRejected int
+	// RateLimited counts token-bucket admission rejections (multi-tenant
+	// runs only).
+	RateLimited int
 	// Unexpected collects errors outside the typed taxonomy — any entry
 	// is an invariant violation.
 	Unexpected []error
+
+	// PerTenant partitions the outcome books by tenant id (multi-tenant
+	// runs only).
+	PerTenant map[string]*TenantBooks
+	// TenantStats is the registry's own accounting at the end of the run,
+	// cross-checked against PerTenant by Check.
+	TenantStats []tenant.Stat
 
 	// Requeues splits the displaced-work counter by displacement point.
 	RequeuesQueued   int64
@@ -121,6 +138,16 @@ type Report struct {
 	FinalAllocation []int
 	// FinalHealth summarizes instance health at the end of the run.
 	FinalHealth cluster.HealthSummary
+}
+
+// TenantBooks is one tenant's outcome partition in a multi-tenant run.
+type TenantBooks struct {
+	Submitted     int
+	Completed     int
+	Cancelled     int
+	Unserviceable int
+	OtherRejected int
+	RateLimited   int
 }
 
 // Check audits the conservation invariants and returns the first
@@ -136,7 +163,7 @@ func (r *Report) Check() error {
 	if len(r.Unexpected) > 0 {
 		return fmt.Errorf("chaos: %d untyped errors, first: %w", len(r.Unexpected), r.Unexpected[0])
 	}
-	outcomes := r.Completed + r.Cancelled + r.Unserviceable + r.OtherRejected
+	outcomes := r.Completed + r.Cancelled + r.Unserviceable + r.OtherRejected + r.RateLimited
 	if outcomes != r.Submitted {
 		return fmt.Errorf("chaos: conservation violated: %d outcomes for %d submissions", outcomes, r.Submitted)
 	}
@@ -147,11 +174,58 @@ func (r *Report) Check() error {
 	if got, want := rec.Cancelled(), int64(r.Cancelled); got != want {
 		return fmt.Errorf("chaos: recorder cancelled %d, harness saw %d", got, want)
 	}
-	if got, want := rec.Rejected(), int64(r.Unserviceable+r.OtherRejected); got != want {
+	if got, want := rec.Rejected(), int64(r.Unserviceable+r.OtherRejected+r.RateLimited); got != want {
 		return fmt.Errorf("chaos: recorder rejected %d, harness saw %d", got, want)
 	}
 	if bal := rec.Submitted() - rec.Completed() - rec.Cancelled() - rec.Rejected(); bal != 0 {
 		return fmt.Errorf("chaos: recorder books unbalanced by %d", bal)
+	}
+	return r.checkTenants()
+}
+
+// checkTenants audits the multi-tenant extension of the conservation
+// invariants: the per-tenant books partition the totals, every tenant's
+// outcomes partition its own submissions, and the registry's admission
+// counters agree with what the harness observed — an admission decided
+// twice (or a rejection also dispatched) breaks the agreement.
+func (r *Report) checkTenants() error {
+	if len(r.PerTenant) == 0 {
+		return nil
+	}
+	var sub, rl int
+	for id, b := range r.PerTenant {
+		sub += b.Submitted
+		rl += b.RateLimited
+		if got := b.Completed + b.Cancelled + b.Unserviceable + b.OtherRejected + b.RateLimited; got != b.Submitted {
+			return fmt.Errorf("chaos: tenant %s conservation violated: %d outcomes for %d submissions", id, got, b.Submitted)
+		}
+	}
+	if sub != r.Submitted || rl != r.RateLimited {
+		return fmt.Errorf("chaos: per-tenant books (%d submitted, %d rate-limited) do not partition totals (%d, %d)",
+			sub, rl, r.Submitted, r.RateLimited)
+	}
+	stats := make(map[string]tenant.Stat, len(r.TenantStats))
+	for _, st := range r.TenantStats {
+		stats[st.ID] = st
+	}
+	for id, b := range r.PerTenant {
+		st, ok := stats[id]
+		if !ok {
+			return fmt.Errorf("chaos: tenant %s missing from registry stats", id)
+		}
+		if st.Rejected != int64(b.RateLimited) {
+			return fmt.Errorf("chaos: tenant %s registry rejected %d, harness saw %d", id, st.Rejected, b.RateLimited)
+		}
+		// A request cancelled before it reached admission (its tight
+		// deadline expired in the submit path's first check) is counted by
+		// the harness but never by the bucket, so admitted may fall short
+		// of submitted-minus-rate-limited — but only by cancellations.
+		upper := int64(b.Submitted - b.RateLimited)
+		lower := upper - int64(b.Cancelled)
+		if st.Admitted > upper || st.Admitted < lower {
+			return fmt.Errorf("chaos: tenant %s registry admitted %d, harness bounds [%d, %d]",
+				id, st.Admitted, lower, upper)
+		}
 	}
 	return nil
 }
@@ -177,6 +251,13 @@ func Run(cfg Config) (*Report, error) {
 	if maxNew < 1 {
 		maxNew = 32
 	}
+	var reg *tenant.Registry
+	if len(cfg.Tenants) > 0 {
+		var err error
+		if reg, err = tenant.NewRegistry(cfg.Tenants...); err != nil {
+			return nil, err
+		}
+	}
 	rec := obs.NewRecorder(len(cfg.Profile.MaxLengths()))
 	cl, err := cluster.New(cluster.Config{
 		Profile:           cfg.Profile,
@@ -190,6 +271,7 @@ func Run(cfg Config) (*Report, error) {
 		BatchDelay:        cfg.BatchDelay,
 		Continuous:        cfg.Generative,
 		MeanOutTokens:     float64(maxNew+1) / 2,
+		Tenants:           reg,
 	})
 	if err != nil {
 		return nil, err
@@ -198,6 +280,12 @@ func Run(cfg Config) (*Report, error) {
 
 	rng := rand.New(rand.NewSource(cfg.Seed))
 	rep := &Report{Recorder: rec}
+	if reg != nil {
+		rep.PerTenant = make(map[string]*TenantBooks, len(cfg.Tenants))
+		for _, tc := range cfg.Tenants {
+			rep.PerTenant[tc.ID] = &TenantBooks{}
+		}
+	}
 
 	// Merge arrivals and fault events into one modeled-time schedule.
 	type step struct {
@@ -220,6 +308,7 @@ func Run(cfg Config) (*Report, error) {
 	// schedule order, so the stimulus depends only on the seed.
 	deadlines := make([]time.Duration, len(steps))
 	budgets := make([]int, len(steps))
+	tenants := make([]string, len(steps))
 	for i, st := range steps {
 		if st.req == nil {
 			continue
@@ -234,27 +323,48 @@ func Run(cfg Config) (*Report, error) {
 				budgets[i] = 1 + rng.Intn(maxNew)
 			}
 		}
+		if reg != nil {
+			tenants[i] = st.req.Tenant
+			if tenants[i] == "" {
+				tenants[i] = cfg.Tenants[rng.Intn(len(cfg.Tenants))].ID
+			}
+		}
 	}
 
 	var (
 		wg sync.WaitGroup
 		mu sync.Mutex
 	)
-	classify := func(err error) {
+	classify := func(tn string, err error) {
 		mu.Lock()
 		defer mu.Unlock()
+		books := &TenantBooks{}
+		if rep.PerTenant != nil {
+			if b, ok := rep.PerTenant[tn]; ok {
+				books = b
+			} else {
+				rep.PerTenant[tn] = books
+			}
+		}
 		switch {
 		case err == nil:
 			rep.Completed++
+			books.Completed++
 		case errors.Is(err, cluster.ErrDeadlineExceeded):
 			rep.Cancelled++
+			books.Cancelled++
+		case errors.Is(err, cluster.ErrRateLimited):
+			rep.RateLimited++
+			books.RateLimited++
 		case errors.Is(err, cluster.ErrUnserviceable):
 			rep.Unserviceable++
+			books.Unserviceable++
 		case errors.Is(err, cluster.ErrCongested),
 			errors.Is(err, cluster.ErrClusterClosed),
 			errors.Is(err, dispatch.ErrNoInstances),
 			errors.Is(err, dispatch.ErrTooLong):
 			rep.OtherRejected++
+			books.OtherRejected++
 		default:
 			rep.Unexpected = append(rep.Unexpected, err)
 		}
@@ -266,7 +376,8 @@ func Run(cfg Config) (*Report, error) {
 	resolved := func() int {
 		mu.Lock()
 		defer mu.Unlock()
-		return rep.Completed + rep.Cancelled + rep.Unserviceable + rep.OtherRejected + len(rep.Unexpected)
+		return rep.Completed + rep.Cancelled + rep.Unserviceable + rep.OtherRejected +
+			rep.RateLimited + len(rep.Unexpected)
 	}
 
 	start := time.Now()
@@ -298,6 +409,17 @@ func Run(cfg Config) (*Report, error) {
 		length := st.req.Length
 		deadline := deadlines[i]
 		budget := budgets[i]
+		tn := tenants[i]
+		if rep.PerTenant != nil {
+			mu.Lock()
+			b, ok := rep.PerTenant[tn]
+			if !ok {
+				b = &TenantBooks{}
+				rep.PerTenant[tn] = b
+			}
+			b.Submitted++
+			mu.Unlock()
+		}
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
@@ -307,18 +429,21 @@ func Run(cfg Config) (*Report, error) {
 				ctx, cancel = context.WithTimeout(ctx, time.Duration(float64(deadline)*scale))
 				defer cancel()
 			}
-			res, err := cl.SubmitCtx(ctx, cluster.Request{Length: length, MaxNewTokens: budget})
+			res, err := cl.SubmitCtx(ctx, cluster.Request{Length: length, MaxNewTokens: budget, Tenant: tn})
 			if err == nil && budget > 0 && res.Span.OutTokens != budget {
 				// Iteration-level conservation: a completion must carry its
 				// full generation — a short count means a crash-displaced
 				// partial leaked through as finished.
 				err = fmt.Errorf("chaos: completed with %d of %d tokens", res.Span.OutTokens, budget)
 			}
-			classify(err)
+			classify(tn, err)
 		}()
 	}
 	wg.Wait()
 
+	if reg != nil {
+		rep.TenantStats = reg.Stats()
+	}
 	rep.RequeuesQueued = rec.RequeuesFor(obs.RequeueQueued)
 	rep.RequeuesInflight = rec.RequeuesFor(obs.RequeueInflight)
 	rep.FinalAllocation = cl.Allocation()

@@ -35,6 +35,7 @@ import (
 	"arlo/internal/obs"
 	"arlo/internal/profiler"
 	"arlo/internal/queue"
+	"arlo/internal/tenant"
 	"arlo/internal/trace"
 )
 
@@ -118,6 +119,11 @@ type Config struct {
 	// queue's lambda-congestion estimate). 0 defaults to 16. Only read
 	// when Continuous is set.
 	MeanOutTokens float64
+	// Tenants enables multi-tenant serving: token-bucket admission runs in
+	// front of every submit path and admitted jobs dispatch in weighted
+	// fair order across tenants (see tenancy.go). nil keeps the
+	// single-tenant fast path unchanged.
+	Tenants *tenant.Registry
 }
 
 // Cluster is a running set of emulated GPU workers.
@@ -149,6 +155,12 @@ type Cluster struct {
 	// recorder methods are nil-receiver safe, so the hot path pays one
 	// atomic load and a predictable branch).
 	obsRec atomic.Pointer[obs.Recorder]
+
+	// tenants and fairQ are the multi-tenancy state: nil when
+	// Config.Tenants is unset. Admitted jobs queue in fairQ and a single
+	// pump goroutine drains them in weighted-fair order (tenancy.go).
+	tenants *tenant.Registry
+	fairQ   *queue.Fair[*job]
 
 	// mu guards topology only: the workers map, nextID and closed.
 	// Submissions hold it shared across dispatch + channel send; worker
@@ -235,6 +247,12 @@ type job struct {
 	maxNew    int
 	ttft      time.Duration
 	outTokens int
+
+	// tenant is the resolved tenant record (nil without a registry);
+	// window is the SLO class's batch-collection cap in wall time (0 means
+	// no per-member opinion).
+	tenant *tenant.Tenant
+	window time.Duration
 }
 
 // failedLatency is the sentinel delivered on the done channel when a job
@@ -270,6 +288,8 @@ func newJob(length int) *job {
 	j.maxNew = 0
 	j.ttft = 0
 	j.outTokens = 0
+	j.tenant = nil
+	j.window = 0
 	return j
 }
 
@@ -403,6 +423,12 @@ func New(cfg Config) (*Cluster, error) {
 		c.dispCtx = cd
 	} else {
 		c.dispCtx = plainDispatcher{disp}
+	}
+	if cfg.Tenants != nil {
+		c.tenants = cfg.Tenants
+		c.fairQ = queue.NewFair[*job]()
+		c.wg.Add(1)
+		go c.runFairPump()
 	}
 	c.dispStale, _ = disp.(dispatch.GroupDispatcher)
 	if cfg.Observer != nil {
@@ -618,11 +644,19 @@ func (c *Cluster) runWorkerBatched(w *worker, rt profiler.Runtime) {
 	// The deadline slack a member must keep after formation: one full
 	// batched kernel, in wall time.
 	execEstimate := time.Duration(float64(rt.BatchDrainTime(maxBatch, maxBatch)) * c.scale)
+	maxDelay := time.Duration(float64(c.batchDelay) * c.scale)
+	if c.tenants != nil {
+		// SLO-class window policy: batch-class members may stretch the
+		// window up to MaxWindowFactor x the configured delay, interactive
+		// members shrink it. The per-member Window cap below enforces each
+		// class's bound; MaxDelay is sized for the most patient class.
+		maxDelay = time.Duration(float64(maxDelay) * tenant.MaxWindowFactor)
+	}
 	former := &batcher.Former[*job]{
 		Source: w.ch,
 		Policy: batcher.Policy{
 			MaxSize:  maxBatch,
-			MaxDelay: time.Duration(float64(c.batchDelay) * c.scale),
+			MaxDelay: maxDelay,
 		},
 		Deadline: func(j *job) (time.Time, bool) {
 			if j.deadline.IsZero() {
@@ -631,6 +665,9 @@ func (c *Cluster) runWorkerBatched(w *worker, rt profiler.Runtime) {
 			return j.deadline.Add(-execEstimate), true
 		},
 		Interrupt: w.kill,
+	}
+	if c.tenants != nil {
+		former.Window = func(j *job) (time.Duration, bool) { return j.window, j.window > 0 }
 	}
 	var batch, run []*job
 	var lengths, outs []int
@@ -744,6 +781,10 @@ type Request struct {
 	// this many tokens (the prefill yields the first). 0 submits a plain
 	// encoder request.
 	MaxNewTokens int
+	// Tenant identifies the submitting tenant for admission, fair-share
+	// accounting and the span label. Empty (and any unregistered id)
+	// resolves to the "default" tenant; ignored without a tenant registry.
+	Tenant string
 }
 
 // Result is the outcome of one completed request: the modeled latency
@@ -789,6 +830,13 @@ func (c *Cluster) SubmitCtx(ctx context.Context, req Request) (Result, error) {
 		rec.RecordCancel()
 		return Result{}, cancelErr(err)
 	}
+	t, aerr := c.admitTenant(req.Tenant, req.Length+req.MaxNewTokens)
+	if aerr != nil {
+		// Rejected at the door: the request never leases a job or touches
+		// the queue.
+		c.rejectAdmission(rec)
+		return Result{}, aerr
+	}
 	j := newJob(req.Length)
 	j.tokenize = req.Tokenize
 	if req.MaxNewTokens > 0 {
@@ -799,6 +847,7 @@ func (c *Cluster) SubmitCtx(ctx context.Context, req Request) (Result, error) {
 		// deadline leaves.
 		j.deadline = d
 	}
+	c.applyTenant(j, t)
 	if err := c.submit(ctx, j); err != nil {
 		jobPool.Put(j)
 		return Result{}, err
@@ -878,6 +927,9 @@ func (c *Cluster) finish(j *job, lat time.Duration, rec *obs.Recorder) Result {
 		OutTokens:   j.outTokens,
 		TTFT:        j.ttft,
 	}
+	if j.tenant != nil {
+		span.Tenant = j.tenant.ID()
+	}
 	rec.RecordSpan(&span)
 	return Result{Latency: lat, Span: span}
 }
@@ -906,6 +958,8 @@ func rejectReason(err error) obs.RejectReason {
 		// Only the ingress drain rejects on a spent deadline (the direct
 		// path surfaces cancellation through RecordCancel instead).
 		return obs.RejectDeadline
+	case errors.Is(err, tenant.ErrRateLimited):
+		return obs.RejectRateLimited
 	default:
 		return obs.RejectOther
 	}
@@ -934,6 +988,11 @@ func (c *Cluster) submit(ctx context.Context, j *job) (err error) {
 			rec.RecordReject(rejectReason(err))
 		}
 	}()
+	if c.fairQ != nil {
+		// Multi-tenant mode: the job takes its fair turn in the pump's
+		// dispatch order instead of routing inline.
+		return c.fairEnqueue(j)
+	}
 	return c.route(ctx, j)
 }
 
@@ -1120,6 +1179,9 @@ func (c *Cluster) obsSnapshot() obs.Snapshot {
 	sort.Slice(snap.Instances, func(i, j int) bool {
 		return snap.Instances[i].ID < snap.Instances[j].ID
 	})
+	if c.tenants != nil {
+		snap.Tenants = c.tenantSnapshot()
+	}
 	return snap
 }
 
@@ -1135,6 +1197,11 @@ func (c *Cluster) Close() {
 		close(w.ch)
 	}
 	c.mu.Unlock()
+	if c.fairQ != nil {
+		// The pump drains the fair queue (failing leftovers with
+		// ErrClusterClosed) and exits; wg.Wait covers it.
+		c.fairQ.Close()
+	}
 	c.wg.Wait()
 }
 
@@ -1167,10 +1234,23 @@ func (c *Cluster) Replay(tr *trace.Trace) (*ReplayResult, error) {
 		if wait := time.Until(start.Add(at)); wait > 0 {
 			time.Sleep(wait)
 		}
+		var tn *tenant.Tenant
+		if c.tenants != nil {
+			var aerr error
+			tn, aerr = c.admitTenant(r.Tenant, r.Length+r.OutTokens)
+			if aerr != nil {
+				c.rejectAdmission(c.obsRec.Load())
+				mu.Lock()
+				rejected++
+				mu.Unlock()
+				continue
+			}
+		}
 		j := newJob(r.Length)
 		if r.OutTokens > 0 {
 			j.maxNew = r.OutTokens
 		}
+		c.applyTenant(j, tn)
 		if err := c.submit(context.Background(), j); err != nil {
 			jobPool.Put(j)
 			mu.Lock()

@@ -61,6 +61,14 @@ func (c *Cluster) SubmitBatch(ctx context.Context, reqs []Request) []BatchResult
 	jobs := make([]*job, len(reqs))
 	for i, r := range reqs {
 		rec.RecordSubmit()
+		t, aerr := c.admitTenant(r.Tenant, r.Length+r.MaxNewTokens)
+		if aerr != nil {
+			// Rejected at the door: the member resolves without ever leasing
+			// a job; its slot stays nil through the group dispatch.
+			rec.RecordReject(obs.RejectRateLimited)
+			out[i].Err = aerr
+			continue
+		}
 		j := newJob(r.Length)
 		j.tokenize = r.Tokenize
 		if r.MaxNewTokens > 0 {
@@ -69,10 +77,14 @@ func (c *Cluster) SubmitBatch(ctx context.Context, reqs []Request) []BatchResult
 		if hasDeadline {
 			j.deadline = deadline
 		}
+		c.applyTenant(j, t)
 		jobs[i] = j
 	}
 	c.submitBatch(jobs)
 	for i, j := range jobs {
+		if j == nil {
+			continue // admission-rejected member, already resolved
+		}
 		out[i].Result, out[i].Err = c.await(ctx, j, rec)
 	}
 	return out
@@ -87,10 +99,19 @@ func (c *Cluster) SubmitBatch(ctx context.Context, reqs []Request) []BatchResult
 // done channel. Callers must have recorded the submissions already.
 func (c *Cluster) submitBatch(jobs []*job) {
 	rec := c.obsRec.Load()
+	if c.fairQ != nil {
+		// Multi-tenant mode: the group takes its fair turns through the
+		// pump instead of dispatching inline.
+		c.submitBatchFair(jobs)
+		return
+	}
 	c.mu.RLock()
 	if c.closed {
 		c.mu.RUnlock()
 		for _, j := range jobs {
+			if j == nil {
+				continue
+			}
 			c.failJob(j, ErrClusterClosed)
 		}
 		return
@@ -99,6 +120,9 @@ func (c *Cluster) submitBatch(jobs []*job) {
 	stale := c.dispStale
 	var touched uint64 // bitmask of levels dispatched via DispatchStale
 	for _, j := range jobs {
+		if j == nil {
+			continue // admission-rejected member of a SubmitBatch group
+		}
 		if j.state.Load() == jobCancelled {
 			// The submitter's context fired while the job sat in the ring;
 			// it already returned, so the drain owns (and discards) the job.
@@ -256,6 +280,12 @@ func (g *Ingress) SubmitCtx(ctx context.Context, req Request) (Result, error) {
 		rec.RecordReject(obs.RejectClosed)
 		return Result{}, ErrClusterClosed
 	}
+	t, aerr := g.c.admitTenant(req.Tenant, req.Length+req.MaxNewTokens)
+	if aerr != nil {
+		// Rejected at the door: the request never enters the ring.
+		g.c.rejectAdmission(rec)
+		return Result{}, aerr
+	}
 	rec.RecordSubmit()
 	j := newJob(req.Length)
 	j.tokenize = req.Tokenize
@@ -265,6 +295,7 @@ func (g *Ingress) SubmitCtx(ctx context.Context, req Request) (Result, error) {
 	if d, ok := ctx.Deadline(); ok {
 		j.deadline = d
 	}
+	g.c.applyTenant(j, t)
 	if _, ok := g.r.Enqueue(j); !ok {
 		jobPool.Put(j)
 		rec.RecordReject(obs.RejectCongested)

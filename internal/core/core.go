@@ -23,6 +23,7 @@ import (
 	"arlo/internal/profiler"
 	"arlo/internal/queue"
 	"arlo/internal/sim"
+	"arlo/internal/tenant"
 	"arlo/internal/trace"
 )
 
@@ -67,6 +68,10 @@ type Options struct {
 	// MeanOutTokens hints the expected generative output length for the
 	// continuous capacity model (0 defaults to 16).
 	MeanOutTokens float64
+	// Tenants, when non-empty, enables multi-tenant serving in clusters
+	// built by NewCluster: token-bucket admission plus weighted fair
+	// dispatch across the given tenant records.
+	Tenants []tenant.Config
 }
 
 // Arlo is a configured system.
@@ -87,6 +92,7 @@ type Arlo struct {
 	batchDelay  time.Duration
 	continuous  bool
 	meanOut     float64
+	tenants     []tenant.Config
 }
 
 func build(opts Options) (*Arlo, error) {
@@ -137,6 +143,7 @@ func build(opts Options) (*Arlo, error) {
 		batchDelay:  opts.BatchDelay,
 		continuous:  opts.Continuous,
 		meanOut:     opts.MeanOutTokens,
+		tenants:     opts.Tenants,
 	}
 	if a.policy == "" {
 		a.policy = "RS"
@@ -286,6 +293,13 @@ func (a *Arlo) NewCluster(g int, q []float64) (*cluster.Cluster, error) {
 	if err != nil {
 		return nil, err
 	}
+	var reg *tenant.Registry
+	if len(a.tenants) > 0 {
+		reg, err = tenant.NewRegistry(a.tenants...)
+		if err != nil {
+			return nil, err
+		}
+	}
 	return cluster.New(cluster.Config{
 		Profile:           a.Profile,
 		InitialAllocation: initial,
@@ -294,5 +308,6 @@ func (a *Arlo) NewCluster(g int, q []float64) (*cluster.Cluster, error) {
 		BatchDelay:        a.batchDelay,
 		Continuous:        a.continuous,
 		MeanOutTokens:     a.meanOut,
+		Tenants:           reg,
 	})
 }

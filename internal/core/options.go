@@ -4,6 +4,7 @@ import (
 	"time"
 
 	"arlo/internal/model"
+	"arlo/internal/tenant"
 )
 
 // Option configures an Arlo system for NewSystem. Options are applied in
@@ -84,6 +85,15 @@ func WithContinuousBatching(maxSize int, meanOutTokens float64) Option {
 		o.Continuous = true
 		o.MeanOutTokens = meanOutTokens
 	}
+}
+
+// WithTenants enables multi-tenant serving in clusters built by
+// NewCluster: the given tenant records (id, SLO class, token-bucket
+// capacity/refill, fair-share weight) form the admission registry, and
+// dispatch order becomes weighted-fair across tenants. A "default" record
+// (unlimited, standard class, weight 1) is added when none is given.
+func WithTenants(cfgs ...tenant.Config) Option {
+	return func(o *Options) { o.Tenants = append([]tenant.Config(nil), cfgs...) }
 }
 
 // NewSystem builds an Arlo system from functional options:

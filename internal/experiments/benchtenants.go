@@ -1,0 +1,250 @@
+package experiments
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"sync"
+	"time"
+
+	"arlo/internal/cluster"
+	"arlo/internal/dispatch"
+	"arlo/internal/model"
+	"arlo/internal/profiler"
+	"arlo/internal/queue"
+	"arlo/internal/tenant"
+	"arlo/internal/trace"
+)
+
+// benchTenantArm is one tenant's measured outcome in one arm.
+type benchTenantArm struct {
+	Requests      int     `json:"requests"`
+	Completed     int     `json:"completed"`
+	RateLimited   int     `json:"rate_limited"`
+	OtherRejected int     `json:"other_rejected"`
+	P50MS         float64 `json:"p50_ms"`
+	P99MS         float64 `json:"p99_ms"`
+	// SLOAttainment is the fraction of completions within the SLO.
+	SLOAttainment float64 `json:"slo_attainment"`
+}
+
+// benchTenantsResult is the BENCH_tenants.json schema.
+type benchTenantsResult struct {
+	TimeScale float64 `json:"timescale"`
+	SLOMS     float64 `json:"slo_ms"`
+
+	// Baseline runs without a tenant registry: the noisy tenant's burst
+	// shares one queue with the victim.
+	Baseline map[string]benchTenantArm `json:"baseline"`
+	// Protected runs with token-bucket admission on the noisy tenant and
+	// weighted fair dispatch.
+	Protected map[string]benchTenantArm `json:"protected"`
+
+	// VictimP99Improvement is baseline victim p99 over protected victim
+	// p99 — the noisy-neighbor isolation factor.
+	VictimP99Improvement float64 `json:"victim_p99_improvement"`
+}
+
+// BenchTenants measures noisy-neighbor isolation on the live cluster: a
+// steady interactive "victim" tenant shares the cluster with a "noisy"
+// tenant offering ~9x the load. The baseline arm runs pre-tenancy (one
+// shared queue); the protected arm gives the noisy tenant a token bucket
+// and the victim a 8:1 fair-share weight. The report is per-tenant
+// latency and SLO attainment in both arms, plus the victim's p99
+// improvement. Every noisy rejection in the protected arm must be the
+// typed rate-limited error — anything else fails the experiment.
+// Results are printed and written to BENCH_tenants.json.
+func BenchTenants(w io.Writer, opt Options) error {
+	const (
+		slo       = 150 * time.Millisecond
+		timeScale = 0.05
+		victimID  = "victim"
+		noisyID   = "noisy"
+	)
+	dur := 2 * time.Second // modeled
+	victimRate, noisyRate := 100.0, 900.0
+	if opt.Full {
+		dur = 6 * time.Second
+	}
+
+	p, err := profiler.StaticProfile(model.BertBase(), []int{128, 512}, slo)
+	if err != nil {
+		return err
+	}
+	factory := func(ml *queue.MultiLevel) (dispatch.Dispatcher, error) {
+		return dispatch.NewRequestScheduler(ml)
+	}
+
+	// One merged seeded trace per tenant keeps the stimulus identical
+	// across arms; the noisy burst occupies the middle half of the window.
+	mkTrace := func(seed int64, rate float64, id string, burst bool) (*trace.Trace, error) {
+		cfg := trace.Stable(seed, rate, dur)
+		cfg.Tenants = trace.WeightedTenants{IDs: []string{id}}
+		tr, err := trace.Generate(cfg)
+		if err != nil {
+			return nil, err
+		}
+		if burst {
+			kept := tr.Requests[:0]
+			for _, r := range tr.Requests {
+				if r.At >= dur/4 && r.At < 3*dur/4 {
+					kept = append(kept, r)
+				}
+			}
+			tr.Requests = kept
+		}
+		return tr, nil
+	}
+	victimTr, err := mkTrace(opt.Seed+1, victimRate, victimID, false)
+	if err != nil {
+		return err
+	}
+	noisyTr, err := mkTrace(opt.Seed+2, noisyRate, noisyID, true)
+	if err != nil {
+		return err
+	}
+	merged := append(append([]trace.Request(nil), victimTr.Requests...), noisyTr.Requests...)
+	for i := 1; i < len(merged); i++ {
+		for j := i; j > 0 && merged[j].At < merged[j-1].At; j-- {
+			merged[j], merged[j-1] = merged[j-1], merged[j]
+		}
+	}
+
+	runArm := func(cfgs []tenant.Config) (map[string]benchTenantArm, error) {
+		var reg *tenant.Registry
+		if len(cfgs) > 0 {
+			if reg, err = tenant.NewRegistry(cfgs...); err != nil {
+				return nil, err
+			}
+		}
+		cl, err := cluster.New(cluster.Config{
+			Profile:           p,
+			InitialAllocation: []int{1, 1},
+			Dispatcher:        factory,
+			TimeScale:         timeScale,
+			Overhead:          -1,
+			Tenants:           reg,
+		})
+		if err != nil {
+			return nil, err
+		}
+		defer cl.Close()
+
+		type sample struct {
+			tenant string
+			lat    time.Duration
+			err    error
+		}
+		results := make([]sample, len(merged))
+		var wg sync.WaitGroup
+		start := time.Now()
+		for i := range merged {
+			r := &merged[i]
+			if wait := time.Until(start.Add(time.Duration(float64(r.At) * timeScale))); wait > 0 {
+				time.Sleep(wait)
+			}
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				res, err := cl.SubmitCtx(context.Background(),
+					cluster.Request{Length: merged[i].Length, Tenant: merged[i].Tenant})
+				results[i] = sample{tenant: merged[i].Tenant, lat: res.Latency, err: err}
+			}(i)
+		}
+		wg.Wait()
+
+		sloWall := time.Duration(float64(slo) * timeScale)
+		out := make(map[string]benchTenantArm, 2)
+		lats := make(map[string][]time.Duration, 2)
+		for _, s := range results {
+			arm := out[s.tenant]
+			arm.Requests++
+			switch {
+			case s.err == nil:
+				arm.Completed++
+				lats[s.tenant] = append(lats[s.tenant], s.lat)
+			case errors.Is(s.err, cluster.ErrRateLimited):
+				arm.RateLimited++
+			default:
+				arm.OtherRejected++
+			}
+			out[s.tenant] = arm
+		}
+		for id, arm := range out {
+			ls := lats[id]
+			within := 0
+			for _, l := range ls {
+				if l <= sloWall {
+					within++
+				}
+			}
+			arm.P50MS = pctMS(ls, 0.50)
+			arm.P99MS = pctMS(ls, 0.99)
+			if arm.Completed > 0 {
+				arm.SLOAttainment = float64(within) / float64(arm.Completed)
+			}
+			out[id] = arm
+		}
+		return out, nil
+	}
+
+	baseline, err := runArm(nil)
+	if err != nil {
+		return err
+	}
+	protected, err := runArm([]tenant.Config{
+		{ID: victimID, SLOClass: "interactive", Weight: 8},
+		// The bucket caps the noisy tenant near its fair share of token
+		// throughput; the surplus of the burst is rejected at admission
+		// instead of queueing in front of the victim.
+		{ID: noisyID, SLOClass: "batch", Weight: 1, Capacity: 3000, RefillPerSec: 4000},
+	})
+	if err != nil {
+		return err
+	}
+	if n := protected[noisyID].OtherRejected; n > 0 {
+		return fmt.Errorf("bench-tenants: %d noisy rejections were not the typed rate-limited error", n)
+	}
+	if protected[noisyID].RateLimited == 0 {
+		return fmt.Errorf("bench-tenants: admission never fired on the noisy burst; tighten the bucket")
+	}
+
+	res := benchTenantsResult{
+		TimeScale: timeScale,
+		SLOMS:     float64(slo) / float64(time.Millisecond),
+		Baseline:  baseline,
+		Protected: protected,
+	}
+	if pp := protected[victimID].P99MS; pp > 0 {
+		res.VictimP99Improvement = baseline[victimID].P99MS / pp
+	}
+
+	tw := newTab(w)
+	fmt.Fprintln(tw, "arm\ttenant\treqs\tok\trate-limited\tother\tp50 ms\tp99 ms\tSLO")
+	for _, arm := range []struct {
+		name string
+		m    map[string]benchTenantArm
+	}{{"baseline", baseline}, {"protected", protected}} {
+		for _, id := range []string{victimID, noisyID} {
+			a := arm.m[id]
+			fmt.Fprintf(tw, "%s\t%s\t%d\t%d\t%d\t%d\t%.3f\t%.3f\t%.1f%%\n",
+				arm.name, id, a.Requests, a.Completed, a.RateLimited, a.OtherRejected,
+				a.P50MS, a.P99MS, 100*a.SLOAttainment)
+		}
+	}
+	tw.Flush()
+	fmt.Fprintf(w, "victim p99 improvement with admission + fair share: %.2fx\n", res.VictimP99Improvement)
+
+	blob, err := json.MarshalIndent(res, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile("BENCH_tenants.json", append(blob, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintln(w, "wrote BENCH_tenants.json")
+	return nil
+}

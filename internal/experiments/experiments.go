@@ -73,6 +73,7 @@ func All() []Spec {
 		{"bench-batch", "Live-cluster dynamic batching: batch=1 vs batched throughput and sustained p99", BenchBatch},
 		{"bench-ingress", "Ingress hot path: JSON vs binary wire protocol at the socket, grouped vs per-request submit", BenchIngress},
 		{"bench-generate", "Continuous (iteration-level) vs run-to-completion batching on a generative burst", BenchGenerate},
+		{"bench-tenants", "Noisy-neighbor isolation: token-bucket admission + weighted fair sharing vs shared queue", BenchTenants},
 	}
 }
 

@@ -84,6 +84,9 @@ type Span struct {
 	// token — the end of its prefill iteration. Zero for encoder requests,
 	// whose only "token" is the classification result at Total.
 	TTFT time.Duration
+	// Tenant is the resolved tenant the request was accounted to (empty
+	// when the cluster runs without a tenant registry).
+	Tenant string
 }
 
 // TPOT is the mean time per output token after the first (the decode-side
@@ -123,6 +126,9 @@ const (
 	// RejectDeadline: the request's deadline was already spent when its
 	// ingress group was drained; it was refused before touching the queue.
 	RejectDeadline
+	// RejectRateLimited: tenant token-bucket admission refused the request
+	// before it touched the queue.
+	RejectRateLimited
 	// RejectOther: any other submission failure.
 	RejectOther
 
@@ -144,6 +150,8 @@ func (r RejectReason) String() string {
 		return "unserviceable"
 	case RejectDeadline:
 		return "deadline"
+	case RejectRateLimited:
+		return "rate_limited"
 	default:
 		return "other"
 	}

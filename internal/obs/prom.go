@@ -42,10 +42,25 @@ type InstanceStat struct {
 	Health Health
 }
 
+// TenantStat is the scrape-time admission/dispatch accounting of one
+// tenant (multi-tenant clusters only).
+type TenantStat struct {
+	// Tenant is the tenant id (a metric label value).
+	Tenant string
+	// Admitted and Rejected count token-bucket admission decisions.
+	Admitted int64
+	Rejected int64
+	// Share is the tenant's fraction of cumulative dispatched token cost —
+	// the realized fair-share split across the dispatch order.
+	Share float64
+}
+
 // Snapshot is the live cluster state rendered into gauges.
 type Snapshot struct {
 	Levels    []LevelStat
 	Instances []InstanceStat
+	// Tenants is empty when the cluster runs without a tenant registry.
+	Tenants []TenantStat
 }
 
 // ContentType is the Prometheus text exposition content type served by
@@ -131,6 +146,19 @@ func (r *Recorder) WritePrometheus(w io.Writer) error {
 			}
 			fmt.Fprintf(bw, "arlo_instance_utilization{instance=\"%d\",runtime=\"%d\"} %g\n",
 				in.ID, in.Runtime, util)
+		}
+		if len(snap.Tenants) > 0 {
+			fmt.Fprint(bw, "# HELP arlo_admission_total Token-bucket admission decisions per tenant.\n")
+			fmt.Fprint(bw, "# TYPE arlo_admission_total counter\n")
+			for _, t := range snap.Tenants {
+				fmt.Fprintf(bw, "arlo_admission_total{tenant=%q,decision=\"admitted\"} %d\n", t.Tenant, t.Admitted)
+				fmt.Fprintf(bw, "arlo_admission_total{tenant=%q,decision=\"rejected\"} %d\n", t.Tenant, t.Rejected)
+			}
+			fmt.Fprint(bw, "# HELP arlo_tenant_queue_share Tenant share of cumulative dispatched token cost.\n")
+			fmt.Fprint(bw, "# TYPE arlo_tenant_queue_share gauge\n")
+			for _, t := range snap.Tenants {
+				fmt.Fprintf(bw, "arlo_tenant_queue_share{tenant=%q} %g\n", t.Tenant, t.Share)
+			}
 		}
 		batchingOn := false
 		for _, l := range snap.Levels {

@@ -1,0 +1,198 @@
+package queue
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+)
+
+// popN pops n items and tallies them by flow key.
+func popN(t *testing.T, q *Fair[string], n int) map[string]int {
+	t.Helper()
+	got := make(map[string]int)
+	for i := 0; i < n; i++ {
+		v, ok := q.Pop()
+		if !ok {
+			t.Fatalf("Pop %d/%d returned ok=false", i, n)
+		}
+		got[v]++
+	}
+	return got
+}
+
+// TestFairEqualWeightsUnequalBacklog is the starvation test: one flow
+// offers 9x the other's load at equal weight, and over any backlogged
+// prefix the dispatch share must still split ~50:50 — the deep backlog
+// waits behind the light flow's current share instead of ahead of it.
+func TestFairEqualWeightsUnequalBacklog(t *testing.T) {
+	q := NewFair[string]()
+	for i := 0; i < 900; i++ {
+		q.Push("noisy", 1, 1, "noisy")
+	}
+	for i := 0; i < 100; i++ {
+		q.Push("victim", 1, 1, "victim")
+	}
+	got := popN(t, q, 200)
+	// Both flows stay backlogged through the window, so each is entitled to
+	// ~100 of the first 200 dispatches (±10%).
+	if got["victim"] < 90 || got["victim"] > 110 {
+		t.Fatalf("victim got %d of first 200 dispatches, want 100 +/- 10", got["victim"])
+	}
+	// The remaining 800 drain in arrival order once victim is empty.
+	rest := popN(t, q, 800)
+	if rest["noisy"]+got["noisy"] != 900 || rest["victim"]+got["victim"] != 100 {
+		t.Fatalf("lost items: %v then %v", got, rest)
+	}
+}
+
+// TestFairWeightedShare checks weight proportionality: weights 3:1 at
+// equal offered load converge to a 75:25 dispatch share (±10%).
+func TestFairWeightedShare(t *testing.T) {
+	q := NewFair[string]()
+	for i := 0; i < 300; i++ {
+		q.Push("heavy", 3, 1, "heavy")
+		q.Push("light", 1, 1, "light")
+	}
+	got := popN(t, q, 200)
+	if got["heavy"] < 135 || got["heavy"] > 165 {
+		t.Fatalf("heavy got %d of first 200, want 150 +/- 15", got["heavy"])
+	}
+}
+
+// TestFairCostCurrency verifies the share currency is cost, not item
+// count: a flow pushing 10x-cost items at equal weight gets ~1/10 the
+// items over a backlogged window (equal token throughput).
+func TestFairCostCurrency(t *testing.T) {
+	q := NewFair[string]()
+	for i := 0; i < 500; i++ {
+		q.Push("big", 1, 10, "big")
+		q.Push("small", 1, 1, "small")
+	}
+	got := popN(t, q, 220)
+	// Equal token share means ~20 big (200 tokens) per ~200 small.
+	if got["big"] < 14 || got["big"] > 26 {
+		t.Fatalf("big got %d of first 220 pops, want ~20", got["big"])
+	}
+}
+
+// TestFairIdleReentry pins the SFQ re-entry rule: a flow that goes idle
+// re-enters at the current virtual time and cannot bank credit while
+// away to monopolize the queue on return.
+func TestFairIdleReentry(t *testing.T) {
+	q := NewFair[string]()
+	q.Push("a", 1, 1, "a")
+	if v, _ := q.Pop(); v != "a" {
+		t.Fatal("warmup pop")
+	}
+	// vtime advances far while "a" is idle.
+	for i := 0; i < 100; i++ {
+		q.Push("b", 1, 1, "b")
+	}
+	popN(t, q, 100)
+	// "a" returns; with both flows backlogged it gets its fair half, not a
+	// 100-item catch-up burst.
+	for i := 0; i < 50; i++ {
+		q.Push("a", 1, 1, "a")
+		q.Push("b", 1, 1, "b")
+	}
+	got := popN(t, q, 20)
+	if got["a"] > 13 {
+		t.Fatalf("returning flow monopolized: %d of first 20 pops", got["a"])
+	}
+}
+
+// TestFairRandomizedConservation pushes a random interleaving across
+// several flows and checks every item comes back exactly once.
+func TestFairRandomizedConservation(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	q := NewFair[string]()
+	keys := []string{"a", "b", "c", "d"}
+	pushed := make(map[string]int)
+	total := 0
+	for i := 0; i < 2000; i++ {
+		k := keys[rng.Intn(len(keys))]
+		q.Push(k, float64(rng.Intn(4))+0.5, float64(rng.Intn(100)), k)
+		pushed[k]++
+		total++
+		// Interleave pops so flows go idle and re-enter.
+		if rng.Intn(3) == 0 {
+			v, ok := q.Pop()
+			if !ok {
+				t.Fatal("pop failed with items queued")
+			}
+			pushed[v]--
+			total--
+		}
+	}
+	for total > 0 {
+		v, ok := q.Pop()
+		if !ok {
+			t.Fatalf("queue dried up with %d items unaccounted", total)
+		}
+		pushed[v]--
+		total--
+	}
+	if q.Len() != 0 {
+		t.Fatalf("Len() = %d after draining", q.Len())
+	}
+	for k, n := range pushed {
+		if n != 0 {
+			t.Fatalf("flow %s: %d items lost or duplicated", k, n)
+		}
+	}
+}
+
+// TestFairCloseDrain checks shutdown semantics: Close rejects new pushes
+// but queued items remain poppable, and Pop reports done only once
+// drained.
+func TestFairCloseDrain(t *testing.T) {
+	q := NewFair[string]()
+	for i := 0; i < 3; i++ {
+		q.Push("a", 1, 1, "a")
+	}
+	q.Close()
+	if q.Push("a", 1, 1, "late") {
+		t.Fatal("Push accepted after Close")
+	}
+	for i := 0; i < 3; i++ {
+		if _, ok := q.Pop(); !ok {
+			t.Fatalf("queued item %d not delivered after Close", i)
+		}
+	}
+	if _, ok := q.Pop(); ok {
+		t.Fatal("Pop returned an item from a drained closed queue")
+	}
+}
+
+// TestFairCloseWakesBlockedPop checks a consumer blocked in Pop returns
+// promptly when the queue closes empty.
+func TestFairCloseWakesBlockedPop(t *testing.T) {
+	q := NewFair[string]()
+	done := make(chan bool, 1)
+	go func() {
+		_, ok := q.Pop()
+		done <- ok
+	}()
+	time.Sleep(10 * time.Millisecond)
+	q.Close()
+	select {
+	case ok := <-done:
+		if ok {
+			t.Fatal("blocked Pop returned an item from an empty queue")
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("Close did not wake the blocked Pop")
+	}
+}
+
+// TestFairWeightClamp pins the defensive clamps: non-positive weights
+// and sub-1 costs must not wedge the pass arithmetic.
+func TestFairWeightClamp(t *testing.T) {
+	q := NewFair[string]()
+	q.Push("z", 0, 0, "z")
+	q.Push("n", -5, -3, "n")
+	got := popN(t, q, 2)
+	if got["z"] != 1 || got["n"] != 1 {
+		t.Fatalf("clamped pushes lost items: %v", got)
+	}
+}

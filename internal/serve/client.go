@@ -10,6 +10,7 @@ import (
 	"math/rand"
 	"net"
 	"net/http"
+	"strconv"
 	"time"
 
 	"arlo/internal/cluster"
@@ -55,6 +56,9 @@ type Client struct {
 	// Backoff is the delay before the first retry, doubling each retry.
 	// Defaults to 50ms when MaxRetries > 0.
 	Backoff time.Duration
+	// Tenant, when non-empty, is sent as the X-Arlo-Tenant header on every
+	// request — the client-side half of tenant identity.
+	Tenant string
 }
 
 // APIError is a non-2xx reply decoded from the server's error envelope.
@@ -70,6 +74,9 @@ type APIError struct {
 	Code string
 	// Message is the server's human-readable detail.
 	Message string
+	// RetryAfter is the server's backoff hint (429 replies); zero when the
+	// server sent none.
+	RetryAfter time.Duration
 }
 
 func (e *APIError) Error() string {
@@ -92,16 +99,19 @@ func (e *APIError) Is(target error) bool {
 		return e.Code == CodeTooLong
 	case dispatch.ErrNoInstances:
 		return e.Code == CodeNoInstances
+	case ErrRateLimited:
+		return e.Code == CodeRateLimited
 	}
 	return false
 }
 
 // retryable reports whether a reply status is worth another attempt: the
-// transient 5xx family, but not 504 (the request's time budget is spent,
-// a retry would just spend it again).
+// transient 5xx family plus 429 (the budget refills), but not 504 (the
+// request's time budget is spent, a retry would just spend it again).
 func retryable(status int) bool {
 	switch status {
-	case http.StatusInternalServerError, http.StatusBadGateway, http.StatusServiceUnavailable:
+	case http.StatusInternalServerError, http.StatusBadGateway, http.StatusServiceUnavailable,
+		http.StatusTooManyRequests:
 		return true
 	}
 	return false
@@ -156,6 +166,11 @@ func (c *Client) postJSON(ctx context.Context, path string, body []byte, out any
 		// in (0, backoff] decorrelates retry herds after a shared transient
 		// (congestion, instance failure) instead of synchronizing them.
 		wait := time.Duration(rand.Int63n(int64(backoff))) + 1
+		if apiErr != nil && apiErr.RetryAfter > wait {
+			// A rate-limited reply's Retry-After floors the wait: retrying
+			// before the bucket refills is a guaranteed second rejection.
+			wait = apiErr.RetryAfter
+		}
 		select {
 		case <-time.After(wait):
 		case <-ctx.Done():
@@ -176,6 +191,9 @@ func (c *Client) postOnce(ctx context.Context, path string, body []byte, out any
 		return err
 	}
 	req.Header.Set("Content-Type", "application/json")
+	if c.Tenant != "" {
+		req.Header.Set(TenantHeader, c.Tenant)
+	}
 	resp, err := c.httpClient().Do(req)
 	if err != nil {
 		return err
@@ -190,16 +208,32 @@ func (c *Client) postOnce(ctx context.Context, path string, body []byte, out any
 // decodeError turns a non-2xx reply into an *APIError, tolerating
 // non-envelope bodies (proxies, panics) by falling back to the raw text.
 func decodeError(resp *http.Response) error {
+	retryAfter := parseRetryAfter(resp.Header.Get("Retry-After"))
 	raw, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
 	var env ErrorEnvelope
 	if err := json.Unmarshal(raw, &env); err == nil && env.Error.Code != "" {
-		return &APIError{Status: resp.StatusCode, Code: env.Error.Code, Message: env.Error.Message}
+		return &APIError{Status: resp.StatusCode, Code: env.Error.Code,
+			Message: env.Error.Message, RetryAfter: retryAfter}
 	}
 	return &APIError{
-		Status:  resp.StatusCode,
-		Code:    CodeInternal,
-		Message: string(bytes.TrimSpace(raw)),
+		Status:     resp.StatusCode,
+		Code:       CodeInternal,
+		Message:    string(bytes.TrimSpace(raw)),
+		RetryAfter: retryAfter,
 	}
+}
+
+// parseRetryAfter reads the delay-seconds form of Retry-After (the only
+// form this server emits); 0 on absent or unparseable values.
+func parseRetryAfter(v string) time.Duration {
+	if v == "" {
+		return 0
+	}
+	secs, err := strconv.ParseInt(v, 10, 64)
+	if err != nil || secs < 0 {
+		return 0
+	}
+	return time.Duration(secs) * time.Second
 }
 
 // Stats fetches the server counters.

@@ -48,6 +48,9 @@ type GenerateRequest struct {
 	// MaxNewTokens is the output budget: the request completes after
 	// generating this many tokens. Must be in [1, MaxNewTokensLimit].
 	MaxNewTokens int `json:"max_new_tokens"`
+	// Tenant is the submitting tenant id; the X-Arlo-Tenant header wins
+	// when both are present.
+	Tenant string `json:"tenant,omitempty"`
 }
 
 // GenerateResponse is the reply of POST /v1/generate.
@@ -141,11 +144,11 @@ func (s *Server) handleGenerate(w http.ResponseWriter, r *http.Request) {
 		Length:       len(ids),
 		Tokenize:     time.Since(tokStart),
 		MaxNewTokens: req.MaxNewTokens,
+		Tenant:       tenantOf(r, req.Tenant),
 	})
 	if err != nil {
 		s.rejected.Add(1)
-		status, code := mapError(err)
-		writeError(w, status, code, err.Error())
+		writeMappedError(w, err)
 		return
 	}
 	s.served.Add(1)

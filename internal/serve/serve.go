@@ -13,6 +13,9 @@
 //	POST /v1/generate — generate max_new_tokens tokens from a prompt;
 //	                   reports TTFT/TPOT alongside the lifecycle span and
 //	                   rejects unknown fields with unsupported_field
+//	GET  /v1/tenants — list tenant configs; GET/PUT /v1/tenants/{id}
+//	                   reads or live-updates one record (404 not_found on
+//	                   clusters without a tenant registry)
 //	GET  /v1/stats   — JSON serving counters and window percentiles
 //	GET  /metrics    — Prometheus text exposition of the cluster's
 //	                   observability plane (counters, demotion matrix,
@@ -52,6 +55,10 @@ import (
 type InferRequest struct {
 	// Text is the input to classify.
 	Text string `json:"text"`
+	// Tenant is the submitting tenant id. The X-Arlo-Tenant header takes
+	// precedence; absent both, the request is accounted to the default
+	// tenant. Ignored on clusters without a tenant registry.
+	Tenant string `json:"tenant,omitempty"`
 }
 
 // InferResponse is the reply of POST /v1/infer. Beyond the label and
@@ -113,6 +120,8 @@ const (
 	CodeDeadlineExceeded = "deadline_exceeded"
 	CodeMethodNotAllowed = "method_not_allowed"
 	CodeInternal         = "internal"
+	CodeRateLimited      = "rate_limited"
+	CodeNotFound         = "not_found"
 )
 
 // Stats is the reply of GET /v1/stats. Latency percentiles cover the
@@ -280,6 +289,8 @@ func New(tok *tokenizer.Tokenizer, cl *cluster.Cluster, opts ...Option) (*Server
 	}
 	s.mux.HandleFunc("/v1/infer", s.handleInfer)
 	s.mux.HandleFunc("/v1/generate", s.handleGenerate)
+	s.mux.HandleFunc("/v1/tenants", s.handleTenants)
+	s.mux.HandleFunc("/v1/tenants/", s.handleTenant)
 	s.mux.HandleFunc("/v1/stats", s.handleStats)
 	s.mux.HandleFunc("/healthz", s.handleHealth)
 	s.mux.Handle("/metrics", s.rec.Handler())
@@ -384,11 +395,11 @@ func (s *Server) handleInfer(w http.ResponseWriter, r *http.Request) {
 	res, err := s.submit(ctx, cluster.Request{
 		Length:   len(ids),
 		Tokenize: time.Since(tokStart),
+		Tenant:   tenantOf(r, req.Tenant),
 	})
 	if err != nil {
 		s.rejected.Add(1)
-		status, code := mapError(err)
-		writeError(w, status, code, err.Error())
+		writeMappedError(w, err)
 		return
 	}
 	s.served.Add(1)
@@ -497,6 +508,8 @@ func mapError(err error) (status int, code string) {
 		return http.StatusServiceUnavailable, CodeNoInstances
 	case errors.Is(err, cluster.ErrClusterClosed):
 		return http.StatusServiceUnavailable, CodeUnavailable
+	case errors.Is(err, ErrRateLimited):
+		return http.StatusTooManyRequests, CodeRateLimited
 	default:
 		return http.StatusInternalServerError, CodeInternal
 	}

@@ -9,7 +9,9 @@ import (
 	"bufio"
 	"context"
 	"encoding/binary"
+	"errors"
 	"fmt"
+	"math/rand"
 	"net"
 	"net/http"
 	"sync"
@@ -20,8 +22,20 @@ import (
 )
 
 // WireClient is a pipelining binary-protocol client. Safe for concurrent
-// use; every in-flight Infer shares the connection.
+// use; every in-flight Infer shares the connection. The policy fields
+// (Tenant, MaxRetries, Backoff) must be set before the first call.
 type WireClient struct {
+	// Tenant, when non-empty, upgrades every request to a V2 frame
+	// carrying it — the binary twin of the X-Arlo-Tenant header.
+	Tenant string
+	// MaxRetries is how many times a retryable non-OK status (congested,
+	// rate-limited, ...) is retried. Zero means a single attempt.
+	MaxRetries int
+	// Backoff is the delay before the first retry, doubling each retry;
+	// a rate-limited reply's retry_after_ns hint floors the wait.
+	// Defaults to 50ms when MaxRetries > 0.
+	Backoff time.Duration
+
 	conn net.Conn
 
 	wmu  sync.Mutex
@@ -167,7 +181,53 @@ func (c *WireClient) do(ctx context.Context, req *wire.Request) (*InferResponse,
 	return wireToInfer(resp)
 }
 
+// doRaw sends req, retrying retryable non-OK statuses under the client's
+// policy. Each attempt is a fresh frame with a fresh id.
 func (c *WireClient) doRaw(ctx context.Context, req *wire.Request) (*wire.Response, error) {
+	backoff := c.Backoff
+	if backoff <= 0 {
+		backoff = 50 * time.Millisecond
+	}
+	var lastErr error
+	for attempt := 0; ; attempt++ {
+		resp, err := c.doOnce(ctx, req)
+		if err == nil {
+			return resp, nil
+		}
+		lastErr = err
+		if ctx.Err() != nil {
+			return nil, lastErr
+		}
+		var apiErr *APIError
+		if !errors.As(err, &apiErr) || !retryable(apiErr.Status) {
+			return nil, lastErr
+		}
+		if attempt >= c.MaxRetries {
+			return nil, lastErr
+		}
+		wait := time.Duration(rand.Int63n(int64(backoff))) + 1
+		if apiErr.RetryAfter > wait {
+			wait = apiErr.RetryAfter
+		}
+		select {
+		case <-time.After(wait):
+		case <-ctx.Done():
+			return nil, lastErr
+		}
+		backoff *= 2
+	}
+}
+
+func (c *WireClient) doOnce(ctx context.Context, req *wire.Request) (*wire.Response, error) {
+	if c.Tenant != "" {
+		req.Tenant = c.Tenant
+		switch req.Kind {
+		case 0, wire.KindRequest:
+			req.Kind = wire.KindRequestV2
+		case wire.KindGenRequest:
+			req.Kind = wire.KindGenRequestV2
+		}
+	}
 	req.ID = c.nextID.Add(1)
 	if d, ok := ctx.Deadline(); ok {
 		req.Deadline = d.UnixNano()
@@ -214,9 +274,10 @@ func (c *WireClient) doRaw(ctx context.Context, req *wire.Request) (*wire.Respon
 		}
 		if resp.Status != wire.StatusOK {
 			return nil, &APIError{
-				Status:  wireHTTPStatus(resp.Status),
-				Code:    resp.Status.String(),
-				Message: resp.Message,
+				Status:     wireHTTPStatus(resp.Status),
+				Code:       resp.Status.String(),
+				Message:    resp.Message,
+				RetryAfter: time.Duration(resp.RetryAfterNS),
 			}
 		}
 		return &resp, nil
@@ -266,6 +327,8 @@ func wireHTTPStatus(s wire.Status) int {
 		return http.StatusGatewayTimeout
 	case wire.StatusCongested, wire.StatusNoInstances, wire.StatusUnavailable, wire.StatusUnserviceable:
 		return http.StatusServiceUnavailable
+	case wire.StatusRateLimited:
+		return http.StatusTooManyRequests
 	default:
 		return http.StatusInternalServerError
 	}

@@ -75,7 +75,8 @@ func (s *Server) serveWireConn(conn net.Conn) {
 			// A kind or mode this server does not speak is the binary twin
 			// of an unknown JSON field: reject it as unsupported rather than
 			// malformed, so versioned clients can tell the two apart.
-			if errors.Is(err, wire.ErrBadKind) || errors.Is(err, wire.ErrBadMode) {
+			if errors.Is(err, wire.ErrBadKind) || errors.Is(err, wire.ErrBadMode) ||
+				errors.Is(err, wire.ErrBadVersion) {
 				ww.send(&wire.Response{ID: req.ID, Status: wire.StatusUnsupportedField, Message: err.Error()})
 				continue
 			}
@@ -120,7 +121,7 @@ func (w *wireWriter) send(resp *wire.Response) {
 // through the cluster and are answered with a KindGenResponse frame whose
 // trailer holds TTFT and the generated token count.
 func (s *Server) inferWire(req *wire.Request) wire.Response {
-	gen := req.Kind == wire.KindGenRequest
+	gen := req.Kind == wire.KindGenRequest || req.Kind == wire.KindGenRequestV2
 	if gen && (req.MaxNewTokens < 1 || req.MaxNewTokens > MaxNewTokensLimit) {
 		return wire.Response{ID: req.ID, Status: wire.StatusInvalid,
 			Message: fmt.Sprintf("max_new_tokens must be in [1, %d], got %d", MaxNewTokensLimit, req.MaxNewTokens)}
@@ -165,14 +166,18 @@ func (s *Server) inferWire(req *wire.Request) wire.Response {
 		ctx, cancel = context.WithTimeout(ctx, s.reqTimeout)
 		defer cancel()
 	}
-	creq := cluster.Request{Length: length, Tokenize: tokTime}
+	creq := cluster.Request{Length: length, Tokenize: tokTime, Tenant: req.Tenant}
 	if gen {
 		creq.MaxNewTokens = int(req.MaxNewTokens)
 	}
 	res, err := s.submit(ctx, creq)
 	if err != nil {
 		s.rejected.Add(1)
-		return wire.Response{ID: req.ID, Status: wireStatus(err), Message: err.Error()}
+		eresp := wire.Response{ID: req.ID, Status: wireStatus(err), Message: err.Error()}
+		if eresp.Status == wire.StatusRateLimited {
+			eresp.RetryAfterNS = uint64(retryAfterOf(err))
+		}
+		return eresp
 	}
 	s.served.Add(1)
 	s.window.Record(res.Latency)
@@ -216,6 +221,8 @@ func wireStatus(err error) wire.Status {
 		return wire.StatusNoInstances
 	case errors.Is(err, cluster.ErrClusterClosed):
 		return wire.StatusUnavailable
+	case errors.Is(err, ErrRateLimited):
+		return wire.StatusRateLimited
 	default:
 		return wire.StatusInternal
 	}

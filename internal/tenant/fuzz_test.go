@@ -1,0 +1,48 @@
+package tenant
+
+import "testing"
+
+// FuzzTenantConfigParse fuzzes the strict config parser: it must never
+// panic, and anything it accepts must be internally consistent — every
+// record re-validates, ids are unique, and a registry builds from the
+// result.
+func FuzzTenantConfigParse(f *testing.F) {
+	seeds := []string{
+		`{"tenants": []}`,
+		`{"tenants": [{"id": "a"}]}`,
+		`{"tenants": [{"id": "team-a", "slo_class": "interactive", "capacity": 100, "refill_per_sec": 10, "weight": 4}]}`,
+		`{"tenants": [{"id": "a"}, {"id": "b", "slo_class": "batch"}]}`,
+		`{"tenants": [{"id": "default", "capacity": 50}]}`,
+		`{"tenants": [{"id": "a", "burst": 5}]}`,
+		`{"tenants": [{"id": "a"}, {"id": "a"}]}`,
+		`{"tenants": []} trailing`,
+		`{"tenants": [{"id": "", "weight": -1}]}`,
+		`{"tenants": [{"id": "a", "capacity": 1e308}]}`,
+		`not json at all`,
+		``,
+		`null`,
+		`{"tenants": null}`,
+	}
+	for _, s := range seeds {
+		f.Add([]byte(s))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		cfgs, err := ParseConfig(data)
+		if err != nil {
+			return
+		}
+		seen := make(map[string]bool, len(cfgs))
+		for _, c := range cfgs {
+			if verr := c.Validate(); verr != nil {
+				t.Fatalf("ParseConfig accepted invalid record %+v: %v", c, verr)
+			}
+			if seen[c.ID] {
+				t.Fatalf("ParseConfig accepted duplicate id %q", c.ID)
+			}
+			seen[c.ID] = true
+		}
+		if _, rerr := NewRegistry(cfgs...); rerr != nil {
+			t.Fatalf("accepted config does not build a registry: %v", rerr)
+		}
+	})
+}

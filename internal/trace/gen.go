@@ -110,3 +110,55 @@ func (t *Trace) MeanOutTokens() float64 {
 	}
 	return float64(sum) / float64(n)
 }
+
+// Multi-tenant trace mode: each request carries a tenant identity drawn
+// from a tenant sampler, so noisy-neighbor scenarios (one tenant bursting
+// against steady victims) replay deterministically through the cluster's
+// admission and fair-share machinery.
+
+// TenantSampler draws per-request tenant identities.
+type TenantSampler interface {
+	// SampleTenant returns the submitting tenant's id, possibly
+	// conditioned on arrival time.
+	SampleTenant(rng *rand.Rand, at time.Duration) string
+}
+
+// WeightedTenants assigns tenants by independent weighted draws: request
+// streams mix in proportion to the weights.
+type WeightedTenants struct {
+	// IDs are the tenant identities to draw from.
+	IDs []string
+	// Weights are the relative draw weights, parallel to IDs; nil (or a
+	// length mismatch) means uniform.
+	Weights []float64
+}
+
+// SampleTenant implements TenantSampler.
+func (w WeightedTenants) SampleTenant(rng *rand.Rand, _ time.Duration) string {
+	if len(w.IDs) == 0 {
+		return ""
+	}
+	if len(w.Weights) != len(w.IDs) {
+		return w.IDs[rng.Intn(len(w.IDs))]
+	}
+	total := 0.0
+	for _, wt := range w.Weights {
+		if wt > 0 {
+			total += wt
+		}
+	}
+	if total <= 0 {
+		return w.IDs[rng.Intn(len(w.IDs))]
+	}
+	u := rng.Float64() * total
+	for i, wt := range w.Weights {
+		if wt <= 0 {
+			continue
+		}
+		u -= wt
+		if u < 0 {
+			return w.IDs[i]
+		}
+	}
+	return w.IDs[len(w.IDs)-1]
+}

@@ -19,6 +19,9 @@ type Request struct {
 	// encoder (classify-style) request; generative traces draw it from the
 	// Config's output sampler.
 	OutTokens int
+	// Tenant identifies the submitting tenant in multi-tenant traces; the
+	// empty string is the default (single-tenant) identity.
+	Tenant string
 }
 
 // Trace is a generated request stream.
@@ -42,6 +45,9 @@ type Config struct {
 	// Outputs samples per-request output token counts; nil produces an
 	// encoder trace (OutTokens 0 on every request).
 	Outputs OutputSampler
+	// Tenants samples per-request tenant identities; nil produces a
+	// single-tenant trace (empty Tenant on every request).
+	Tenants TenantSampler
 }
 
 // Generate synthesizes a trace from the configuration. Generation is
@@ -63,6 +69,9 @@ func Generate(cfg Config) (*Trace, error) {
 		reqs[i] = Request{ID: int64(i), At: at, Length: cfg.Lengths.SampleLength(rng, at)}
 		if cfg.Outputs != nil {
 			reqs[i].OutTokens = cfg.Outputs.SampleOutput(rng, at)
+		}
+		if cfg.Tenants != nil {
+			reqs[i].Tenant = cfg.Tenants.SampleTenant(rng, at)
 		}
 	}
 	return &Trace{Requests: reqs, Duration: cfg.Duration}, nil

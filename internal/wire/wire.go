@@ -31,6 +31,22 @@
 //
 //	... u32 batch_size | u64 ttft_ns | u32 out_tokens
 //
+// V2 request payloads (kinds 5 and 6) are the frame revision that carries
+// tenant identity. A version byte follows the kind so the revision can
+// grow again without new kinds, then the V1 header fields, then the
+// tenant id length-prefixed with one byte, then the body:
+//
+//	u8 kind=5|6 | u8 ver=2 | u64 id | i64 deadline | u8 mode |
+//	  [u32 max_new_tokens when kind=6] | u8 tenant_len | tenant | body
+//
+// V1 request frames (kinds 1 and 3) still decode byte-for-byte — an old
+// client never has to change; servers predating V2 answer the unknown
+// kinds with StatusUnsupportedField, which V2 clients can detect.
+// Rate-limited responses (StatusRateLimited) carry a retry hint before
+// the error message:
+//
+//	u8 kind=2 | u64 id | u8 status=10 | u64 retry_after_ns | message
+//
 // Ids are chosen by the client and echoed verbatim, so responses may
 // return out of submission order and clients can pipeline: many requests
 // in flight on one connection, matched by id on the way back. The u32
@@ -56,7 +72,16 @@ const (
 	// KindGenResponse is a generative reply: KindResponse plus TTFT and
 	// the generated token count.
 	KindGenResponse = 4
+	// KindRequestV2 is the tenant-carrying frame revision of KindRequest:
+	// a version byte follows the kind, and the tenant id precedes the body.
+	KindRequestV2 = 5
+	// KindGenRequestV2 is the tenant-carrying revision of KindGenRequest.
+	KindGenRequestV2 = 6
 )
+
+// FrameVersion is the version byte V2 request frames carry after the
+// kind.
+const FrameVersion = 2
 
 // Request modes.
 const (
@@ -89,6 +114,10 @@ const (
 	// StatusUnsupportedField rejects a request carrying a field or frame
 	// variant the server does not implement.
 	StatusUnsupportedField
+	// StatusRateLimited rejects a request refused by tenant token-bucket
+	// admission; the response carries a retry_after_ns hint before the
+	// message. The JSON twin is HTTP 429 + Retry-After.
+	StatusRateLimited
 	numStatuses
 )
 
@@ -115,15 +144,19 @@ func (s Status) String() string {
 		return "internal"
 	case StatusUnsupportedField:
 		return "unsupported_field"
+	case StatusRateLimited:
+		return "rate_limited"
 	}
 	return fmt.Sprintf("status(%d)", uint8(s))
 }
 
-// Retryable reports whether the status is a transient condition the JSON
-// endpoint would answer 503 for.
+// Retryable reports whether the status is a transient condition worth
+// retrying: the ones the JSON endpoint answers 503 for, plus
+// StatusRateLimited (retry after the carried hint, the JSON 429 twin).
 func (s Status) Retryable() bool {
 	switch s {
-	case StatusCongested, StatusNoInstances, StatusUnavailable, StatusUnserviceable:
+	case StatusCongested, StatusNoInstances, StatusUnavailable, StatusUnserviceable,
+		StatusRateLimited:
 		return true
 	}
 	return false
@@ -145,6 +178,9 @@ type Request struct {
 	Text string
 	// Tokens are the pre-encoded token ids (ModeTokens).
 	Tokens []uint32
+	// Tenant is the submitting tenant id (V2 kinds only; at most 255
+	// bytes on the wire). Encoding a non-empty Tenant requires a V2 kind.
+	Tenant string
 }
 
 // Response is one decoded inference reply; the fields mirror the JSON
@@ -168,6 +204,8 @@ type Response struct {
 	// only): time to first token and generated token count.
 	TTFTNS    uint64
 	OutTokens uint32
+	// RetryAfterNS is the admission retry hint (StatusRateLimited only).
+	RetryAfterNS uint64
 	// Message is the error detail when Status != StatusOK.
 	Message string
 }
@@ -180,11 +218,14 @@ var (
 	ErrBadKind       = errors.New("wire: unexpected frame kind")
 	ErrBadMode       = errors.New("wire: unknown request mode")
 	ErrBadStatus     = errors.New("wire: unknown response status")
+	ErrBadVersion    = errors.New("wire: unknown frame version")
 )
 
 const (
 	reqHeaderLen     = 1 + 8 + 8 + 1 // kind, id, deadline, mode
 	genReqHeaderLen  = reqHeaderLen + 4
+	reqV2HeaderLen   = 1 + 1 + 8 + 8 + 1 // kind, version, id, deadline, mode
+	genReqV2FixedLen = reqV2HeaderLen + 4
 	respHeaderLen    = 1 + 8 + 1 // kind, id, status
 	respOKLen        = respHeaderLen + 1 + 4 + 8 + 8 + 8 + 2 + 4 + 4 + 8 + 4
 	genRespOKLen     = respOKLen + 8 + 4
@@ -232,12 +273,24 @@ func AppendRequest(dst []byte, r *Request) []byte {
 	if kind == 0 {
 		kind = KindRequest
 	}
+	v2 := kind == KindRequestV2 || kind == KindGenRequestV2
 	dst = append(dst, kind)
+	if v2 {
+		dst = append(dst, FrameVersion)
+	}
 	dst = binary.LittleEndian.AppendUint64(dst, r.ID)
 	dst = binary.LittleEndian.AppendUint64(dst, uint64(r.Deadline))
 	dst = append(dst, r.Mode)
-	if kind == KindGenRequest {
+	if kind == KindGenRequest || kind == KindGenRequestV2 {
 		dst = binary.LittleEndian.AppendUint32(dst, r.MaxNewTokens)
+	}
+	if v2 {
+		tenant := r.Tenant
+		if len(tenant) > 255 {
+			tenant = tenant[:255] // the length prefix is one byte
+		}
+		dst = append(dst, uint8(len(tenant)))
+		dst = append(dst, tenant...)
 	}
 	switch r.Mode {
 	case ModeTokens:
@@ -260,20 +313,52 @@ func DecodeRequest(p []byte, tokens []uint32) (Request, error) {
 	if len(p) < reqHeaderLen {
 		return r, ErrShortPayload
 	}
-	if p[0] != KindRequest && p[0] != KindGenRequest {
-		return r, ErrBadKind
-	}
-	r.Kind = p[0]
-	r.ID = binary.LittleEndian.Uint64(p[1:])
-	r.Deadline = int64(binary.LittleEndian.Uint64(p[9:]))
-	r.Mode = p[17]
-	body := p[reqHeaderLen:]
-	if r.Kind == KindGenRequest {
-		if len(p) < genReqHeaderLen {
+	var body []byte
+	switch p[0] {
+	case KindRequest, KindGenRequest:
+		r.Kind = p[0]
+		r.ID = binary.LittleEndian.Uint64(p[1:])
+		r.Deadline = int64(binary.LittleEndian.Uint64(p[9:]))
+		r.Mode = p[17]
+		body = p[reqHeaderLen:]
+		if r.Kind == KindGenRequest {
+			if len(p) < genReqHeaderLen {
+				return r, ErrShortPayload
+			}
+			r.MaxNewTokens = binary.LittleEndian.Uint32(p[reqHeaderLen:])
+			body = p[genReqHeaderLen:]
+		}
+	case KindRequestV2, KindGenRequestV2:
+		if len(p) < reqV2HeaderLen {
 			return r, ErrShortPayload
 		}
-		r.MaxNewTokens = binary.LittleEndian.Uint32(p[reqHeaderLen:])
-		body = p[genReqHeaderLen:]
+		if p[1] != FrameVersion {
+			return r, ErrBadVersion
+		}
+		r.Kind = p[0]
+		r.ID = binary.LittleEndian.Uint64(p[2:])
+		r.Deadline = int64(binary.LittleEndian.Uint64(p[10:]))
+		r.Mode = p[18]
+		body = p[reqV2HeaderLen:]
+		if r.Kind == KindGenRequestV2 {
+			if len(p) < genReqV2FixedLen {
+				return r, ErrShortPayload
+			}
+			r.MaxNewTokens = binary.LittleEndian.Uint32(p[reqV2HeaderLen:])
+			body = p[genReqV2FixedLen:]
+		}
+		if len(body) < 1 {
+			return r, ErrShortPayload
+		}
+		tn := int(body[0])
+		body = body[1:]
+		if len(body) < tn {
+			return r, ErrShortPayload
+		}
+		r.Tenant = string(body[:tn])
+		body = body[tn:]
+	default:
+		return r, ErrBadKind
 	}
 	switch r.Mode {
 	case ModeText:
@@ -310,6 +395,9 @@ func AppendResponse(dst []byte, r *Response) []byte {
 	dst = binary.LittleEndian.AppendUint64(dst, r.ID)
 	dst = append(dst, uint8(r.Status))
 	if r.Status != StatusOK {
+		if r.Status == StatusRateLimited {
+			dst = binary.LittleEndian.AppendUint64(dst, r.RetryAfterNS)
+		}
 		return append(dst, r.Message...)
 	}
 	dst = append(dst, r.Label)
@@ -346,7 +434,15 @@ func DecodeResponse(p []byte) (Response, error) {
 		return r, ErrBadStatus
 	}
 	if r.Status != StatusOK {
-		r.Message = string(p[respHeaderLen:])
+		rest := p[respHeaderLen:]
+		if r.Status == StatusRateLimited {
+			if len(rest) < 8 {
+				return r, ErrShortPayload
+			}
+			r.RetryAfterNS = binary.LittleEndian.Uint64(rest)
+			rest = rest[8:]
+		}
+		r.Message = string(rest)
 		return r, nil
 	}
 	if len(p) < respOKLen {
