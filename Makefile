@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-short race chaos fuzz bench bench-dispatch bench-obs bench-batch bench-serve bench-ingress bench-generate bench-tenants experiments experiments-full vet staticcheck lint fmt clean
+.PHONY: all build test test-short race chaos fuzz bench bench-dispatch bench-obs bench-batch bench-serve bench-ingress bench-generate bench-tenants bench-controller experiments experiments-full vet staticcheck lint fmt clean
 
 all: build test
 
@@ -16,7 +16,7 @@ test-short:
 	$(GO) test -short ./...
 
 race:
-	$(GO) test -race ./internal/queue/ ./internal/dispatch/ ./internal/cluster/ ./internal/serve/ ./internal/core/ ./internal/multistream/ ./internal/metrics/ ./internal/tokenizer/ ./internal/obs/ ./internal/failover/ ./internal/chaos/ ./internal/batcher/ ./internal/ring/ ./internal/wire/ ./internal/trace/ ./internal/model/ ./internal/tenant/
+	$(GO) test -race ./internal/queue/ ./internal/dispatch/ ./internal/cluster/ ./internal/serve/ ./internal/core/ ./internal/multistream/ ./internal/metrics/ ./internal/tokenizer/ ./internal/obs/ ./internal/failover/ ./internal/chaos/ ./internal/batcher/ ./internal/ring/ ./internal/wire/ ./internal/trace/ ./internal/model/ ./internal/tenant/ ./internal/controller/ ./internal/allocator/
 
 # The deterministic fault-injection harness: 500 seeded runs of the live
 # cluster under scripted crashes, slowdowns and cancellations, with the
@@ -35,6 +35,7 @@ fuzz:
 	$(GO) test -run '^$$' -fuzz FuzzBatchWindow -fuzztime 30s ./internal/batcher/
 	$(GO) test -run '^$$' -fuzz FuzzWireDecode -fuzztime 30s ./internal/wire/
 	$(GO) test -run '^$$' -fuzz FuzzTenantConfigParse -fuzztime 30s ./internal/tenant/
+	$(GO) test -run '^$$' -fuzz FuzzPlanReplacements -fuzztime 30s ./internal/allocator/
 
 bench:
 	$(GO) test -bench=. -benchmem -run=^$$ .
@@ -82,6 +83,13 @@ bench-generate:
 # every noisy rejection must be the typed 429. Writes BENCH_tenants.json.
 bench-tenants:
 	$(GO) run ./cmd/arlobench -exp bench-tenants
+
+# Closing the control loop on the live cluster: a drifting length mix
+# served by a frozen allocation vs the replanning controller (budgeted
+# minimal replacements from the observed sliding window). The controller
+# arm must win SLO attainment after the drift. Writes BENCH_controller.json.
+bench-controller:
+	$(GO) run ./cmd/arlobench -exp bench-controller
 
 # Regenerate every table and figure of the paper (quick mode, ~1 min).
 experiments:

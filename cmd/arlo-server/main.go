@@ -21,6 +21,7 @@ import (
 
 	"arlo/internal/allocator"
 	"arlo/internal/cluster"
+	"arlo/internal/controller"
 	"arlo/internal/core"
 	"arlo/internal/serve"
 	"arlo/internal/tenant"
@@ -29,23 +30,26 @@ import (
 
 func main() {
 	var (
-		addr        = flag.String("addr", ":8080", "listen address")
-		model       = flag.String("model", "bert-base", "model preset (bert-base, bert-large)")
-		gpus        = flag.Int("gpus", 8, "emulated GPU count")
-		policy      = flag.String("policy", "RS", "dispatch policy (RS, ILB, IG, LL, INFaaS)")
-		adaptive    = flag.Bool("adaptive", false, "run the online control plane (periodic reallocation + auto-scaling)")
-		allocPeriod = flag.Duration("alloc-period", 30*time.Second, "reallocation period in adaptive mode")
-		reqTimeout  = flag.Duration("request-timeout", 0, "server-side per-request timeout (0 disables)")
-		pprofOn     = flag.Bool("pprof", false, "expose /debug/pprof/ runtime profiles")
-		chaosOn     = flag.Bool("chaos", false, "expose /v1/chaos/ fault-injection endpoints (testing only)")
-		batchSize   = flag.Int("batch-size", 1, "dynamic batching cap per instance (<=1 disables)")
-		batchDelay  = flag.Duration("batch-delay", 0, "batch collection window (0 = SLO/100, negative = greedy)")
-		continuous  = flag.Bool("continuous", false, "iteration-level (continuous) batching for generative workloads")
-		meanOut     = flag.Float64("mean-out-tokens", 0, "expected output length hint for continuous capacity planning (0 = default 16)")
-		wireAddr    = flag.String("wire-addr", "", "binary wire-protocol listen address (empty disables, e.g. :8081)")
-		ingressOn   = flag.Bool("ingress", false, "submit through sharded ingress rings with grouped dispatch")
-		ingressGrp  = flag.Int("ingress-group", 0, "ingress drain group size (0 = default)")
-		tenantsCfg  = flag.String("tenants-config", "", "JSON tenant config file enabling multi-tenant admission and fair sharing")
+		addr       = flag.String("addr", ":8080", "listen address")
+		model      = flag.String("model", "bert-base", "model preset (bert-base, bert-large)")
+		gpus       = flag.Int("gpus", 8, "emulated GPU count")
+		policy     = flag.String("policy", "RS", "dispatch policy (RS, ILB, IG, LL, INFaaS)")
+		ctrlOn     = flag.Bool("controller", false, "run the closed control loop (live replanning + autoscaling)")
+		ctrlPeriod = flag.Duration("controller-period", 15*time.Second, "control-loop replanning period")
+		ctrlScaler = flag.String("controller-scaler", "target", "autoscaler: target (p98 tracking), headroom (utilization), none")
+		ctrlBudget = flag.Int("controller-budget", 0, "max instance replacements per replanning period (0 = default, negative = unlimited)")
+		ctrlDryRun = flag.Bool("controller-dry-run", false, "control loop plans and reports but never mutates the cluster")
+		reqTimeout = flag.Duration("request-timeout", 0, "server-side per-request timeout (0 disables)")
+		pprofOn    = flag.Bool("pprof", false, "expose /debug/pprof/ runtime profiles")
+		chaosOn    = flag.Bool("chaos", false, "expose /v1/chaos/ fault-injection endpoints (testing only)")
+		batchSize  = flag.Int("batch-size", 1, "dynamic batching cap per instance (<=1 disables)")
+		batchDelay = flag.Duration("batch-delay", 0, "batch collection window (0 = SLO/100, negative = greedy)")
+		continuous = flag.Bool("continuous", false, "iteration-level (continuous) batching for generative workloads")
+		meanOut    = flag.Float64("mean-out-tokens", 0, "expected output length hint for continuous capacity planning (0 = default 16)")
+		wireAddr   = flag.String("wire-addr", "", "binary wire-protocol listen address (empty disables, e.g. :8081)")
+		ingressOn  = flag.Bool("ingress", false, "submit through sharded ingress rings with grouped dispatch")
+		ingressGrp = flag.Int("ingress-group", 0, "ingress drain group size (0 = default)")
+		tenantsCfg = flag.String("tenants-config", "", "JSON tenant config file enabling multi-tenant admission and fair sharing")
 	)
 	flag.Parse()
 
@@ -84,7 +88,38 @@ func main() {
 	}
 	defer cl.Close()
 
+	// The control loop is built before the server so its observability
+	// recorder lands on the cluster first; serve.New then reuses it for
+	// /metrics, and WithController exposes the loop at /v1/controller.
+	var ctrl *controller.Controller
+	if *ctrlOn {
+		opts := controller.Options{
+			Period:          *ctrlPeriod,
+			MaxReplacements: *ctrlBudget,
+			DryRun:          *ctrlDryRun,
+		}
+		switch *ctrlScaler {
+		case "target":
+			opts.Scaler, err = allocator.NewAutoScaler(a.SLO())
+			if err != nil {
+				log.Fatalf("arlo-server: %v", err)
+			}
+		case "headroom":
+			opts.Scaler = allocator.NewHeadroomScaler()
+		case "none":
+		default:
+			log.Fatalf("arlo-server: unknown -controller-scaler %q (want target, headroom or none)", *ctrlScaler)
+		}
+		ctrl, err = a.NewController(cl, opts)
+		if err != nil {
+			log.Fatalf("arlo-server: %v", err)
+		}
+	}
+
 	srvOpts := []serve.Option{serve.WithMaxLength(a.Model.Arch().MaxLength)}
+	if ctrl != nil {
+		srvOpts = append(srvOpts, serve.WithController(ctrl))
+	}
 	if *reqTimeout > 0 {
 		srvOpts = append(srvOpts, serve.WithRequestTimeout(*reqTimeout))
 	}
@@ -118,22 +153,15 @@ func main() {
 		}()
 		fmt.Printf("arlo-server: binary wire protocol on %s\n", *wireAddr)
 	}
-	if *adaptive {
-		scaler, err := allocator.NewAutoScaler(a.SLO())
-		if err != nil {
-			log.Fatalf("arlo-server: %v", err)
-		}
-		ctrl, err := a.NewController(cl, core.ControllerOptions{
-			AllocPeriod: *allocPeriod,
-			Scaler:      scaler,
-		})
-		if err != nil {
-			log.Fatalf("arlo-server: %v", err)
-		}
-		srv.SetObserver(ctrl)
+	if ctrl != nil {
 		ctrl.Start()
 		defer ctrl.Stop()
-		fmt.Printf("arlo-server: adaptive control plane active (period %v)\n", *allocPeriod)
+		mode := ""
+		if *ctrlDryRun {
+			mode = ", dry-run"
+		}
+		fmt.Printf("arlo-server: control loop active (period %v, scaler %s%s); status at /v1/controller\n",
+			*ctrlPeriod, *ctrlScaler, mode)
 	}
 	httpSrv := &http.Server{
 		Addr:              *addr,

@@ -1,0 +1,73 @@
+package allocator
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// randomSplit spreads g GPUs across levels runtimes with a seeded draw.
+func randomSplit(rng *rand.Rand, g, levels int) []int {
+	counts := make([]int, levels)
+	for i := 0; i < g; i++ {
+		counts[rng.Intn(levels)]++
+	}
+	return counts
+}
+
+// FuzzPlanReplacements fuzzes the replacement planner over random
+// same-sum topology pairs and checks the section 4 properties on every
+// draw:
+//
+//   - the plan exists for any conserving pair (the planner must never
+//     reject a reachable target);
+//   - minimality: |plan| is exactly half the L1 distance between the
+//     vectors — no instance moves unless its runtime's count must change;
+//   - applying the plan step by step never drives a count negative and
+//     lands exactly on the target.
+func FuzzPlanReplacements(f *testing.F) {
+	f.Add(int64(1), uint8(2), uint16(4))
+	f.Add(int64(7), uint8(8), uint16(64))
+	f.Add(int64(42), uint8(1), uint16(0))
+	f.Add(int64(-3), uint8(16), uint16(200))
+	f.Fuzz(func(t *testing.T, seed int64, levels uint8, gpus uint16) {
+		L := int(levels)%16 + 1
+		g := int(gpus) % 256
+		rng := rand.New(rand.NewSource(seed))
+		current := randomSplit(rng, g, L)
+		target := randomSplit(rng, g, L)
+
+		plan, err := PlanReplacements(current, target)
+		if err != nil {
+			t.Fatalf("conserving pair rejected: %v (current %v, target %v)", err, current, target)
+		}
+
+		l1 := 0
+		for i := range current {
+			d := current[i] - target[i]
+			if d < 0 {
+				d = -d
+			}
+			l1 += d
+		}
+		if len(plan) != l1/2 {
+			t.Fatalf("plan size %d, want L1/2 = %d (current %v, target %v)", len(plan), l1/2, current, target)
+		}
+
+		state := append([]int(nil), current...)
+		for k, rep := range plan {
+			if rep.From < 0 || rep.From >= L || rep.To < 0 || rep.To >= L {
+				t.Fatalf("step %d references runtime outside [0,%d): %+v", k, L, rep)
+			}
+			state[rep.From]--
+			state[rep.To]++
+			if state[rep.From] < 0 {
+				t.Fatalf("step %d drains runtime %d below zero (current %v, target %v)", k, rep.From, current, target)
+			}
+		}
+		for i := range state {
+			if state[i] != target[i] {
+				t.Fatalf("plan does not reach target: ended %v, want %v (from %v)", state, target, current)
+			}
+		}
+	})
+}

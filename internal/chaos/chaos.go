@@ -26,7 +26,9 @@ import (
 	"sync"
 	"time"
 
+	"arlo/internal/allocator"
 	"arlo/internal/cluster"
+	"arlo/internal/controller"
 	"arlo/internal/dispatch"
 	"arlo/internal/obs"
 	"arlo/internal/profiler"
@@ -95,6 +97,17 @@ type Config struct {
 	// MaxNewTokens bounds the drawn output budgets (default 32; only read
 	// when Generative).
 	MaxNewTokens int
+	// Controller runs the closed control loop during the run: at every
+	// ControllerPeriod of modeled time the loop re-solves the allocation
+	// program from the observed length distribution and applies the
+	// replacement plan — so replans race the scripted failures, slowdowns
+	// and rejoins. The conservation audit is unchanged: a replacement that
+	// displaces in-flight work must still deliver every request exactly
+	// once or reject it with a typed error.
+	Controller bool
+	// ControllerPeriod is the replanning cadence in modeled time (default
+	// Trace.Duration/4; only read when Controller).
+	ControllerPeriod time.Duration
 	// Tenants, when non-empty, runs the cluster in multi-tenant mode:
 	// every request is assigned a seeded tenant draw from this list, and
 	// the conservation audit extends per tenant — token-bucket rejections
@@ -127,6 +140,12 @@ type Report struct {
 	// TenantStats is the registry's own accounting at the end of the run,
 	// cross-checked against PerTenant by Check.
 	TenantStats []tenant.Stat
+
+	// Replans and Replacements count control-loop activity (controller
+	// runs only): how many periods solved, and how many instance
+	// replacements the plans applied while racing the fault schedule.
+	Replans      int64
+	Replacements int64
 
 	// Requeues splits the displaced-work counter by displacement point.
 	RequeuesQueued   int64
@@ -278,6 +297,26 @@ func Run(cfg Config) (*Report, error) {
 	}
 	defer cl.Close()
 
+	// The control loop shares the run's recorder and cluster, replanning
+	// with no hysteresis or budget so every period exercises the Replace
+	// path. Replace errors are expected mid-schedule (the plan races
+	// failures); Step already tolerates them and replans next period.
+	var ctrl *controller.Controller
+	if cfg.Controller {
+		solver, err := allocator.NewSolver(cfg.Profile)
+		if err != nil {
+			return nil, err
+		}
+		ctrl, err = controller.New(cl, solver, rec, controller.Options{
+			Hysteresis:      -1,
+			MaxReplacements: -1,
+			DemandScale:     scale,
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+
 	rng := rand.New(rand.NewSource(cfg.Seed))
 	rep := &Report{Recorder: rec}
 	if reg != nil {
@@ -287,11 +326,13 @@ func Run(cfg Config) (*Report, error) {
 		}
 	}
 
-	// Merge arrivals and fault events into one modeled-time schedule.
+	// Merge arrivals, fault events and controller ticks into one
+	// modeled-time schedule.
 	type step struct {
-		at  time.Duration
-		req *trace.Request
-		ev  *Event
+		at   time.Duration
+		req  *trace.Request
+		ev   *Event
+		ctrl bool
 	}
 	steps := make([]step, 0, len(cfg.Trace.Requests)+len(cfg.Events))
 	for i := range cfg.Trace.Requests {
@@ -301,6 +342,17 @@ func Run(cfg Config) (*Report, error) {
 	for i := range cfg.Events {
 		ev := &cfg.Events[i]
 		steps = append(steps, step{at: ev.At, ev: ev})
+	}
+	if ctrl != nil {
+		period := cfg.ControllerPeriod
+		if period <= 0 {
+			period = cfg.Trace.Duration / 4
+		}
+		if period > 0 {
+			for at := period; at <= cfg.Trace.Duration; at += period {
+				steps = append(steps, step{at: at, ctrl: true})
+			}
+		}
 	}
 	sort.SliceStable(steps, func(i, j int) bool { return steps[i].at < steps[j].at })
 
@@ -385,14 +437,21 @@ func Run(cfg Config) (*Report, error) {
 		if wait := time.Until(start.Add(time.Duration(float64(st.at) * scale))); wait > 0 {
 			time.Sleep(wait)
 		}
-		if st.ev != nil {
+		if st.ev != nil || st.ctrl {
 			// Dispatch barrier: wait (bounded) until every earlier arrival
-			// has been routed or resolved, so the queue state a fault
-			// observes is a function of the schedule, not of how the
-			// runtime happened to interleave the submitter goroutines.
+			// has been routed or resolved, so the queue state a fault (or a
+			// replan) observes is a function of the schedule, not of how
+			// the runtime happened to interleave the submitter goroutines.
 			barrier := time.Now().Add(time.Second)
 			for cl.Outstanding()+resolved() < rep.Submitted && time.Now().Before(barrier) {
 				time.Sleep(20 * time.Microsecond)
+			}
+			if st.ctrl {
+				// Replace errors are legal here — the plan races failures
+				// and rejoins; the loop replans from whatever topology
+				// exists next tick. Conservation is what Check audits.
+				_ = ctrl.Step(time.Now())
+				continue
 			}
 			switch st.ev.Kind {
 			case Fail:
@@ -443,6 +502,11 @@ func Run(cfg Config) (*Report, error) {
 
 	if reg != nil {
 		rep.TenantStats = reg.Stats()
+	}
+	if ctrl != nil {
+		st := ctrl.Status()
+		rep.Replans = st.Replans
+		rep.Replacements = st.Replacements
 	}
 	rep.RequeuesQueued = rec.RequeuesFor(obs.RequeueQueued)
 	rep.RequeuesInflight = rec.RequeuesFor(obs.RequeueInflight)

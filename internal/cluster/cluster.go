@@ -1123,6 +1123,10 @@ func (c *Cluster) MaxLength() int {
 func (c *Cluster) SetObserver(rec *obs.Recorder) {
 	if rec != nil {
 		rec.SetSnapshot(c.obsSnapshot)
+		// Install the profile's runtime boundaries as the sliding-window
+		// length bins so the control loop can read the demand vector q
+		// straight off the recorder.
+		rec.SetLengthBins(c.cfg.Profile.MaxLengths())
 	}
 	c.obsRec.Store(rec)
 }

@@ -2,249 +2,43 @@ package core
 
 import (
 	"fmt"
-	"sort"
-	"sync"
-	"time"
 
-	"arlo/internal/allocator"
 	"arlo/internal/cluster"
-	"arlo/internal/metrics"
+	"arlo/internal/controller"
+	"arlo/internal/obs"
 )
 
-// ControllerOptions tune the live control plane. Zero values select
-// defaults suited to demos (short periods); production deployments would
-// use the paper's 120 s allocation period.
-type ControllerOptions struct {
-	// AllocPeriod is how often the Runtime Scheduler re-solves the
-	// allocation (default: the system's configured period).
-	AllocPeriod time.Duration
-	// Scaler enables auto-scaling when non-nil, observed every
-	// ScalePeriod (default 1 s) over LatencyWindow (default 10 s).
-	Scaler        *allocator.AutoScaler
-	ScalePeriod   time.Duration
-	LatencyWindow time.Duration
-	// ReplaceDelay emulates the instance swap time (default 1 s; the
-	// paper's replacements take about a second).
-	ReplaceDelay time.Duration
-	// BatchSize bounds concurrent replacements (default 2).
-	BatchSize int
-}
-
-// Controller runs Arlo's online control plane over a live emulated
-// cluster: it accumulates the served requests' length distribution,
-// periodically re-solves the GPU allocation and rolls out a minimal
-// batched replacement plan, and (optionally) auto-scales the pool by
-// target tracking — the real-time counterpart of what the simulator does
-// in virtual time.
-type Controller struct {
-	arlo *Arlo
-	cl   *cluster.Cluster
-	opts ControllerOptions
-
-	window *metrics.Window
-
-	mu        sync.Mutex
-	binCounts []int
-	lastReset time.Time
-
-	stop chan struct{}
-	done chan struct{}
-	once sync.Once
-
-	// stats
-	reallocs     int
-	replacements int
-	scaleOuts    int
-	scaleIns     int
-}
-
-// NewController wires a control plane to a running cluster. Call Start to
-// begin the control loop and Observe for every served request.
-func (a *Arlo) NewController(cl *cluster.Cluster, opts ControllerOptions) (*Controller, error) {
+// NewController wires the closed control loop (internal/controller) to a
+// running cluster: periodic replanning of the GPU split from the observed
+// length distribution, plus target-tracking autoscaling when a Scaler is
+// configured via WithController. The loop reads its demand and latency
+// signals from the cluster's observability recorder; one is created and
+// installed when the cluster runs without observability.
+//
+// The controller is returned stopped: call Start for the wall-clock
+// ticker loop, or drive Step/Autoscale directly with explicit timestamps
+// (the deterministic path the convergence tests use).
+//
+// Options come from WithController at system construction; an explicit
+// override argument replaces them wholesale for this one loop (useful
+// when the options depend on values only known post-construction, like a
+// scaler built from the resolved SLO). Either way a zero Period inherits
+// the system's AllocPeriod.
+func (a *Arlo) NewController(cl *cluster.Cluster, override ...controller.Options) (*controller.Controller, error) {
 	if cl == nil {
 		return nil, fmt.Errorf("core: nil cluster")
 	}
-	if opts.AllocPeriod <= 0 {
-		opts.AllocPeriod = a.allocPeriod
+	opts := a.ctrlOpts
+	if len(override) > 0 {
+		opts = override[0]
 	}
-	if opts.ScalePeriod <= 0 {
-		opts.ScalePeriod = time.Second
+	if opts.Period <= 0 {
+		opts.Period = a.allocPeriod
 	}
-	if opts.LatencyWindow <= 0 {
-		opts.LatencyWindow = 10 * time.Second
+	rec := cl.Observer()
+	if rec == nil {
+		rec = obs.NewRecorder(cl.NumLevels())
+		cl.SetObserver(rec)
 	}
-	if opts.ReplaceDelay < 0 {
-		opts.ReplaceDelay = 0
-	} else if opts.ReplaceDelay == 0 {
-		opts.ReplaceDelay = time.Second
-	}
-	if opts.BatchSize <= 0 {
-		opts.BatchSize = 2
-	}
-	return &Controller{
-		arlo:      a,
-		cl:        cl,
-		opts:      opts,
-		window:    metrics.NewWindow(opts.LatencyWindow),
-		binCounts: make([]int, len(a.Profile.Runtimes)),
-		lastReset: time.Now(),
-		stop:      make(chan struct{}),
-		done:      make(chan struct{}),
-	}, nil
-}
-
-// Observe records one served request: its tokenized length feeds the
-// demand estimate, its latency the auto-scaler's window.
-func (c *Controller) Observe(length int, lat time.Duration) {
-	c.window.Record(lat)
-	bin := c.binOf(length)
-	if bin < 0 {
-		return
-	}
-	c.mu.Lock()
-	c.binCounts[bin]++
-	c.mu.Unlock()
-}
-
-func (c *Controller) binOf(length int) int {
-	if length <= 0 {
-		return -1
-	}
-	uppers := c.arlo.Profile.MaxLengths()
-	i := sort.SearchInts(uppers, length)
-	if i >= len(uppers) {
-		i = len(uppers) - 1
-	}
-	return i
-}
-
-// Start launches the control loop. Stop ends it.
-func (c *Controller) Start() {
-	go c.run()
-}
-
-// Stop terminates the control loop and waits for it to finish.
-func (c *Controller) Stop() {
-	c.once.Do(func() { close(c.stop) })
-	<-c.done
-}
-
-// Stats reports the control plane's action counts: reallocation rounds,
-// instance replacements, scale-outs and scale-ins.
-func (c *Controller) Stats() (reallocs, replacements, scaleOuts, scaleIns int) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.reallocs, c.replacements, c.scaleOuts, c.scaleIns
-}
-
-func (c *Controller) run() {
-	defer close(c.done)
-	allocTick := time.NewTicker(c.opts.AllocPeriod)
-	defer allocTick.Stop()
-	var scaleTick *time.Ticker
-	var scaleC <-chan time.Time
-	if c.opts.Scaler != nil {
-		scaleTick = time.NewTicker(c.opts.ScalePeriod)
-		defer scaleTick.Stop()
-		scaleC = scaleTick.C
-	}
-	start := time.Now()
-	for {
-		select {
-		case <-c.stop:
-			return
-		case <-allocTick.C:
-			c.reallocate()
-		case at := <-scaleC:
-			c.autoscale(at.Sub(start))
-		}
-	}
-}
-
-// reallocate estimates demand from the window since the last round,
-// solves the allocation for the current pool, and applies a minimal
-// batched replacement plan.
-func (c *Controller) reallocate() {
-	c.mu.Lock()
-	elapsed := time.Since(c.lastReset)
-	if elapsed < c.arlo.Profile.SLO {
-		c.mu.Unlock()
-		return
-	}
-	windows := float64(elapsed) / float64(c.arlo.Profile.SLO)
-	q := make([]float64, len(c.binCounts))
-	total := 0
-	for i, n := range c.binCounts {
-		q[i] = float64(n) / windows
-		total += n
-		c.binCounts[i] = 0
-	}
-	c.lastReset = time.Now()
-	c.mu.Unlock()
-	if total == 0 {
-		return // no traffic observed: keep the current deployment
-	}
-
-	current := c.cl.Allocation()
-	g := 0
-	for _, n := range current {
-		g += n
-	}
-	if g == 0 {
-		return
-	}
-	target, err := c.arlo.Solver.Allocate(g, q)
-	if err != nil {
-		return // keep the current deployment
-	}
-	plan, err := allocator.PlanReplacements(current, target.N)
-	if err != nil || len(plan) == 0 {
-		c.mu.Lock()
-		c.reallocs++
-		c.mu.Unlock()
-		return
-	}
-	for _, batch := range allocator.Batches(plan, c.opts.BatchSize) {
-		for _, rep := range batch {
-			if _, err := c.cl.Replace(rep.From, rep.To, 0); err != nil {
-				continue
-			}
-			c.mu.Lock()
-			c.replacements++
-			c.mu.Unlock()
-		}
-		// The batch's swap time gates the next batch (paper section 4).
-		select {
-		case <-c.stop:
-			return
-		case <-time.After(c.opts.ReplaceDelay):
-		}
-	}
-	c.mu.Lock()
-	c.reallocs++
-	c.mu.Unlock()
-}
-
-// autoscale applies one target-tracking observation.
-func (c *Controller) autoscale(now time.Duration) {
-	if c.window.Count() == 0 {
-		return
-	}
-	p98 := c.window.P98()
-	g := c.cl.Instances()
-	switch c.opts.Scaler.Observe(now, p98, g) {
-	case allocator.ScaleOut:
-		last := len(c.arlo.Profile.Runtimes) - 1
-		if _, err := c.cl.AddInstance(last); err == nil {
-			c.mu.Lock()
-			c.scaleOuts++
-			c.mu.Unlock()
-		}
-	case allocator.ScaleIn:
-		if _, err := c.cl.RemoveInstance(-1); err == nil {
-			c.mu.Lock()
-			c.scaleIns++
-			c.mu.Unlock()
-		}
-	}
+	return controller.New(cl, a.Solver, rec, opts)
 }

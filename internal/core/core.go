@@ -18,6 +18,7 @@ import (
 
 	"arlo/internal/allocator"
 	"arlo/internal/cluster"
+	"arlo/internal/controller"
 	"arlo/internal/dispatch"
 	"arlo/internal/model"
 	"arlo/internal/profiler"
@@ -72,6 +73,10 @@ type Options struct {
 	// built by NewCluster: token-bucket admission plus weighted fair
 	// dispatch across the given tenant records.
 	Tenants []tenant.Config
+	// Controller tunes control loops built by NewController (period,
+	// scaler, hysteresis, replacement budget, dry-run). A zero Period
+	// inherits AllocPeriod.
+	Controller controller.Options
 }
 
 // Arlo is a configured system.
@@ -93,6 +98,7 @@ type Arlo struct {
 	continuous  bool
 	meanOut     float64
 	tenants     []tenant.Config
+	ctrlOpts    controller.Options
 }
 
 func build(opts Options) (*Arlo, error) {
@@ -144,6 +150,7 @@ func build(opts Options) (*Arlo, error) {
 		continuous:  opts.Continuous,
 		meanOut:     opts.MeanOutTokens,
 		tenants:     opts.Tenants,
+		ctrlOpts:    opts.Controller,
 	}
 	if a.policy == "" {
 		a.policy = "RS"

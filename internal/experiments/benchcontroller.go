@@ -1,0 +1,307 @@
+package experiments
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"os"
+	"sort"
+	"sync"
+	"time"
+
+	"arlo/internal/allocator"
+	"arlo/internal/cluster"
+	"arlo/internal/controller"
+	"arlo/internal/dispatch"
+	"arlo/internal/model"
+	"arlo/internal/obs"
+	"arlo/internal/profiler"
+	"arlo/internal/queue"
+)
+
+// benchControllerArm is one arm's measured outcome.
+type benchControllerArm struct {
+	Requests  int `json:"requests"`
+	Completed int `json:"completed"`
+	Rejected  int `json:"rejected"`
+	// SLOAttainment is within-SLO completions over all requests, so
+	// congestion rejections count against the arm.
+	SLOAttainment float64 `json:"slo_attainment"`
+	// Phase2SLOAttainment isolates the post-drift window where the frozen
+	// allocation is wrong.
+	Phase2SLOAttainment float64 `json:"phase2_slo_attainment"`
+	P50MS               float64 `json:"p50_ms"`
+	P99MS               float64 `json:"p99_ms"`
+	Replans             int64   `json:"replans,omitempty"`
+	Replacements        int64   `json:"replacements,omitempty"`
+	FinalAllocation     []int   `json:"final_allocation"`
+}
+
+// benchControllerResult is the BENCH_controller.json schema.
+type benchControllerResult struct {
+	TimeScale float64 `json:"timescale"`
+	SLOMS     float64 `json:"slo_ms"`
+	GPUs      int     `json:"gpus"`
+
+	// Frozen keeps the allocation solved for the pre-drift mix; Controller
+	// replans from the observed window as the mix drifts.
+	Frozen     benchControllerArm `json:"frozen"`
+	Controller benchControllerArm `json:"controller"`
+
+	// AttainmentGain is controller minus frozen overall SLO attainment
+	// (fractional, positive when the control loop helps).
+	AttainmentGain float64 `json:"attainment_gain"`
+}
+
+// driftArrival is one synthetic request of the drifting trace.
+type driftArrival struct {
+	at     time.Duration // modeled offset
+	length int
+	phase  int
+}
+
+// BenchController measures what closing the control loop buys on the live
+// cluster when the length mix drifts. The workload runs two phases:
+// short-heavy (the allocation both arms start from is solved for this
+// mix) then long-heavy, where every request needs the max-length runtime.
+// The frozen arm keeps the stale split, so phase 2 piles onto its single
+// large instance; the controller arm replans from the observed sliding
+// window every period (budgeted replacements, no wall-clock tickers — the
+// replay loop steps the controller at schedule points, so a run is
+// reproducible). The report is per-arm SLO attainment (overall and
+// post-drift), latency percentiles and the controller's replacement
+// count. Results are printed and written to BENCH_controller.json.
+func BenchController(w io.Writer, opt Options) error {
+	const (
+		slo       = 150 * time.Millisecond
+		timeScale = 0.2
+		gpus      = 8
+	)
+	phase := 4 * time.Second // modeled, per phase
+	if opt.Full {
+		phase = 10 * time.Second
+	}
+	ctrlPeriod := phase / 16 // modeled replanning cadence
+
+	p, err := profiler.StaticProfile(model.BertBase(), []int{64, 128, 256, 512}, slo)
+	if err != nil {
+		return err
+	}
+	solver, err := allocator.NewSolver(p)
+	if err != nil {
+		return err
+	}
+	factory := func(ml *queue.MultiLevel) (dispatch.Dispatcher, error) {
+		return dispatch.NewRequestScheduler(ml)
+	}
+
+	// Seeded drifting trace: phase 1 fits the small runtimes, phase 2
+	// exceeds the 256 tile so only the max-length runtime serves it.
+	mkPhase := func(seed int64, start time.Duration, rate float64, lo, hi int, phase2 bool) []driftArrival {
+		rng := rand.New(rand.NewSource(seed))
+		n := int(rate * phase.Seconds())
+		arrivals := make([]driftArrival, 0, n)
+		for i := 0; i < n; i++ {
+			ph := 1
+			if phase2 {
+				ph = 2
+			}
+			arrivals = append(arrivals, driftArrival{
+				at:     start + time.Duration(rng.Int63n(int64(phase))),
+				length: lo + rng.Intn(hi-lo+1),
+				phase:  ph,
+			})
+		}
+		return arrivals
+	}
+	// Phase 2 runs at twice the modeled capacity of one max-length
+	// instance (the frozen arm's whole serving power for these lengths)
+	// but only a quarter of the cluster's if every GPU converges there.
+	arrivals := append(
+		mkPhase(opt.Seed+1, 0, 500, 1, 120, false),
+		mkPhase(opt.Seed+2, phase, 400, 257, 500, true)...)
+	sort.Slice(arrivals, func(i, j int) bool { return arrivals[i].at < arrivals[j].at })
+
+	// Both arms start from the allocation solved for the phase-1 mix.
+	q1 := make([]float64, len(p.Runtimes))
+	maxLens := p.MaxLengths()
+	for _, a := range arrivals {
+		if a.phase != 1 {
+			continue
+		}
+		bin := sort.SearchInts(maxLens, a.length)
+		if bin >= len(maxLens) {
+			bin = len(maxLens) - 1
+		}
+		q1[bin] += float64(slo) / float64(phase)
+	}
+	initial, err := solver.Allocate(gpus, q1)
+	if err != nil {
+		return err
+	}
+
+	runArm := func(withController bool) (benchControllerArm, error) {
+		var arm benchControllerArm
+		rec := obs.NewRecorder(len(p.Runtimes))
+		// The window covers one control period of wall time, so the demand
+		// estimate tracks the drift instead of averaging both phases.
+		rec.SetWindow(time.Duration(float64(ctrlPeriod) * timeScale))
+		cl, err := cluster.New(cluster.Config{
+			Profile:           p,
+			InitialAllocation: append([]int(nil), initial.N...),
+			Dispatcher:        factory,
+			TimeScale:         timeScale,
+			Overhead:          -1,
+			Observer:          rec,
+		})
+		if err != nil {
+			return arm, err
+		}
+		defer cl.Close()
+
+		var ctrl *controller.Controller
+		if withController {
+			// Default hysteresis keeps phase 1 quiet (the starting split is
+			// already right, so churn would only displace in-flight work);
+			// the phase-2 objective gap is far past the margin, and the
+			// budget rolls the correction out in small batches exactly as
+			// section 4 prescribes.
+			ctrl, err = controller.New(cl, solver, rec, controller.Options{
+				MaxReplacements: 2,
+				DemandScale:     timeScale,
+			})
+			if err != nil {
+				return arm, err
+			}
+		}
+
+		type sample struct {
+			phase int
+			lat   time.Duration
+			err   error
+		}
+		results := make([]sample, len(arrivals))
+		var wg sync.WaitGroup
+		nextStep := ctrlPeriod
+		start := time.Now()
+		for i := range arrivals {
+			a := arrivals[i]
+			for ctrl != nil && a.at >= nextStep {
+				res := ctrl.Step(time.Now())
+				if res.Err != nil {
+					return arm, fmt.Errorf("bench-controller: step: %w", res.Err)
+				}
+				nextStep += ctrlPeriod
+			}
+			if wait := time.Until(start.Add(time.Duration(float64(a.at) * timeScale))); wait > 0 {
+				time.Sleep(wait)
+			}
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				res, err := cl.SubmitCtx(context.Background(), cluster.Request{Length: arrivals[i].length})
+				results[i] = sample{phase: arrivals[i].phase, lat: res.Latency, err: err}
+			}(i)
+		}
+		wg.Wait()
+
+		// Result.Latency is modeled (queueing + compute in model time), so
+		// it compares against the modeled SLO directly, not slo*timeScale.
+		var lats []time.Duration
+		var within, p2Within, p2Total int
+		for _, s := range results {
+			arm.Requests++
+			if s.phase == 2 {
+				p2Total++
+			}
+			if s.err != nil {
+				arm.Rejected++
+				continue
+			}
+			arm.Completed++
+			lats = append(lats, s.lat)
+			if s.lat <= slo {
+				within++
+				if s.phase == 2 {
+					p2Within++
+				}
+			}
+		}
+		if arm.Requests > 0 {
+			arm.SLOAttainment = float64(within) / float64(arm.Requests)
+		}
+		if p2Total > 0 {
+			arm.Phase2SLOAttainment = float64(p2Within) / float64(p2Total)
+		}
+		arm.P50MS = pctMS(lats, 0.50)
+		arm.P99MS = pctMS(lats, 0.99)
+		arm.FinalAllocation = cl.Allocation()
+		if ctrl != nil {
+			st := ctrl.Status()
+			arm.Replans = st.Replans
+			arm.Replacements = st.Replacements
+		}
+		return arm, nil
+	}
+
+	frozen, err := runArm(false)
+	if err != nil {
+		return err
+	}
+	controlled, err := runArm(true)
+	if err != nil {
+		return err
+	}
+	if controlled.Replans == 0 {
+		return fmt.Errorf("bench-controller: the controller arm never replanned")
+	}
+	if maxMoves := controlled.Replans * 2; controlled.Replacements > maxMoves {
+		return fmt.Errorf("bench-controller: %d replacements exceed the budget bound %d", controlled.Replacements, maxMoves)
+	}
+	// The control loop must not cost attainment; on the drifting mix it
+	// should win outright (small tolerance for scheduling noise).
+	if controlled.SLOAttainment < frozen.SLOAttainment-0.02 {
+		return fmt.Errorf("bench-controller: controller attainment %.3f fell below frozen %.3f",
+			controlled.SLOAttainment, frozen.SLOAttainment)
+	}
+	if controlled.Phase2SLOAttainment <= frozen.Phase2SLOAttainment {
+		return fmt.Errorf("bench-controller: no post-drift win: controller %.3f vs frozen %.3f",
+			controlled.Phase2SLOAttainment, frozen.Phase2SLOAttainment)
+	}
+
+	res := benchControllerResult{
+		TimeScale:      timeScale,
+		SLOMS:          float64(slo) / float64(time.Millisecond),
+		GPUs:           gpus,
+		Frozen:         frozen,
+		Controller:     controlled,
+		AttainmentGain: controlled.SLOAttainment - frozen.SLOAttainment,
+	}
+
+	tw := newTab(w)
+	fmt.Fprintln(tw, "arm\treqs\tok\trejected\tSLO\tphase2 SLO\tp50 ms\tp99 ms\treplacements\tfinal alloc")
+	for _, row := range []struct {
+		name string
+		a    benchControllerArm
+	}{{"frozen", frozen}, {"controller", controlled}} {
+		fmt.Fprintf(tw, "%s\t%d\t%d\t%d\t%.1f%%\t%.1f%%\t%.3f\t%.3f\t%d\t%v\n",
+			row.name, row.a.Requests, row.a.Completed, row.a.Rejected,
+			100*row.a.SLOAttainment, 100*row.a.Phase2SLOAttainment,
+			row.a.P50MS, row.a.P99MS, row.a.Replacements, row.a.FinalAllocation)
+	}
+	tw.Flush()
+	fmt.Fprintf(w, "closing the loop: %+.1f points of SLO attainment on the drifting mix (%d replacements over %d replans)\n",
+		100*res.AttainmentGain, controlled.Replacements, controlled.Replans)
+
+	blob, err := json.MarshalIndent(res, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile("BENCH_controller.json", append(blob, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintln(w, "wrote BENCH_controller.json")
+	return nil
+}

@@ -74,6 +74,7 @@ func All() []Spec {
 		{"bench-ingress", "Ingress hot path: JSON vs binary wire protocol at the socket, grouped vs per-request submit", BenchIngress},
 		{"bench-generate", "Continuous (iteration-level) vs run-to-completion batching on a generative burst", BenchGenerate},
 		{"bench-tenants", "Noisy-neighbor isolation: token-bucket admission + weighted fair sharing vs shared queue", BenchTenants},
+		{"bench-controller", "Closing the control loop: live replanning vs frozen allocation on a drifting length mix", BenchController},
 	}
 }
 

@@ -320,6 +320,14 @@ type Recorder struct {
 	// snapshot, when set, provides the live cluster state (queue depths,
 	// instance loads) gauges are rendered from at scrape time.
 	snapshot atomic.Pointer[func() Snapshot]
+
+	// ctrlStats, when set, provides the control loop's state rendered as
+	// arlo_controller_* metrics at scrape time (see window.go).
+	ctrlStats atomic.Pointer[func() ControllerStat]
+
+	// win is the sliding-window view of recent lengths and latencies the
+	// controller reads (see window.go).
+	win window
 }
 
 // NewRecorder builds a recorder for a cluster with the given number of
@@ -329,12 +337,14 @@ func NewRecorder(levels int) *Recorder {
 	if levels < 1 {
 		levels = 1
 	}
-	return &Recorder{
+	r := &Recorder{
 		levels:         levels,
 		demotions:      make([]atomic.Int64, levels*levels),
 		levelBatches:   make([]atomic.Int64, levels),
 		levelBatchReqs: make([]atomic.Int64, levels),
 	}
+	r.win.init(levels)
+	return r
 }
 
 // Batch-size histogram layout: power-of-two buckets le 1,2,4,...,64 plus
@@ -431,12 +441,19 @@ func (r *Recorder) RecordDemotion(from, to int) {
 	r.demotions[from*r.levels+to].Add(1)
 }
 
-// RecordSpan folds one completed request's span into the histograms and
-// completion counter. The span itself is not retained.
+// RecordSpan folds one completed request's span into the histograms,
+// the completion counter, and the sliding window (stamped now). The span
+// itself is not retained.
 func (r *Recorder) RecordSpan(s *Span) {
 	if r == nil {
 		return
 	}
+	r.recordSpan(s)
+	r.win.observe(s, time.Now())
+}
+
+// recordSpan folds the span into the lifetime aggregates only.
+func (r *Recorder) recordSpan(s *Span) {
 	// Stripe by span identity rather than a shared cursor: concurrent
 	// completions from different instances land on different shards with
 	// no cross-core traffic on the shard choice itself.
@@ -503,6 +520,21 @@ func (r *Recorder) SetSnapshot(fn func() Snapshot) {
 		return
 	}
 	r.snapshot.Store(&fn)
+}
+
+// LiveSnapshot invokes the installed live-state callback and returns the
+// cluster snapshot, or ok=false when no callback is installed. This is
+// the structured path the control loop reads utilization from (the same
+// data the Prometheus gauges render).
+func (r *Recorder) LiveSnapshot() (Snapshot, bool) {
+	if r == nil {
+		return Snapshot{}, false
+	}
+	fnp := r.snapshot.Load()
+	if fnp == nil {
+		return Snapshot{}, false
+	}
+	return (*fnp)(), true
 }
 
 // Submitted returns the total submission attempts recorded.

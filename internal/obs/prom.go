@@ -180,6 +180,33 @@ func (r *Recorder) WritePrometheus(w io.Writer) error {
 		}
 	}
 
+	if fnp := r.ctrlStats.Load(); fnp != nil {
+		cs := (*fnp)()
+		fmt.Fprint(bw, "# HELP arlo_controller_replans_total Control periods that re-solved the allocation program.\n")
+		fmt.Fprint(bw, "# TYPE arlo_controller_replans_total counter\n")
+		fmt.Fprintf(bw, "arlo_controller_replans_total %d\n", cs.Replans)
+		fmt.Fprint(bw, "# HELP arlo_controller_plans_held_total Replans whose replacement plan was suppressed by hysteresis.\n")
+		fmt.Fprint(bw, "# TYPE arlo_controller_plans_held_total counter\n")
+		fmt.Fprintf(bw, "arlo_controller_plans_held_total %d\n", cs.PlansHeld)
+		fmt.Fprint(bw, "# HELP arlo_controller_replacements_total Instance replacements applied by the control loop.\n")
+		fmt.Fprint(bw, "# TYPE arlo_controller_replacements_total counter\n")
+		fmt.Fprintf(bw, "arlo_controller_replacements_total %d\n", cs.Replacements)
+		fmt.Fprint(bw, "# HELP arlo_controller_scale_total Autoscaler GPU count changes, by direction.\n")
+		fmt.Fprint(bw, "# TYPE arlo_controller_scale_total counter\n")
+		fmt.Fprintf(bw, "arlo_controller_scale_total{direction=\"out\"} %d\n", cs.ScaleOuts)
+		fmt.Fprintf(bw, "arlo_controller_scale_total{direction=\"in\"} %d\n", cs.ScaleIns)
+		fmt.Fprint(bw, "# HELP arlo_controller_gpus Live GPU count the controller manages.\n")
+		fmt.Fprint(bw, "# TYPE arlo_controller_gpus gauge\n")
+		fmt.Fprintf(bw, "arlo_controller_gpus %d\n", cs.GPUs)
+		fmt.Fprint(bw, "# HELP arlo_controller_dry_run 1 when the controller observes and plans without applying.\n")
+		fmt.Fprint(bw, "# TYPE arlo_controller_dry_run gauge\n")
+		dry := 0
+		if cs.DryRun {
+			dry = 1
+		}
+		fmt.Fprintf(bw, "arlo_controller_dry_run %d\n", dry)
+	}
+
 	fmt.Fprint(bw, "# HELP arlo_batch_size Members per executed dynamic batch.\n")
 	fmt.Fprint(bw, "# TYPE arlo_batch_size histogram\n")
 	var cumBatch int64

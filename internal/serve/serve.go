@@ -17,6 +17,9 @@
 //	                   reads or live-updates one record (404 not_found on
 //	                   clusters without a tenant registry)
 //	GET  /v1/stats   — JSON serving counters and window percentiles
+//	GET  /v1/controller — live control-loop status (allocation, target,
+//	                   demand, replans, replacements), only with
+//	                   WithController; 404 not_found otherwise
 //	GET  /metrics    — Prometheus text exposition of the cluster's
 //	                   observability plane (counters, demotion matrix,
 //	                   queue-depth gauges, instance health, latency
@@ -45,6 +48,7 @@ import (
 	"time"
 
 	"arlo/internal/cluster"
+	"arlo/internal/controller"
 	"arlo/internal/dispatch"
 	"arlo/internal/metrics"
 	"arlo/internal/obs"
@@ -168,6 +172,10 @@ type Server struct {
 
 	window *metrics.Window
 
+	// ctrl, when attached with WithController, backs GET /v1/controller.
+	// The server only reads status; the caller owns the loop's lifecycle.
+	ctrl *controller.Controller
+
 	obsMu    sync.RWMutex
 	observer Observer
 }
@@ -238,6 +246,21 @@ func WithIngress(cfg cluster.IngressConfig) Option {
 	}
 }
 
+// WithController attaches a control loop for GET /v1/controller, which
+// reports the loop's live status (allocation, replan/replacement
+// counters, autoscaler state). The server never starts or stops the
+// loop — the caller owns its lifecycle. Without this option the endpoint
+// answers 404 not_found.
+func WithController(ctrl *controller.Controller) Option {
+	return func(s *Server) error {
+		if ctrl == nil {
+			return fmt.Errorf("serve: nil controller")
+		}
+		s.ctrl = ctrl
+		return nil
+	}
+}
+
 // WithRequestTimeout bounds every inference request server-side: requests
 // still queued when the timeout fires are dequeued and answered 504. The
 // client's own context (disconnect, client-side deadline) is always
@@ -292,6 +315,7 @@ func New(tok *tokenizer.Tokenizer, cl *cluster.Cluster, opts ...Option) (*Server
 	s.mux.HandleFunc("/v1/tenants", s.handleTenants)
 	s.mux.HandleFunc("/v1/tenants/", s.handleTenant)
 	s.mux.HandleFunc("/v1/stats", s.handleStats)
+	s.mux.HandleFunc("/v1/controller", s.handleController)
 	s.mux.HandleFunc("/healthz", s.handleHealth)
 	s.mux.Handle("/metrics", s.rec.Handler())
 	if s.chaos {
@@ -527,6 +551,22 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		P50MS:     float64(s.window.Percentile(0.50)) / float64(time.Millisecond),
 		P98MS:     float64(s.window.P98()) / float64(time.Millisecond),
 	})
+}
+
+// handleController reports the attached control loop's status
+// (controller.Status) — the live view of the closed loop: current vs.
+// target allocation, observed demand and p98, replan/replacement
+// counters and autoscaler activity.
+func (s *Server) handleController(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, CodeMethodNotAllowed, "GET required")
+		return
+	}
+	if s.ctrl == nil {
+		writeError(w, http.StatusNotFound, CodeNotFound, "no controller attached")
+		return
+	}
+	writeJSON(w, s.ctrl.Status())
 }
 
 // HealthResponse is the body of GET /healthz: overall status plus
