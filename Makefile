@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-short race chaos fuzz bench bench-dispatch bench-obs bench-batch bench-serve bench-ingress bench-generate bench-tenants bench-controller experiments experiments-full vet staticcheck lint fmt clean
+.PHONY: all build test test-short race chaos fuzz bench bench-dispatch bench-obs bench-batch bench-serve bench-ingress bench-generate bench-tenants bench-controller bench-router experiments experiments-full vet staticcheck lint fmt clean
 
 all: build test
 
@@ -16,7 +16,7 @@ test-short:
 	$(GO) test -short ./...
 
 race:
-	$(GO) test -race ./internal/queue/ ./internal/dispatch/ ./internal/cluster/ ./internal/serve/ ./internal/core/ ./internal/multistream/ ./internal/metrics/ ./internal/tokenizer/ ./internal/obs/ ./internal/failover/ ./internal/chaos/ ./internal/batcher/ ./internal/ring/ ./internal/wire/ ./internal/trace/ ./internal/model/ ./internal/tenant/ ./internal/controller/ ./internal/allocator/
+	$(GO) test -race ./internal/queue/ ./internal/dispatch/ ./internal/cluster/ ./internal/serve/ ./internal/core/ ./internal/multistream/ ./internal/metrics/ ./internal/tokenizer/ ./internal/obs/ ./internal/failover/ ./internal/chaos/ ./internal/batcher/ ./internal/ring/ ./internal/wire/ ./internal/trace/ ./internal/model/ ./internal/tenant/ ./internal/controller/ ./internal/allocator/ ./internal/router/
 
 # The deterministic fault-injection harness: 500 seeded runs of the live
 # cluster under scripted crashes, slowdowns and cancellations, with the
@@ -36,6 +36,7 @@ fuzz:
 	$(GO) test -run '^$$' -fuzz FuzzWireDecode -fuzztime 30s ./internal/wire/
 	$(GO) test -run '^$$' -fuzz FuzzTenantConfigParse -fuzztime 30s ./internal/tenant/
 	$(GO) test -run '^$$' -fuzz FuzzPlanReplacements -fuzztime 30s ./internal/allocator/
+	$(GO) test -run '^$$' -fuzz FuzzLoadSnapshotDecode -fuzztime 30s ./internal/wire/
 
 bench:
 	$(GO) test -bench=. -benchmem -run=^$$ .
@@ -83,6 +84,14 @@ bench-generate:
 # every noisy rejection must be the typed 429. Writes BENCH_tenants.json.
 bench-tenants:
 	$(GO) run ./cmd/arlobench -exp bench-tenants
+
+# Sharded-tier routing quality: the policy x snapshot-staleness grid
+# (length-aware vs round-robin vs least-loaded at immediate/10ms/100ms/1s
+# refresh) over three heterogeneous in-process shards, plus a shard-kill
+# run whose conservation audit must lose zero requests. Writes
+# BENCH_router.json.
+bench-router:
+	$(GO) run ./cmd/arlobench -exp bench-router
 
 # Closing the control loop on the live cluster: a drifting length mix
 # served by a frozen allocation vs the replanning controller (budgeted

@@ -26,6 +26,7 @@ import (
 	"arlo/internal/serve"
 	"arlo/internal/tenant"
 	"arlo/internal/tokenizer"
+	"arlo/internal/wire"
 )
 
 func main() {
@@ -50,8 +51,12 @@ func main() {
 		ingressOn  = flag.Bool("ingress", false, "submit through sharded ingress rings with grouped dispatch")
 		ingressGrp = flag.Int("ingress-group", 0, "ingress drain group size (0 = default)")
 		tenantsCfg = flag.String("tenants-config", "", "JSON tenant config file enabling multi-tenant admission and fair sharing")
+		shardName  = flag.String("shard", "", "shard name for router registration (requires -wire-addr)")
 	)
 	flag.Parse()
+	if *shardName != "" && *wireAddr == "" {
+		log.Fatal("arlo-server: -shard requires -wire-addr (routers reach shards over the binary protocol)")
+	}
 
 	sysOpts := []core.Option{
 		core.WithModel(*model),
@@ -133,6 +138,9 @@ func main() {
 	if *ingressOn || *ingressGrp > 0 {
 		srvOpts = append(srvOpts, serve.WithIngress(cluster.IngressConfig{MaxGroup: *ingressGrp}))
 	}
+	if *shardName != "" {
+		srvOpts = append(srvOpts, serve.WithShardName(*shardName))
+	}
 	srv, err := serve.New(tokenizer.New(), cl, srvOpts...)
 	if err != nil {
 		log.Fatalf("arlo-server: %v", err)
@@ -152,6 +160,10 @@ func main() {
 			}
 		}()
 		fmt.Printf("arlo-server: binary wire protocol on %s\n", *wireAddr)
+		if *shardName != "" {
+			fmt.Printf("arlo-server: serving as shard %q; load snapshots at /v1/load and wire kind %d\n",
+				*shardName, wire.KindLoadRequest)
+		}
 	}
 	if ctrl != nil {
 		ctrl.Start()

@@ -29,6 +29,7 @@ func main() {
 		list       = flag.Bool("list", false, "list available experiments")
 		batchSize  = flag.Int("batch-size", 0, "dynamic batching cap for batched-cluster experiments (0 = experiment default)")
 		batchDelay = flag.Duration("batch-delay", 0, "batch collection window (0 = SLO-aware default, negative = greedy)")
+		routerTier = flag.Bool("router", false, "drive socket-level harnesses through a router fronting 3 shards instead of a single server")
 	)
 	flag.Parse()
 
@@ -43,7 +44,7 @@ func main() {
 		return
 	}
 
-	opt := experiments.Options{Seed: *seed, Full: *full, BatchSize: *batchSize, BatchDelay: *batchDelay}
+	opt := experiments.Options{Seed: *seed, Full: *full, BatchSize: *batchSize, BatchDelay: *batchDelay, Router: *routerTier}
 	var specs []experiments.Spec
 	if *exp == "all" {
 		specs = experiments.All()

@@ -19,6 +19,7 @@ import (
 	"arlo/internal/model"
 	"arlo/internal/profiler"
 	"arlo/internal/queue"
+	"arlo/internal/router"
 	"arlo/internal/serve"
 	"arlo/internal/tokenizer"
 )
@@ -54,6 +55,9 @@ type benchIngressSubmit struct {
 // benchIngressResult is the BENCH_ingress.json schema.
 type benchIngressResult struct {
 	TimeScale float64 `json:"timescale"`
+	// Target is what the socket-level loops drove: "single-server" or
+	// "router-3shards" (the -router mode's tier).
+	Target string `json:"target"`
 
 	JSON        benchIngressArm `json:"json"`
 	Wire        benchIngressArm `json:"wire"`
@@ -116,37 +120,69 @@ func BenchIngress(w io.Writer, opt Options) error {
 	factory := func(ml *queue.MultiLevel) (dispatch.Dispatcher, error) {
 		return dispatch.NewRequestScheduler(ml)
 	}
-	cl, err := cluster.New(cluster.Config{
-		Profile:           p,
-		InitialAllocation: []int{2, 2},
-		Dispatcher:        factory,
-		TimeScale:         timeScale,
-		Overhead:          -1,
-	})
-	if err != nil {
-		return err
+
+	// The measured front end: a single server by default, or (with
+	// -router) the routing tier over three equal shards, so the loops
+	// price the extra hop end to end.
+	target := "single-server"
+	var handler http.Handler
+	var wireFront interface{ ServeWire(net.Listener) error }
+	if opt.Router {
+		target = "router-3shards"
+		var cfgs []router.ShardConfig
+		for _, name := range []string{"a", "b", "c"} {
+			sh, err := startRouterShard(name, []int{2, 2}, slo, timeScale)
+			if err != nil {
+				return err
+			}
+			defer sh.kill()
+			cfgs = append(cfgs, router.ShardConfig{Name: sh.name, Addr: sh.addr()})
+		}
+		rt, err := router.New(router.Config{
+			Shards:                  cfgs,
+			SnapshotRefreshInterval: 10 * time.Millisecond,
+			MaxLength:               512,
+			Seed:                    opt.Seed,
+		})
+		if err != nil {
+			return err
+		}
+		defer rt.Close()
+		handler, wireFront = rt, rt
+	} else {
+		cl, err := cluster.New(cluster.Config{
+			Profile:           p,
+			InitialAllocation: []int{2, 2},
+			Dispatcher:        factory,
+			TimeScale:         timeScale,
+			Overhead:          -1,
+		})
+		if err != nil {
+			return err
+		}
+		defer cl.Close()
+		srv, err := serve.New(tokenizer.New(), cl,
+			serve.WithMaxLength(512),
+			serve.WithIngress(cluster.IngressConfig{}))
+		if err != nil {
+			return err
+		}
+		defer srv.Close()
+		handler, wireFront = srv, srv
 	}
-	defer cl.Close()
-	srv, err := serve.New(tokenizer.New(), cl,
-		serve.WithMaxLength(512),
-		serve.WithIngress(cluster.IngressConfig{}))
-	if err != nil {
-		return err
-	}
-	defer srv.Close()
 
 	httpLn, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		return err
 	}
-	hs := &http.Server{Handler: srv}
+	hs := &http.Server{Handler: handler}
 	go func() { _ = hs.Serve(httpLn) }()
 	defer hs.Close()
 	wireLn, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		return err
 	}
-	go func() { _ = srv.ServeWire(wireLn) }()
+	go func() { _ = wireFront.ServeWire(wireLn) }()
 
 	httpClient := &serve.Client{BaseURL: "http://" + httpLn.Addr().String()}
 	wireConns := make([]*serve.WireClient, 4)
@@ -349,6 +385,7 @@ func BenchIngress(w io.Writer, opt Options) error {
 
 	res := benchIngressResult{
 		TimeScale:        timeScale,
+		Target:           target,
 		JSON:             jsonArm,
 		Wire:             wireArm,
 		WireSpeedup:      wireArm.RPS / jsonArm.RPS,
@@ -358,6 +395,7 @@ func BenchIngress(w io.Writer, opt Options) error {
 		GroupedSpeedup:   perReq.NSPerOp / groupedSub.NSPerOp,
 	}
 
+	fmt.Fprintf(w, "target: %s\n", target)
 	tw := newTab(w)
 	fmt.Fprintln(tw, "protocol\treqs\trps\tp50 ms\tp99 ms\tmallocs/op")
 	for _, a := range []benchIngressArm{jsonArm, wireArm} {
@@ -376,13 +414,17 @@ func BenchIngress(w io.Writer, opt Options) error {
 	fmt.Fprintf(w, "\nsubmit layer: per-request %.0f ns/op (%.2f mallocs/op), grouped %.0f ns/op (%.2f mallocs/op), %.2fx\n",
 		perReq.NSPerOp, perReq.MallocsPerOp, groupedSub.NSPerOp, groupedSub.MallocsPerOp, res.GroupedSpeedup)
 
+	outFile := "BENCH_ingress.json"
+	if opt.Router {
+		outFile = "BENCH_ingress_router.json"
+	}
 	blob, err := json.MarshalIndent(res, "", "  ")
 	if err != nil {
 		return err
 	}
-	if err := os.WriteFile("BENCH_ingress.json", append(blob, '\n'), 0o644); err != nil {
+	if err := os.WriteFile(outFile, append(blob, '\n'), 0o644); err != nil {
 		return err
 	}
-	fmt.Fprintln(w, "wrote BENCH_ingress.json")
+	fmt.Fprintln(w, "wrote "+outFile)
 	return nil
 }

@@ -1,0 +1,497 @@
+package experiments
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"net"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"arlo/internal/cluster"
+	"arlo/internal/dispatch"
+	"arlo/internal/model"
+	"arlo/internal/profiler"
+	"arlo/internal/queue"
+	"arlo/internal/router"
+	"arlo/internal/serve"
+	"arlo/internal/tokenizer"
+)
+
+// routerShard is one in-process arlo-server shard behind its wire
+// listener, restartable for the failover arm.
+type routerShard struct {
+	name  string
+	alloc []int
+	slo   time.Duration
+	scale float64
+
+	cl  *cluster.Cluster
+	srv *serve.Server
+	ln  net.Listener
+}
+
+func startRouterShard(name string, alloc []int, slo time.Duration, scale float64) (*routerShard, error) {
+	s := &routerShard{name: name, alloc: alloc, slo: slo, scale: scale}
+	if err := s.up(""); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// up builds the cluster + server and listens; addr pins the listen
+// address on restart (empty picks an ephemeral port).
+func (s *routerShard) up(addr string) error {
+	p, err := profiler.StaticProfile(model.BertBase(), []int{128, 512}, s.slo)
+	if err != nil {
+		return err
+	}
+	cl, err := cluster.New(cluster.Config{
+		Profile:           p,
+		InitialAllocation: s.alloc,
+		TimeScale:         s.scale,
+		Dispatcher: func(ml *queue.MultiLevel) (dispatch.Dispatcher, error) {
+			return dispatch.NewRequestScheduler(ml)
+		},
+	})
+	if err != nil {
+		return err
+	}
+	srv, err := serve.New(tokenizer.New(), cl,
+		serve.WithMaxLength(512), serve.WithShardName(s.name))
+	if err != nil {
+		cl.Close()
+		return err
+	}
+	if addr == "" {
+		addr = "127.0.0.1:0"
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		_ = srv.Close()
+		cl.Close()
+		return err
+	}
+	s.cl, s.srv, s.ln = cl, srv, ln
+	go func() { _ = srv.ServeWire(ln) }()
+	return nil
+}
+
+func (s *routerShard) addr() string { return s.ln.Addr().String() }
+
+// kill drops the shard hard: listener, server (and with it every router
+// connection), then the cluster.
+func (s *routerShard) kill() {
+	_ = s.ln.Close()
+	_ = s.srv.Close()
+	s.cl.Close()
+}
+
+// restart brings the shard back on the same address with empty queues.
+func (s *routerShard) restart() error { return s.up(s.addr()) }
+
+// queueDepths returns each level's queue depth and the shard's instance
+// count, read from the same snapshot the router consumes.
+func (s *routerShard) queueDepths() (depth, instances int) {
+	snap := s.srv.LoadSnapshot()
+	for _, lv := range snap.Levels {
+		depth += int(lv.Depth)
+		instances += int(lv.Instances)
+	}
+	return depth, instances
+}
+
+// benchRouterCell is one (policy, staleness) measurement on the shared
+// skewed-length trace.
+type benchRouterCell struct {
+	Policy      string  `json:"policy"`
+	StalenessMS float64 `json:"staleness_ms"`
+	Requests    int     `json:"requests"`
+	RPS         float64 `json:"rps"`
+	P50MS       float64 `json:"p50_ms"`
+	P99MS       float64 `json:"p99_ms"`
+	// SLOAttainment is the fraction of requests finishing within the
+	// time-scaled SLO budget, measured at the client socket.
+	SLOAttainment float64 `json:"slo_attainment"`
+	// Imbalance is max/mean of capacity-normalized shard queue depth,
+	// sampled during the run (1.0 = perfectly proportional).
+	Imbalance float64 `json:"imbalance"`
+	Reroutes  uint64  `json:"reroutes"`
+}
+
+// benchRouterFailover is the shard-kill conservation audit.
+type benchRouterFailover struct {
+	Sent          int    `json:"sent"`
+	Completed     int    `json:"completed"`
+	TypedErrors   int    `json:"typed_errors"`
+	UntypedErrors int    `json:"untyped_errors"`
+	Lost          int    `json:"lost"`
+	Reroutes      uint64 `json:"reroutes"`
+	MaxHops       int    `json:"max_hops"`
+	HopBudget     int    `json:"hop_budget"`
+}
+
+// benchRouterResult is the BENCH_router.json schema.
+type benchRouterResult struct {
+	TimeScale   float64 `json:"timescale"`
+	SLOBudgetMS float64 `json:"slo_budget_ms"`
+	TargetRPS   float64 `json:"target_rps"`
+	Shards      []struct {
+		Name  string `json:"name"`
+		Alloc []int  `json:"alloc"`
+	} `json:"shards"`
+
+	Grid []benchRouterCell `json:"grid"`
+
+	// P99SpeedupVsRR is round-robin p99 over length-aware p99 with fresh
+	// (immediate) snapshots — the headline routing-quality number.
+	P99SpeedupVsRR float64 `json:"p99_speedup_vs_rr"`
+	// Imbalance at 1 s staleness: power-of-two-choices (length-aware)
+	// vs the naive least-loaded baseline that herds.
+	ImbalanceP2CAt1s         float64 `json:"imbalance_p2c_at_1s"`
+	ImbalanceLeastLoadedAt1s float64 `json:"imbalance_least_loaded_at_1s"`
+
+	Failover benchRouterFailover `json:"failover"`
+}
+
+// benchRouterTrace is the seeded skewed-length trace: mostly short
+// requests with a long tail that only fits the 512 bucket.
+func benchRouterTrace(seed int64, n int) []int {
+	rng := rand.New(rand.NewSource(seed))
+	lens := make([]int, n)
+	for i := range lens {
+		if rng.Float64() < 0.7 {
+			lens[i] = 16 + rng.Intn(104) // short: 16..119
+		} else {
+			lens[i] = 320 + rng.Intn(180) // long: 320..499
+		}
+	}
+	return lens
+}
+
+// benchRouterAllocs is the deliberately heterogeneous deployment: shard
+// a has an eighth of the fleet's capacity but a load-blind policy sends
+// it a third of the traffic, so its queues set the tail while
+// load-aware scoring routes around it.
+var benchRouterAllocs = [][]int{{1, 1}, {3, 3}, {4, 4}}
+
+// typedRouterCodes are the stable codes a client may legitimately see
+// during a shard outage; anything else breaks conservation.
+var typedRouterCodes = map[string]bool{
+	serve.CodeCongested:        true,
+	serve.CodeUnserviceable:    true,
+	serve.CodeNoInstances:      true,
+	serve.CodeUnavailable:      true,
+	serve.CodeDeadlineExceeded: true,
+	serve.CodeRateLimited:      true,
+}
+
+// benchRouterRun drives the trace through a fresh 3-shard deployment
+// under one (policy, refresh) configuration: open-loop arrivals paced at
+// targetRPS (so a policy that overloads one shard diverges instead of
+// throttling the workload, as a closed loop would). chaos, when non-nil,
+// is invoked with the shards and a progress counter to script kills.
+func benchRouterRun(policy router.Policy, refresh time.Duration, slo time.Duration,
+	scale float64, lens []int, targetRPS float64, seed int64,
+	chaos func(shards []*routerShard, done *atomic.Int64)) (benchRouterCell, benchRouterFailover, error) {
+
+	var cell benchRouterCell
+	var audit benchRouterFailover
+
+	shards := make([]*routerShard, len(benchRouterAllocs))
+	for i, alloc := range benchRouterAllocs {
+		s, err := startRouterShard(string(rune('a'+i)), alloc, slo, scale)
+		if err != nil {
+			return cell, audit, err
+		}
+		defer s.kill()
+		shards[i] = s
+	}
+	cfgs := make([]router.ShardConfig, len(shards))
+	for i, s := range shards {
+		cfgs[i] = router.ShardConfig{Name: s.name, Addr: s.addr()}
+	}
+	rt, err := router.New(router.Config{
+		Shards:                  cfgs,
+		Policy:                  policy,
+		SnapshotRefreshInterval: refresh,
+		MaxLength:               512,
+		Seed:                    seed,
+	})
+	if err != nil {
+		return cell, audit, err
+	}
+	defer rt.Close()
+	rln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return cell, audit, err
+	}
+	go func() { _ = rt.ServeWire(rln) }()
+	if refresh > 0 {
+		// Let the first background refresh land so no arm starts blind.
+		time.Sleep(refresh + 20*time.Millisecond)
+	}
+
+	clients := make([]*serve.WireClient, 4)
+	for i := range clients {
+		wc, err := serve.DialWire(rln.Addr().String())
+		if err != nil {
+			return cell, audit, err
+		}
+		defer wc.Close()
+		clients[i] = wc
+	}
+	tokens := make([]uint32, 512)
+	for i := range tokens {
+		tokens[i] = uint32(i%97 + 1)
+	}
+
+	// Imbalance sampler: capacity-normalized queue depth per shard,
+	// time-averaged over busy samples; the cell's imbalance is max/mean
+	// of those averages (1.0 = queues proportional to capacity).
+	stopSample := make(chan struct{})
+	var sampleWG sync.WaitGroup
+	normSum := make([]float64, len(shards))
+	var imbN int
+	sampleWG.Add(1)
+	go func() {
+		defer sampleWG.Done()
+		tick := time.NewTicker(500 * time.Microsecond)
+		defer tick.Stop()
+		for {
+			select {
+			case <-stopSample:
+				return
+			case <-tick.C:
+			}
+			norm := make([]float64, len(shards))
+			var total int
+			ok := true
+			for i, s := range shards {
+				d, inst := s.queueDepths()
+				if inst == 0 {
+					ok = false
+					break
+				}
+				total += d
+				norm[i] = float64(d) / float64(inst)
+			}
+			if !ok || total < 6 {
+				continue // too idle (or mid-kill) to say anything about balance
+			}
+			for i, v := range norm {
+				normSum[i] += v
+			}
+			imbN++
+		}
+	}()
+
+	var done atomic.Int64
+	var chaosWG sync.WaitGroup
+	if chaos != nil {
+		chaosWG.Add(1)
+		go func() { defer chaosWG.Done(); chaos(shards, &done) }()
+	}
+
+	total := len(lens)
+	lats := make([]time.Duration, total)
+	outcomes := make([]error, total)
+	// Open loop with a bounded-outstanding backstop: at the cap the
+	// pacer blocks rather than shedding, so no outcome is ever dropped
+	// from the audit.
+	sem := make(chan struct{}, 2048)
+	interval := time.Duration(float64(time.Second) / targetRPS)
+	var wg sync.WaitGroup
+	start := time.Now()
+	next := start
+	for i := 0; i < total; i++ {
+		if d := time.Until(next); d > 0 {
+			time.Sleep(d)
+		}
+		next = next.Add(interval)
+		sem <- struct{}{}
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			wc := clients[i%len(clients)]
+			t0 := time.Now()
+			_, err := wc.InferTokensCtx(context.Background(), tokens[:lens[i]])
+			lats[i] = time.Since(t0)
+			outcomes[i] = err
+			done.Add(1)
+		}(i)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	close(stopSample)
+	sampleWG.Wait()
+	chaosWG.Wait()
+
+	var okLats []time.Duration
+	var inSLO int
+	sloBudget := time.Duration(float64(slo) * scale)
+	audit.Sent = total
+	audit.HopBudget = rt.HopBudget()
+	audit.Reroutes = rt.Reroutes()
+	audit.MaxHops = rt.MaxHops()
+	for i, err := range outcomes {
+		switch {
+		case err == nil:
+			audit.Completed++
+			okLats = append(okLats, lats[i])
+			if lats[i] <= sloBudget {
+				inSLO++
+			}
+		default:
+			var apiErr *serve.APIError
+			if errors.As(err, &apiErr) && typedRouterCodes[apiErr.Code] {
+				audit.TypedErrors++
+			} else {
+				audit.UntypedErrors++
+			}
+		}
+	}
+	audit.Lost = audit.Sent - audit.Completed - audit.TypedErrors - audit.UntypedErrors
+	if chaos == nil && audit.Completed != total {
+		return cell, audit, fmt.Errorf("router bench (%s, refresh %v): %d/%d requests failed",
+			policy, refresh, total-audit.Completed, total)
+	}
+
+	cell = benchRouterCell{
+		Policy:      policy.String(),
+		StalenessMS: float64(refresh) / float64(time.Millisecond),
+		Requests:    total,
+		RPS:         float64(audit.Completed) / elapsed.Seconds(),
+		P50MS:       pctMS(okLats, 0.50),
+		P99MS:       pctMS(okLats, 0.99),
+		Imbalance:   1,
+		Reroutes:    audit.Reroutes,
+	}
+	if audit.Completed > 0 {
+		cell.SLOAttainment = float64(inSLO) / float64(audit.Completed)
+	}
+	if imbN > 0 {
+		var max, sum float64
+		for _, v := range normSum {
+			sum += v
+			if v > max {
+				max = v
+			}
+		}
+		if sum > 0 {
+			cell.Imbalance = max / (sum / float64(len(normSum)))
+		}
+	}
+	return cell, audit, nil
+}
+
+// BenchRouter measures routing quality across the staleness x policy
+// grid the exemplar's SnapshotRefreshInterval knob implies: a seeded
+// skewed-length trace over three heterogeneous shards, per cell p99,
+// SLO attainment and capacity-normalized load imbalance; then a
+// shard-kill run whose conservation audit must lose zero requests.
+// Results are printed and written to BENCH_router.json.
+func BenchRouter(w io.Writer, opt Options) error {
+	const (
+		slo   = 150 * time.Millisecond
+		scale = 0.1
+	)
+	// targetRPS offers ~70% of the fleet's aggregate capacity — above the
+	// point where giving the eighth-capacity shard a third of the traffic
+	// (round-robin) overloads it, below what load-proportional routing
+	// serves with slack.
+	targetRPS := 17000.0
+	perRun := 4800
+	if opt.Full {
+		perRun = 16000
+	}
+	lens := benchRouterTrace(opt.Seed, perRun)
+
+	policies := []router.Policy{router.PolicyLengthAware, router.PolicyRoundRobin, router.PolicyLeastLoaded}
+	staleness := []time.Duration{0, 10 * time.Millisecond, 100 * time.Millisecond, time.Second}
+
+	var res benchRouterResult
+	res.TimeScale = scale
+	res.SLOBudgetMS = float64(slo) * scale / float64(time.Millisecond)
+	res.TargetRPS = targetRPS
+	for i, alloc := range benchRouterAllocs {
+		res.Shards = append(res.Shards, struct {
+			Name  string `json:"name"`
+			Alloc []int  `json:"alloc"`
+		}{string(rune('a' + i)), alloc})
+	}
+
+	tw := newTab(w)
+	fmt.Fprintln(tw, "policy\tstaleness\treqs\trps\tp50 ms\tp99 ms\tSLO att\timbalance\treroutes")
+	cellAt := map[string]benchRouterCell{}
+	for _, st := range staleness {
+		for _, pol := range policies {
+			cell, _, err := benchRouterRun(pol, st, slo, scale, lens, targetRPS, opt.Seed, nil)
+			if err != nil {
+				return err
+			}
+			res.Grid = append(res.Grid, cell)
+			cellAt[fmt.Sprintf("%s@%v", pol, st)] = cell
+			fmt.Fprintf(tw, "%s\t%v\t%d\t%.0f\t%.3f\t%.3f\t%.3f\t%.2f\t%d\n",
+				cell.Policy, st, cell.Requests, cell.RPS, cell.P50MS, cell.P99MS,
+				cell.SLOAttainment, cell.Imbalance, cell.Reroutes)
+		}
+		tw.Flush()
+	}
+
+	la0 := cellAt[fmt.Sprintf("%s@%v", router.PolicyLengthAware, time.Duration(0))]
+	rr0 := cellAt[fmt.Sprintf("%s@%v", router.PolicyRoundRobin, time.Duration(0))]
+	if la0.P99MS > 0 {
+		res.P99SpeedupVsRR = rr0.P99MS / la0.P99MS
+	}
+	res.ImbalanceP2CAt1s = cellAt[fmt.Sprintf("%s@%v", router.PolicyLengthAware, time.Second)].Imbalance
+	res.ImbalanceLeastLoadedAt1s = cellAt[fmt.Sprintf("%s@%v", router.PolicyLeastLoaded, time.Second)].Imbalance
+	fmt.Fprintf(w, "\nfresh-snapshot p99: length-aware %.3f ms vs round-robin %.3f ms (%.2fx)\n",
+		la0.P99MS, rr0.P99MS, res.P99SpeedupVsRR)
+	fmt.Fprintf(w, "imbalance at 1s staleness: p2c %.2f vs least-loaded %.2f\n",
+		res.ImbalanceP2CAt1s, res.ImbalanceLeastLoadedAt1s)
+
+	// Failover arm: kill shard b a third of the way through, restart at
+	// two thirds; every request must complete or fail typed.
+	chaos := func(shards []*routerShard, done *atomic.Int64) {
+		third := int64(perRun / 3)
+		for done.Load() < third {
+			time.Sleep(time.Millisecond)
+		}
+		shards[1].kill()
+		for done.Load() < 2*third {
+			time.Sleep(time.Millisecond)
+		}
+		if err := shards[1].restart(); err != nil {
+			return // deferred kill on the old handles is safe either way
+		}
+	}
+	_, audit, err := benchRouterRun(router.PolicyLengthAware, 50*time.Millisecond,
+		slo, scale, lens, targetRPS, opt.Seed, chaos)
+	if err != nil {
+		return err
+	}
+	res.Failover = audit
+	fmt.Fprintf(w, "\nshard-kill conservation: sent %d = completed %d + typed %d (untyped %d, lost %d); reroutes %d, max hops %d/%d\n",
+		audit.Sent, audit.Completed, audit.TypedErrors, audit.UntypedErrors, audit.Lost,
+		audit.Reroutes, audit.MaxHops, audit.HopBudget)
+	if audit.UntypedErrors > 0 || audit.Lost != 0 {
+		return fmt.Errorf("router bench: conservation broken (untyped %d, lost %d)", audit.UntypedErrors, audit.Lost)
+	}
+
+	blob, err := json.MarshalIndent(res, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile("BENCH_router.json", append(blob, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintln(w, "wrote BENCH_router.json")
+	return nil
+}

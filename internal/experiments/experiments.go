@@ -35,6 +35,10 @@ type Options struct {
 	// experiments; 0 keeps the SLO-aware default, negative forces greedy
 	// formation.
 	BatchDelay time.Duration
+	// Router points the socket-level harnesses (bench-ingress) at a
+	// routing tier fronting three shards instead of a single server, so
+	// the closed/open loops measure the extra hop end to end.
+	Router bool
 }
 
 // Spec is one runnable experiment.
@@ -75,6 +79,7 @@ func All() []Spec {
 		{"bench-generate", "Continuous (iteration-level) vs run-to-completion batching on a generative burst", BenchGenerate},
 		{"bench-tenants", "Noisy-neighbor isolation: token-bucket admission + weighted fair sharing vs shared queue", BenchTenants},
 		{"bench-controller", "Closing the control loop: live replanning vs frozen allocation on a drifting length mix", BenchController},
+		{"bench-router", "Sharded tier routing quality: policy x snapshot staleness grid, shard-kill conservation", BenchRouter},
 	}
 }
 

@@ -40,6 +40,10 @@ type Span struct {
 	// Tokenize is the time spent encoding the input upstream of the
 	// cluster (zero when the caller submitted raw lengths).
 	Tokenize time.Duration
+	// Route is the time a routing tier spent choosing a shard for the
+	// request, including any reroute hops (zero in single-process
+	// serving, where no router fronts the cluster).
+	Route time.Duration
 	// Dispatch is the time spent inside the dispatch decision itself.
 	Dispatch time.Duration
 	// Queue is the time from dispatch to execution start — the queueing

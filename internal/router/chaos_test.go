@@ -1,0 +1,197 @@
+// The multi-shard conservation suite: a seeded trace across three
+// in-process shards while one is killed and restarted mid-run. The
+// audit is the tier's core promise — every submitted request gets
+// exactly one answer, either a completion or a typed error (no generic
+// internals from transport failures, no silent drops), and no request
+// re-routes more than the hop budget allows. Run under -race in CI.
+
+package router
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"arlo/internal/serve"
+)
+
+// typedCodes are the error codes a client may legitimately see during a
+// shard outage; anything else (internal, empty, transport garbage) is a
+// conservation violation.
+var typedCodes = map[string]bool{
+	serve.CodeCongested:        true,
+	serve.CodeUnserviceable:    true,
+	serve.CodeNoInstances:      true,
+	serve.CodeUnavailable:      true,
+	serve.CodeDeadlineExceeded: true,
+	serve.CodeRateLimited:      true,
+}
+
+func TestShardKillRestartConservation(t *testing.T) {
+	seeds := []int64{1, 7}
+	if testing.Short() {
+		seeds = seeds[:1]
+	}
+	for _, seed := range seeds {
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) { runConservation(t, seed) })
+	}
+}
+
+func runConservation(t *testing.T, seed int64) {
+	const scale = 0.005
+	a := startShard(t, "a", []int{2, 2}, scale)
+	b := startShard(t, "b", []int{2, 2}, scale)
+	c := startShard(t, "c", []int{2, 2}, scale)
+	r := newRouter(t, Config{
+		Shards:                  shardConfigs(a, b, c),
+		SnapshotRefreshInterval: 5 * time.Millisecond,
+		Seed:                    seed,
+	})
+	waitRefresh(t, r, 1)
+	hts := httptest.NewServer(r)
+	defer hts.Close()
+	hts.Client().Timeout = 30 * time.Second
+
+	const (
+		total   = 240
+		workers = 12
+	)
+	tenants := []string{"alpha", "beta", "gamma"}
+	rng := rand.New(rand.NewSource(seed))
+	type job struct {
+		id     int
+		tenant string
+		words  int
+	}
+	jobs := make([]job, total)
+	for i := range jobs {
+		jobs[i] = job{id: i, tenant: tenants[rng.Intn(len(tenants))], words: 3 + rng.Intn(120)}
+	}
+
+	// The chaos script: kill shard b a third of the way through the
+	// trace, bring it back at two thirds.
+	var done atomic.Int64
+	stopChaos := make(chan struct{})
+	var chaosWG sync.WaitGroup
+	chaosWG.Add(1)
+	go func() {
+		defer chaosWG.Done()
+		killed := false
+		for {
+			select {
+			case <-stopChaos:
+				return
+			case <-time.After(2 * time.Millisecond):
+			}
+			n := done.Load()
+			if !killed && n >= total/3 {
+				b.kill()
+				killed = true
+			}
+			if killed && n >= 2*total/3 {
+				b.restart(t, []int{2, 2}, scale)
+				return
+			}
+		}
+	}()
+
+	type outcome struct {
+		ok   bool
+		code string
+	}
+	outcomes := make([]outcome, total)
+	var wg sync.WaitGroup
+	next := atomic.Int64{}
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= total {
+					return
+				}
+				j := jobs[i]
+				body := fmt.Sprintf(`{"text":%q}`, strings.Repeat("tok ", j.words))
+				req, err := http.NewRequest(http.MethodPost, hts.URL+"/v1/infer", strings.NewReader(body))
+				if err != nil {
+					t.Errorf("job %d: %v", j.id, err)
+					done.Add(1)
+					continue
+				}
+				req.Header.Set(serve.TenantHeader, j.tenant)
+				resp, err := hts.Client().Do(req)
+				if err != nil {
+					// A transport error at the client would mean the router
+					// itself dropped the request — a conservation failure.
+					t.Errorf("job %d: transport error through router: %v", j.id, err)
+					done.Add(1)
+					continue
+				}
+				raw, _ := io.ReadAll(resp.Body)
+				resp.Body.Close()
+				if resp.StatusCode == 200 {
+					outcomes[i] = outcome{ok: true}
+				} else {
+					var env serve.ErrorEnvelope
+					if err := json.Unmarshal(raw, &env); err != nil {
+						t.Errorf("job %d: non-envelope error body %q", j.id, raw)
+					} else {
+						outcomes[i] = outcome{code: env.Error.Code}
+					}
+				}
+				done.Add(1)
+			}
+		}()
+	}
+	wg.Wait()
+	close(stopChaos)
+	chaosWG.Wait()
+
+	// Conservation: every job completed or failed typed; count per tenant.
+	completed := map[string]int{}
+	typed := map[string]int{}
+	for i, o := range outcomes {
+		j := jobs[i]
+		switch {
+		case o.ok:
+			completed[j.tenant]++
+		case typedCodes[o.code]:
+			typed[j.tenant]++
+		default:
+			t.Errorf("job %d (tenant %s): untyped outcome %+v", j.id, j.tenant, o)
+		}
+	}
+	var sum int
+	for _, tn := range tenants {
+		sum += completed[tn] + typed[tn]
+	}
+	if sum != total {
+		t.Errorf("conservation broken: %d outcomes for %d requests", sum, total)
+	}
+	// The surviving shards must have absorbed most of the trace.
+	var allCompleted int
+	for _, n := range completed {
+		allCompleted += n
+	}
+	if allCompleted < total/2 {
+		t.Errorf("only %d/%d completed; outage handling too lossy", allCompleted, total)
+	}
+	// Bounded reroutes: no request may exceed the hop budget.
+	if r.MaxHops() >= r.cfg.HopBudget {
+		t.Errorf("max hops %d reached budget %d", r.MaxHops(), r.cfg.HopBudget)
+	}
+	if r.Reroutes() == 0 {
+		t.Log("note: no reroutes observed this run (kill window may have missed in-flight requests)")
+	}
+	t.Logf("seed %d: completed=%v typed=%v reroutes=%d maxHops=%d",
+		seed, completed, typed, r.Reroutes(), r.MaxHops())
+}

@@ -1,0 +1,233 @@
+// The router's shard connection: one pipelined wire-protocol connection
+// per shard, multiplexing every in-flight forwarded request plus the
+// load-snapshot probes over a single read loop. Ids are conn-local — the
+// router re-numbers forwarded requests and restores the client's id on
+// the way back — so two front-end clients can never collide.
+
+package router
+
+import (
+	"bufio"
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"arlo/internal/wire"
+)
+
+// Transport-level errors: the reroute triggers. Everything a shard
+// answers in-protocol passes through to the client instead.
+var (
+	// errShardDown reports that the shard's connection died with the
+	// request in flight (or could not be written at all).
+	errShardDown = errors.New("router: shard connection down")
+	// errRouterClosed reports the router shut down with requests pending.
+	errRouterClosed = errors.New("router: closed")
+)
+
+// result is one demultiplexed reply: an inference response or a load
+// snapshot, or the transport error that killed the connection.
+type result struct {
+	resp wire.Response
+	snap *wire.LoadSnapshot
+	err  error
+}
+
+// conn is a pipelined connection to one shard.
+type conn struct {
+	nc net.Conn
+
+	// wmu serializes frame writes; the write buffer is reused across
+	// requests.
+	wmu  sync.Mutex
+	bw   *bufio.Writer
+	wbuf []byte
+
+	mu      sync.Mutex
+	pending map[uint64]chan result
+	dead    bool
+	nextID  atomic.Uint64
+}
+
+// dialShard connects to a shard's wire listener and starts the read loop.
+func dialShard(addr string) (*conn, error) {
+	nc, err := net.DialTimeout("tcp", addr, time.Second)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", errShardDown, err)
+	}
+	c := &conn{
+		nc:      nc,
+		bw:      bufio.NewWriterSize(nc, 32<<10),
+		pending: make(map[uint64]chan result),
+	}
+	go c.readLoop()
+	return c, nil
+}
+
+func (c *conn) isDead() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.dead
+}
+
+// close kills the connection and fails every pending request with err.
+func (c *conn) close(err error) {
+	c.mu.Lock()
+	if c.dead {
+		c.mu.Unlock()
+		return
+	}
+	c.dead = true
+	pending := c.pending
+	c.pending = nil
+	c.mu.Unlock()
+	_ = c.nc.Close()
+	for _, ch := range pending {
+		ch <- result{err: err}
+	}
+}
+
+// readLoop demultiplexes reply frames to their pending channels until the
+// connection dies, then fails everything still pending.
+func (c *conn) readLoop() {
+	br := bufio.NewReaderSize(c.nc, 32<<10)
+	var buf []byte
+	for {
+		var payload []byte
+		var err error
+		payload, buf, err = wire.ReadFrame(br, buf)
+		if err != nil {
+			c.close(errShardDown)
+			return
+		}
+		if len(payload) == 0 {
+			c.close(errShardDown)
+			return
+		}
+		var res result
+		var id uint64
+		switch payload[0] {
+		case wire.KindResponse, wire.KindGenResponse:
+			resp, derr := wire.DecodeResponse(payload)
+			if derr != nil {
+				c.close(errShardDown)
+				return
+			}
+			id, res = resp.ID, result{resp: resp}
+		case wire.KindLoadResponse:
+			snap, derr := wire.DecodeLoadSnapshot(payload)
+			if derr != nil {
+				c.close(errShardDown)
+				return
+			}
+			id, res = snap.ID, result{snap: &snap}
+		default:
+			// A frame kind the router does not speak means the stream
+			// cannot be trusted.
+			c.close(errShardDown)
+			return
+		}
+		c.mu.Lock()
+		ch := c.pending[id]
+		delete(c.pending, id)
+		c.mu.Unlock()
+		if ch != nil {
+			ch <- res
+		}
+	}
+}
+
+// register allocates a conn-local id and its reply channel.
+func (c *conn) register() (uint64, chan result, error) {
+	id := c.nextID.Add(1)
+	ch := make(chan result, 1)
+	c.mu.Lock()
+	if c.dead {
+		c.mu.Unlock()
+		return 0, nil, errShardDown
+	}
+	c.pending[id] = ch
+	c.mu.Unlock()
+	return id, ch, nil
+}
+
+func (c *conn) deregister(id uint64) {
+	c.mu.Lock()
+	delete(c.pending, id)
+	c.mu.Unlock()
+}
+
+// writeFrame frames and writes one payload under the write lock; a write
+// error kills the connection.
+func (c *conn) writeFrame(payload []byte) error {
+	c.wmu.Lock()
+	c.wbuf = wire.AppendFrame(c.wbuf[:0], payload)
+	_, err := c.bw.Write(c.wbuf)
+	if err == nil {
+		err = c.bw.Flush()
+	}
+	c.wmu.Unlock()
+	if err != nil {
+		c.close(errShardDown)
+		return errShardDown
+	}
+	return nil
+}
+
+// roundTrip forwards one request (its ID is overwritten with a conn-local
+// id) and waits for the shard's reply, the context, or connection death.
+func (c *conn) roundTrip(ctx context.Context, req *wire.Request) (wire.Response, error) {
+	id, ch, err := c.register()
+	if err != nil {
+		return wire.Response{}, err
+	}
+	req.ID = id
+	if err := c.writeFrame(wire.AppendRequest(nil, req)); err != nil {
+		c.deregister(id)
+		return wire.Response{}, err
+	}
+	select {
+	case res := <-ch:
+		if res.err != nil {
+			return wire.Response{}, res.err
+		}
+		if res.snap != nil {
+			return wire.Response{}, errShardDown // protocol confusion
+		}
+		return res.resp, nil
+	case <-ctx.Done():
+		c.deregister(id)
+		return wire.Response{}, ctx.Err()
+	}
+}
+
+// loadProbe requests the shard's load snapshot, waiting at most timeout.
+func (c *conn) loadProbe(timeout time.Duration) (wire.LoadSnapshot, error) {
+	id, ch, err := c.register()
+	if err != nil {
+		return wire.LoadSnapshot{}, err
+	}
+	if err := c.writeFrame(wire.AppendLoadRequest(nil, id)); err != nil {
+		c.deregister(id)
+		return wire.LoadSnapshot{}, err
+	}
+	t := time.NewTimer(timeout)
+	defer t.Stop()
+	select {
+	case res := <-ch:
+		if res.err != nil {
+			return wire.LoadSnapshot{}, res.err
+		}
+		if res.snap == nil {
+			return wire.LoadSnapshot{}, errShardDown
+		}
+		return *res.snap, nil
+	case <-t.C:
+		c.deregister(id)
+		return wire.LoadSnapshot{}, fmt.Errorf("%w: load probe timeout", errShardDown)
+	}
+}

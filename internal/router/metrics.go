@@ -1,0 +1,101 @@
+// The router's own Prometheus exposition. The tier is stateless, so its
+// metrics are a handful of atomics — per-shard request counters, the
+// reroute total, snapshot age gauges and a route-stage latency
+// histogram — rendered in the same 0.0.4 text format the shards use.
+
+package router
+
+import (
+	"bufio"
+	"fmt"
+	"math"
+	"net/http"
+	"sync/atomic"
+	"time"
+)
+
+// routeBuckets are the route-stage histogram's upper bounds in seconds:
+// routing is microseconds when snapshots are warm, and milliseconds to
+// whole seconds only when reroute hops redial dead shards.
+var routeBuckets = [...]float64{
+	1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 1e-1, 1, math.Inf(1),
+}
+
+// histogram is a fixed-bucket atomic histogram (the obs package's
+// histograms are cluster-internal, and the router carries no recorder).
+type histogram struct {
+	counts [len(routeBuckets)]atomic.Int64
+	sumNS  atomic.Int64
+	n      atomic.Int64
+}
+
+func (h *histogram) observe(d time.Duration) {
+	s := d.Seconds()
+	for i, ub := range routeBuckets {
+		if s <= ub {
+			h.counts[i].Add(1)
+			break
+		}
+	}
+	h.sumNS.Add(int64(d))
+	h.n.Add(1)
+}
+
+func (r *Router) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	bw := bufio.NewWriter(w)
+	defer bw.Flush()
+
+	fmt.Fprintln(bw, "# HELP arlo_router_requests_total Requests routed per shard.")
+	fmt.Fprintln(bw, "# TYPE arlo_router_requests_total counter")
+	for _, sh := range r.shards {
+		fmt.Fprintf(bw, "arlo_router_requests_total{shard=%q} %d\n", sh.name, sh.requests.Load())
+	}
+
+	fmt.Fprintln(bw, "# HELP arlo_router_reroutes_total Reroute hops taken after shard failures.")
+	fmt.Fprintln(bw, "# TYPE arlo_router_reroutes_total counter")
+	fmt.Fprintf(bw, "arlo_router_reroutes_total %d\n", r.reroutes.Load())
+
+	fmt.Fprintln(bw, "# HELP arlo_router_inflight Requests currently in flight per shard.")
+	fmt.Fprintln(bw, "# TYPE arlo_router_inflight gauge")
+	for _, sh := range r.shards {
+		fmt.Fprintf(bw, "arlo_router_inflight{shard=%q} %d\n", sh.name, sh.inflight.Load())
+	}
+
+	fmt.Fprintln(bw, "# HELP arlo_router_shard_up Shard reachability (1 up, 0 down).")
+	fmt.Fprintln(bw, "# TYPE arlo_router_shard_up gauge")
+	for _, sh := range r.shards {
+		up := 1
+		if sh.down.Load() {
+			up = 0
+		}
+		if e := sh.snapshot(); e != nil && !e.snap.Serviceable() {
+			up = 0
+		}
+		fmt.Fprintf(bw, "arlo_router_shard_up{shard=%q} %d\n", sh.name, up)
+	}
+
+	fmt.Fprintln(bw, "# HELP arlo_router_snapshot_age_seconds Age of each shard's load snapshot (-1 before the first refresh).")
+	fmt.Fprintln(bw, "# TYPE arlo_router_snapshot_age_seconds gauge")
+	for _, sh := range r.shards {
+		age := -1.0
+		if e := sh.snapshot(); e != nil {
+			age = time.Since(e.at).Seconds()
+		}
+		fmt.Fprintf(bw, "arlo_router_snapshot_age_seconds{shard=%q} %g\n", sh.name, age)
+	}
+
+	fmt.Fprintln(bw, "# HELP arlo_router_route_seconds Route-stage latency: shard choice plus failed hops before the successful forward.")
+	fmt.Fprintln(bw, "# TYPE arlo_router_route_seconds histogram")
+	var cum int64
+	for i, ub := range routeBuckets {
+		cum += r.routeHist.counts[i].Load()
+		le := fmt.Sprintf("%g", ub)
+		if math.IsInf(ub, 1) {
+			le = "+Inf"
+		}
+		fmt.Fprintf(bw, "arlo_router_route_seconds_bucket{le=%q} %d\n", le, cum)
+	}
+	fmt.Fprintf(bw, "arlo_router_route_seconds_sum %g\n", float64(r.routeHist.sumNS.Load())/1e9)
+	fmt.Fprintf(bw, "arlo_router_route_seconds_count %d\n", r.routeHist.n.Load())
+}

@@ -1,0 +1,282 @@
+// The error-passthrough pin (a sharded tier's most common regression):
+// a shard's typed rejection must reach the client exactly as the shard
+// wrote it — same stable code, same HTTP status, same Retry-After hint —
+// never rewrapped into a generic 502/internal. The fake shard scripts
+// each status; the live-tenant test drives a real token bucket through
+// the hop.
+
+package router
+
+import (
+	"bufio"
+	"encoding/json"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"arlo/internal/cluster"
+	"arlo/internal/dispatch"
+	"arlo/internal/model"
+	"arlo/internal/profiler"
+	"arlo/internal/queue"
+	"arlo/internal/serve"
+	"arlo/internal/tenant"
+	"arlo/internal/tokenizer"
+	"arlo/internal/wire"
+)
+
+// fakeShard is a scripted wire listener: load probes get a healthy
+// snapshot, every inference request gets the configured response.
+type fakeShard struct {
+	l      net.Listener
+	script func(req *wire.Request) wire.Response
+}
+
+func startFakeShard(t *testing.T, script func(req *wire.Request) wire.Response) *fakeShard {
+	t.Helper()
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs := &fakeShard{l: l, script: script}
+	go fs.serve()
+	t.Cleanup(func() { _ = l.Close() })
+	return fs
+}
+
+func (fs *fakeShard) serve() {
+	seq := uint64(0)
+	for {
+		nc, err := fs.l.Accept()
+		if err != nil {
+			return
+		}
+		go func(nc net.Conn) {
+			defer nc.Close()
+			br := bufio.NewReader(nc)
+			var buf, out []byte
+			for {
+				var payload []byte
+				var err error
+				payload, buf, err = wire.ReadFrame(br, buf)
+				if err != nil {
+					return
+				}
+				if payload[0] == wire.KindLoadRequest {
+					id, _ := wire.DecodeLoadRequest(payload)
+					seq++
+					snap := wire.LoadSnapshot{
+						ID: id, Seq: seq, Shard: "fake", Healthy: 2,
+						Levels: []wire.LoadLevel{
+							{MaxLength: 128, Instances: 1, Capacity: 8},
+							{MaxLength: 512, Instances: 1, Capacity: 4},
+						},
+					}
+					out = wire.AppendFrame(out[:0], wire.AppendLoadSnapshot(nil, &snap))
+				} else {
+					req, err := wire.DecodeRequest(payload, nil)
+					if err != nil {
+						return
+					}
+					resp := fs.script(&req)
+					resp.ID = req.ID
+					out = wire.AppendFrame(out[:0], wire.AppendResponse(nil, &resp))
+				}
+				if _, err := nc.Write(out); err != nil {
+					return
+				}
+			}
+		}(nc)
+	}
+}
+
+// TestErrorPassthroughHTTP pins every typed shard status' translation at
+// the router's JSON front end.
+func TestErrorPassthroughHTTP(t *testing.T) {
+	cases := []struct {
+		name         string
+		status       wire.Status
+		retryAfterNS uint64
+		wantHTTP     int
+		wantCode     string
+		wantRetry    string // Retry-After header, "" = must be absent
+	}{
+		{"rate_limited", wire.StatusRateLimited, uint64(2500 * time.Millisecond), 429, "rate_limited", "3"},
+		{"rate_limited_subsecond", wire.StatusRateLimited, uint64(10 * time.Millisecond), 429, "rate_limited", "1"},
+		{"unserviceable", wire.StatusUnserviceable, 0, 503, "unserviceable", ""},
+		{"congested", wire.StatusCongested, 0, 503, "congested", ""},
+		{"no_instances", wire.StatusNoInstances, 0, 503, "no_instances", ""},
+		{"too_long", wire.StatusTooLong, 0, 413, "too_long", ""},
+		{"deadline", wire.StatusDeadline, 0, 504, "deadline_exceeded", ""},
+		{"invalid", wire.StatusInvalid, 0, 400, "invalid_request", ""},
+		{"unsupported_field", wire.StatusUnsupportedField, 0, 400, "unsupported_field", ""},
+		{"internal", wire.StatusInternal, 0, 500, "internal", ""},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			fs := startFakeShard(t, func(req *wire.Request) wire.Response {
+				return wire.Response{
+					Status:       tc.status,
+					RetryAfterNS: tc.retryAfterNS,
+					Message:      "scripted " + tc.name,
+				}
+			})
+			// HopBudget 1: a reroute would re-hit the only shard and busy
+			// the test; passthrough must not consume hops anyway.
+			r := newRouter(t, Config{
+				Shards:                  []ShardConfig{{Name: "fake", Addr: fs.l.Addr().String()}},
+				SnapshotRefreshInterval: 5 * time.Millisecond,
+				HopBudget:               1,
+			})
+			hts := httptest.NewServer(r)
+			defer hts.Close()
+			resp, err := hts.Client().Post(hts.URL+"/v1/infer", "application/json",
+				strings.NewReader(`{"text":"trigger the scripted status"}`))
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer resp.Body.Close()
+			if resp.StatusCode != tc.wantHTTP {
+				t.Errorf("http status = %d, want %d", resp.StatusCode, tc.wantHTTP)
+			}
+			var env serve.ErrorEnvelope
+			if err := json.NewDecoder(resp.Body).Decode(&env); err != nil {
+				t.Fatal(err)
+			}
+			if env.Error.Code != tc.wantCode {
+				t.Errorf("code = %q, want %q (no rewrapping into generic errors)", env.Error.Code, tc.wantCode)
+			}
+			if env.Error.Message != "scripted "+tc.name {
+				t.Errorf("message = %q, want the shard's own", env.Error.Message)
+			}
+			if got := resp.Header.Get("Retry-After"); got != tc.wantRetry {
+				t.Errorf("Retry-After = %q, want %q", got, tc.wantRetry)
+			}
+		})
+	}
+}
+
+// TestErrorPassthroughWire pins the binary front end: status, message
+// and retry hint survive untouched.
+func TestErrorPassthroughWire(t *testing.T) {
+	fs := startFakeShard(t, func(req *wire.Request) wire.Response {
+		return wire.Response{
+			Status:       wire.StatusRateLimited,
+			RetryAfterNS: 42e6,
+			Message:      "bucket empty",
+		}
+	})
+	r := newRouter(t, Config{
+		Shards:                  []ShardConfig{{Name: "fake", Addr: fs.l.Addr().String()}},
+		SnapshotRefreshInterval: 5 * time.Millisecond,
+		HopBudget:               1,
+	})
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() { _ = r.ServeWire(l) }()
+	nc, err := net.Dial("tcp", l.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nc.Close()
+	frame := wire.AppendFrame(nil, wire.AppendRequest(nil, &wire.Request{
+		ID: 9, Mode: wire.ModeText, Text: "hi there",
+	}))
+	if _, err := nc.Write(frame); err != nil {
+		t.Fatal(err)
+	}
+	payload, _, err := wire.ReadFrame(bufio.NewReader(nc), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := wire.DecodeResponse(payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.ID != 9 || resp.Status != wire.StatusRateLimited ||
+		resp.RetryAfterNS != 42e6 || resp.Message != "bucket empty" {
+		t.Errorf("passthrough mangled: %+v", resp)
+	}
+}
+
+// TestTenant429ThroughRouter drives a real token bucket: a tenant with a
+// near-zero refill exhausts its burst, and the router hop preserves the
+// 429 with its Retry-After hint.
+func TestTenant429ThroughRouter(t *testing.T) {
+	p, err := profiler.StaticProfile(model.BertBase(), []int{128, 512}, 150*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg, err := tenant.NewRegistry(tenant.Config{ID: "tight", Capacity: 1, RefillPerSec: 0.001})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl, err := cluster.New(cluster.Config{
+		Profile:           p,
+		InitialAllocation: []int{1, 1},
+		TimeScale:         0.01,
+		Tenants:           reg,
+		Dispatcher: func(ml *queue.MultiLevel) (dispatch.Dispatcher, error) {
+			return dispatch.NewRequestScheduler(ml)
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(cl.Close)
+	srv, err := serve.New(tokenizer.New(), cl, serve.WithMaxLength(512), serve.WithShardName("tight-shard"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = srv.Close() })
+	wl, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() { _ = srv.ServeWire(wl) }()
+
+	r := newRouter(t, Config{
+		Shards:                  []ShardConfig{{Name: "tight-shard", Addr: wl.Addr().String()}},
+		SnapshotRefreshInterval: 5 * time.Millisecond,
+	})
+	hts := httptest.NewServer(r)
+	defer hts.Close()
+
+	// Hammer with the tenant header until the bucket runs dry; the 429
+	// must carry the stable code and a Retry-After hint.
+	saw429 := false
+	for i := 0; i < 20 && !saw429; i++ {
+		req, err := http.NewRequest(http.MethodPost, hts.URL+"/v1/infer",
+			strings.NewReader(`{"text":"spend a token"}`))
+		if err != nil {
+			t.Fatal(err)
+		}
+		req.Header.Set(serve.TenantHeader, "tight")
+		resp, err := hts.Client().Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode == 429 {
+			saw429 = true
+			var env serve.ErrorEnvelope
+			if err := json.NewDecoder(resp.Body).Decode(&env); err != nil {
+				t.Fatal(err)
+			}
+			if env.Error.Code != "rate_limited" {
+				t.Errorf("code = %q, want rate_limited", env.Error.Code)
+			}
+			if resp.Header.Get("Retry-After") == "" {
+				t.Error("429 through the router lost its Retry-After hint")
+			}
+		}
+		resp.Body.Close()
+	}
+	if !saw429 {
+		t.Fatal("tight tenant never hit the rate limit")
+	}
+}

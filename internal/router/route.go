@@ -1,0 +1,100 @@
+// The routing loop shared by both front ends: pick a shard, forward,
+// and on transport failure or an unavailable shard re-route under the
+// hop budget. The outcome is always a typed wire.Response — the front
+// ends only translate it into their protocol, never invent statuses —
+// so a shard's rate_limited or unserviceable answer reaches the client
+// exactly as the shard wrote it.
+
+package router
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"time"
+
+	"arlo/internal/wire"
+)
+
+// routeInfo is the route-stage accounting attached to a reply: which
+// shard answered, how many reroute hops it took, and the time spent
+// routing (everything before the successful forward began).
+type routeInfo struct {
+	shard string
+	hops  int
+	route time.Duration
+}
+
+// route forwards one request, rerouting on transport failures and
+// StatusUnavailable answers until a shard replies, the hop budget is
+// spent, or no shard remains. length is the request's token count (the
+// bucketing key); req.ID is clobbered per attempt and must be restored
+// by the caller before answering its client.
+func (r *Router) route(ctx context.Context, req *wire.Request, length int) (wire.Response, routeInfo) {
+	start := time.Now()
+	tried := make([]bool, len(r.shards))
+	var info routeInfo
+	for hops := 0; ; hops++ {
+		if hops > 0 {
+			r.reroutes.Add(1)
+			if hops >= r.cfg.HopBudget {
+				r.noteHops(hops)
+				return wire.Response{Status: wire.StatusUnserviceable,
+					Message: fmt.Sprintf("router: reroute hop budget (%d) exhausted", r.cfg.HopBudget)}, info
+			}
+		}
+		idx := r.pick(length, tried)
+		if idx < 0 {
+			r.noteHops(hops)
+			return wire.Response{Status: wire.StatusUnserviceable,
+				Message: "router: no serviceable shard"}, info
+		}
+		tried[idx] = true
+		sh := r.shards[idx]
+		sh.requests.Add(1)
+		attemptStart := time.Now()
+		sh.inflight.Add(1)
+		resp, err := r.forward(ctx, sh, req)
+		sh.inflight.Add(-1)
+		if err == nil && resp.Status != wire.StatusUnavailable {
+			info.shard, info.hops, info.route = sh.name, hops, attemptStart.Sub(start)
+			r.routeHist.observe(info.route)
+			r.noteHops(hops)
+			return resp, info
+		}
+		if err != nil {
+			if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+				// The client's own deadline fired mid-flight: a typed
+				// deadline answer, not a reroute (re-executing a request
+				// whose deadline is spent helps nobody).
+				r.noteHops(hops)
+				return wire.Response{Status: wire.StatusDeadline, Message: err.Error()}, info
+			}
+			// Transport failure: the shard is unreachable until a probe
+			// says otherwise.
+			sh.down.Store(true)
+		}
+		// StatusUnavailable (the shard is closing) or a dead connection:
+		// the request is retryable on another shard.
+	}
+}
+
+// forward sends the request over the shard's pipelined connection,
+// dialing it first when needed.
+func (r *Router) forward(ctx context.Context, sh *shard, req *wire.Request) (wire.Response, error) {
+	c, err := sh.getConn()
+	if err != nil {
+		return wire.Response{}, err
+	}
+	return c.roundTrip(ctx, req)
+}
+
+// noteHops records a request's hop count into the max-hops watermark.
+func (r *Router) noteHops(h int) {
+	for {
+		cur := r.maxHops.Load()
+		if int64(h) <= cur || r.maxHops.CompareAndSwap(cur, int64(h)) {
+			return
+		}
+	}
+}

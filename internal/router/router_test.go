@@ -1,0 +1,473 @@
+package router
+
+import (
+	"bufio"
+	"encoding/json"
+	"io"
+	"net"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"arlo/internal/cluster"
+	"arlo/internal/dispatch"
+	"arlo/internal/model"
+	"arlo/internal/profiler"
+	"arlo/internal/queue"
+	"arlo/internal/serve"
+	"arlo/internal/tokenizer"
+	"arlo/internal/wire"
+)
+
+// testShard is one in-process arlo-server shard with a live wire
+// listener, plus the handles the chaos tests use to kill and restart it.
+type testShard struct {
+	name string
+	addr string
+	srv  *serve.Server
+	cl   *cluster.Cluster
+}
+
+// startShard boots a shard with the given per-level instance allocation
+// over a compressed-time 2-level {128, 512} profile.
+func startShard(t *testing.T, name string, alloc []int, timeScale float64) *testShard {
+	t.Helper()
+	p, err := profiler.StaticProfile(model.BertBase(), []int{128, 512}, 150*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl, err := cluster.New(cluster.Config{
+		Profile:           p,
+		InitialAllocation: alloc,
+		TimeScale:         timeScale,
+		Dispatcher: func(ml *queue.MultiLevel) (dispatch.Dispatcher, error) {
+			return dispatch.NewRequestScheduler(ml)
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := serve.New(tokenizer.New(), cl, serve.WithMaxLength(512), serve.WithShardName(name))
+	if err != nil {
+		cl.Close()
+		t.Fatal(err)
+	}
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		cl.Close()
+		t.Fatal(err)
+	}
+	go func() { _ = srv.ServeWire(l) }()
+	ts := &testShard{name: name, addr: l.Addr().String(), srv: srv, cl: cl}
+	t.Cleanup(func() { ts.kill() })
+	return ts
+}
+
+// kill closes the shard's server (listeners and live connections) and
+// its cluster. Idempotent.
+func (ts *testShard) kill() {
+	_ = ts.srv.Close()
+	ts.cl.Close()
+}
+
+// restart brings the shard back on its previous address with a fresh
+// cluster and server.
+func (ts *testShard) restart(t *testing.T, alloc []int, timeScale float64) {
+	t.Helper()
+	p, err := profiler.StaticProfile(model.BertBase(), []int{128, 512}, 150*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl, err := cluster.New(cluster.Config{
+		Profile:           p,
+		InitialAllocation: alloc,
+		TimeScale:         timeScale,
+		Dispatcher: func(ml *queue.MultiLevel) (dispatch.Dispatcher, error) {
+			return dispatch.NewRequestScheduler(ml)
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := serve.New(tokenizer.New(), cl, serve.WithMaxLength(512), serve.WithShardName(ts.name))
+	if err != nil {
+		cl.Close()
+		t.Fatal(err)
+	}
+	l, err := net.Listen("tcp", ts.addr)
+	if err != nil {
+		cl.Close()
+		t.Fatalf("restart listen on %s: %v", ts.addr, err)
+	}
+	go func() { _ = srv.ServeWire(l) }()
+	ts.srv, ts.cl = srv, cl
+}
+
+func newRouter(t *testing.T, cfg Config) *Router {
+	t.Helper()
+	r, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = r.Close() })
+	return r
+}
+
+func shardConfigs(shards ...*testShard) []ShardConfig {
+	out := make([]ShardConfig, len(shards))
+	for i, s := range shards {
+		out[i] = ShardConfig{Name: s.name, Addr: s.addr}
+	}
+	return out
+}
+
+func TestRouterHTTPInferEndToEnd(t *testing.T) {
+	a := startShard(t, "a", []int{1, 1}, 0.01)
+	b := startShard(t, "b", []int{1, 1}, 0.01)
+	r := newRouter(t, Config{Shards: shardConfigs(a, b), SnapshotRefreshInterval: 10 * time.Millisecond})
+	hts := httptest.NewServer(r)
+	defer hts.Close()
+
+	resp, err := hts.Client().Post(hts.URL+"/v1/infer", "application/json",
+		strings.NewReader(`{"text":"the router forwards this request to a shard"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	var out InferResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Label == "" || out.SequenceLength == 0 {
+		t.Errorf("thin response: %+v", out)
+	}
+	if out.Shard != "a" && out.Shard != "b" {
+		t.Errorf("shard = %q", out.Shard)
+	}
+	if out.RouteMS < 0 {
+		t.Errorf("route_ms = %v", out.RouteMS)
+	}
+
+	// The routed answer must match what the shard itself would compute:
+	// label and sequence length agree with a direct single-process call.
+	direct := httptest.NewServer(a.srv)
+	defer direct.Close()
+	dresp, err := direct.Client().Post(direct.URL+"/v1/infer", "application/json",
+		strings.NewReader(`{"text":"the router forwards this request to a shard"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer dresp.Body.Close()
+	var dout serve.InferResponse
+	if err := json.NewDecoder(dresp.Body).Decode(&dout); err != nil {
+		t.Fatal(err)
+	}
+	if dout.Label != out.Label || dout.SequenceLength != out.SequenceLength {
+		t.Errorf("routed (%q, %d) != direct (%q, %d)",
+			out.Label, out.SequenceLength, dout.Label, dout.SequenceLength)
+	}
+}
+
+func TestRouterHTTPGenerate(t *testing.T) {
+	a := startShard(t, "a", []int{1, 1}, 0.01)
+	r := newRouter(t, Config{Shards: shardConfigs(a), SnapshotRefreshInterval: 10 * time.Millisecond})
+	hts := httptest.NewServer(r)
+	defer hts.Close()
+
+	resp, err := hts.Client().Post(hts.URL+"/v1/generate", "application/json",
+		strings.NewReader(`{"text":"generate from this prompt","max_new_tokens":4}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	var out GenerateResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if out.OutputTokens != 4 || out.TTFTMS <= 0 {
+		t.Errorf("generate response: %+v", out)
+	}
+
+	// Unknown fields reject with unsupported_field, like the shard's own
+	// strict decode.
+	resp2, err := hts.Client().Post(hts.URL+"/v1/generate", "application/json",
+		strings.NewReader(`{"text":"x","max_new_tokens":4,"temperature":0.7}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp2.Body.Close()
+	var env serve.ErrorEnvelope
+	if err := json.NewDecoder(resp2.Body).Decode(&env); err != nil {
+		t.Fatal(err)
+	}
+	if resp2.StatusCode != 400 || env.Error.Code != serve.CodeUnsupportedField {
+		t.Errorf("unknown field: status %d code %q", resp2.StatusCode, env.Error.Code)
+	}
+}
+
+func TestRouterWireFrontEndToEnd(t *testing.T) {
+	a := startShard(t, "a", []int{1, 1}, 0.01)
+	b := startShard(t, "b", []int{1, 1}, 0.01)
+	r := newRouter(t, Config{Shards: shardConfigs(a, b), SnapshotRefreshInterval: 10 * time.Millisecond})
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() { _ = r.ServeWire(l) }()
+
+	nc, err := net.Dial("tcp", l.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nc.Close()
+	// Pipeline a few requests with distinct ids; all must come back with
+	// their own id and StatusOK.
+	const n = 8
+	var reqBuf []byte
+	for i := 1; i <= n; i++ {
+		reqBuf = wire.AppendFrame(reqBuf[:0], wire.AppendRequest(nil, &wire.Request{
+			ID:   uint64(i),
+			Mode: wire.ModeText,
+			Text: "pipelined request through the router tier",
+		}))
+		if _, err := nc.Write(reqBuf); err != nil {
+			t.Fatal(err)
+		}
+	}
+	br := bufio.NewReader(nc)
+	var buf []byte
+	got := map[uint64]bool{}
+	for i := 0; i < n; i++ {
+		var payload []byte
+		payload, buf, err = wire.ReadFrame(br, buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := wire.DecodeResponse(payload)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.Status != wire.StatusOK {
+			t.Fatalf("id %d: status %v (%s)", resp.ID, resp.Status, resp.Message)
+		}
+		if got[resp.ID] {
+			t.Fatalf("duplicate response for id %d", resp.ID)
+		}
+		got[resp.ID] = true
+	}
+}
+
+func TestRouterPolicies(t *testing.T) {
+	a := startShard(t, "a", []int{1, 1}, 0.01)
+	b := startShard(t, "b", []int{1, 1}, 0.01)
+	c := startShard(t, "c", []int{1, 1}, 0.01)
+	for _, policy := range []Policy{PolicyLengthAware, PolicyRoundRobin, PolicyLeastLoaded} {
+		t.Run(policy.String(), func(t *testing.T) {
+			r := newRouter(t, Config{
+				Shards:                  shardConfigs(a, b, c),
+				Policy:                  policy,
+				SnapshotRefreshInterval: 5 * time.Millisecond,
+				Seed:                    7,
+			})
+			hts := httptest.NewServer(r)
+			defer hts.Close()
+			var wg sync.WaitGroup
+			errs := make(chan error, 30)
+			for i := 0; i < 30; i++ {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					resp, err := hts.Client().Post(hts.URL+"/v1/infer", "application/json",
+						strings.NewReader(`{"text":"spread across shards"}`))
+					if err != nil {
+						errs <- err
+						return
+					}
+					defer resp.Body.Close()
+					if resp.StatusCode != 200 {
+						errs <- err
+					}
+				}()
+			}
+			wg.Wait()
+			close(errs)
+			for err := range errs {
+				if err != nil {
+					t.Fatal(err)
+				}
+			}
+			routed := uint64(0)
+			for _, sh := range r.shards {
+				routed += sh.requests.Load()
+			}
+			if routed < 30 {
+				t.Errorf("routed %d requests, want >= 30", routed)
+			}
+			if policy == PolicyRoundRobin {
+				// Round-robin must touch every shard.
+				for _, sh := range r.shards {
+					if sh.requests.Load() == 0 {
+						t.Errorf("round-robin left shard %s unused", sh.name)
+					}
+				}
+			}
+		})
+	}
+}
+
+func TestRouterHealthzAggregation(t *testing.T) {
+	a := startShard(t, "a", []int{1, 1}, 0.01)
+	b := startShard(t, "b", []int{1, 1}, 0.01)
+	r := newRouter(t, Config{Shards: shardConfigs(a, b), SnapshotRefreshInterval: 5 * time.Millisecond})
+	waitRefresh(t, r, 2)
+	hts := httptest.NewServer(r)
+	defer hts.Close()
+
+	var hr HealthResponse
+	getJSON(t, hts, "/healthz", 200, &hr)
+	if hr.Status != "ok" || len(hr.Shards) != 2 {
+		t.Fatalf("healthz = %+v", hr)
+	}
+	for _, sh := range hr.Shards {
+		if sh.State != "up" || sh.Healthy != 2 || sh.SnapshotAgeMS < 0 {
+			t.Errorf("shard %s: %+v", sh.Name, sh)
+		}
+	}
+
+	// Kill one shard: tier stays ok, the dead shard reports down.
+	b.kill()
+	waitFor(t, 2*time.Second, func() bool {
+		var hr HealthResponse
+		getJSON(t, hts, "/healthz", 200, &hr)
+		for _, sh := range hr.Shards {
+			if sh.Name == "b" && sh.State == "down" {
+				return true
+			}
+		}
+		return false
+	})
+
+	// Kill the other: the tier itself goes unavailable (503).
+	a.kill()
+	waitFor(t, 2*time.Second, func() bool {
+		resp, err := hts.Client().Get(hts.URL + "/healthz")
+		if err != nil {
+			return false
+		}
+		defer resp.Body.Close()
+		return resp.StatusCode == 503
+	})
+}
+
+func TestRouterMetrics(t *testing.T) {
+	a := startShard(t, "a", []int{1, 1}, 0.01)
+	r := newRouter(t, Config{Shards: shardConfigs(a), SnapshotRefreshInterval: 5 * time.Millisecond})
+	hts := httptest.NewServer(r)
+	defer hts.Close()
+	resp, err := hts.Client().Post(hts.URL+"/v1/infer", "application/json",
+		strings.NewReader(`{"text":"count me"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+
+	mresp, err := hts.Client().Get(hts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mresp.Body.Close()
+	var sb strings.Builder
+	if _, err := io.Copy(&sb, mresp.Body); err != nil {
+		t.Fatal(err)
+	}
+	body := sb.String()
+	for _, want := range []string{
+		`arlo_router_requests_total{shard="a"} 1`,
+		"arlo_router_reroutes_total 0",
+		`arlo_router_shard_up{shard="a"} 1`,
+		"arlo_router_snapshot_age_seconds",
+		"arlo_router_route_seconds_count 1",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("metrics missing %q", want)
+		}
+	}
+}
+
+func TestRouterImmediateMode(t *testing.T) {
+	a := startShard(t, "a", []int{1, 1}, 0.01)
+	b := startShard(t, "b", []int{1, 1}, 0.01)
+	// SnapshotRefreshInterval 0: no background loops; snapshots are
+	// fetched inside each decision.
+	r := newRouter(t, Config{Shards: shardConfigs(a, b), Seed: 3})
+	hts := httptest.NewServer(r)
+	defer hts.Close()
+	resp, err := hts.Client().Post(hts.URL+"/v1/infer", "application/json",
+		strings.NewReader(`{"text":"immediate snapshots"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	// Both candidates were probed synchronously, so snapshots exist now.
+	fresh := 0
+	for _, sh := range r.shards {
+		if sh.snapshot() != nil {
+			fresh++
+		}
+	}
+	if fresh == 0 {
+		t.Error("immediate mode fetched no snapshots")
+	}
+}
+
+// waitRefresh blocks until every shard has a snapshot with seq >= minSeq.
+func waitRefresh(t *testing.T, r *Router, minSeq uint64) {
+	t.Helper()
+	waitFor(t, 2*time.Second, func() bool {
+		for _, sh := range r.shards {
+			e := sh.snapshot()
+			if e == nil || e.snap.Seq < minSeq {
+				return false
+			}
+		}
+		return true
+	})
+}
+
+func waitFor(t *testing.T, timeout time.Duration, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatal("condition not met before timeout")
+}
+
+func getJSON(t *testing.T, hts *httptest.Server, path string, wantStatus int, v any) {
+	t.Helper()
+	resp, err := hts.Client().Get(hts.URL + path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != wantStatus {
+		t.Fatalf("GET %s status = %d, want %d", path, resp.StatusCode, wantStatus)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(v); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,180 @@
+// The router's binary front end: the same pipelined frame protocol a
+// shard speaks, answered by forwarding. The router tokenizes ModeText
+// bodies itself (one tokenization per request, router-side) and always
+// forwards V2 frames, so tenant identity and deadlines survive the hop
+// whichever frame revision the client spoke.
+
+package router
+
+import (
+	"bufio"
+	"context"
+	"encoding/binary"
+	"errors"
+	"net"
+	"sync"
+	"time"
+
+	"arlo/internal/wire"
+)
+
+// ServeWire accepts binary-protocol connections on l until the listener
+// fails or the router is closed (Close closes l and returns nil here).
+func (r *Router) ServeWire(l net.Listener) error {
+	r.listMu.Lock()
+	if r.closing.Load() {
+		r.listMu.Unlock()
+		_ = l.Close()
+		return nil
+	}
+	r.listeners = append(r.listeners, l)
+	r.listMu.Unlock()
+	for {
+		c, err := l.Accept()
+		if err != nil {
+			if r.closing.Load() {
+				return nil
+			}
+			return err
+		}
+		go r.serveWireConn(c)
+	}
+}
+
+func (r *Router) trackConn(c net.Conn) bool {
+	r.listMu.Lock()
+	if r.closing.Load() {
+		r.listMu.Unlock()
+		_ = c.Close()
+		return false
+	}
+	if r.conns == nil {
+		r.conns = make(map[net.Conn]struct{})
+	}
+	r.conns[c] = struct{}{}
+	r.listMu.Unlock()
+	return true
+}
+
+func (r *Router) untrackConn(c net.Conn) {
+	r.listMu.Lock()
+	delete(r.conns, c)
+	r.listMu.Unlock()
+}
+
+// serveWireConn runs one client connection: decode, forward via the
+// routing loop, answer with the client's own id restored.
+func (r *Router) serveWireConn(nc net.Conn) {
+	if !r.trackConn(nc) {
+		return
+	}
+	defer r.untrackConn(nc)
+	defer nc.Close()
+	br := bufio.NewReaderSize(nc, 32<<10)
+	fw := &frontWriter{bw: bufio.NewWriterSize(nc, 32<<10)}
+	var wg sync.WaitGroup
+	defer wg.Wait()
+	var buf []byte
+	for {
+		var payload []byte
+		var err error
+		payload, buf, err = wire.ReadFrame(br, buf)
+		if err != nil {
+			return
+		}
+		req, err := wire.DecodeRequest(payload, nil)
+		if err != nil {
+			if errors.Is(err, wire.ErrBadKind) || errors.Is(err, wire.ErrBadMode) ||
+				errors.Is(err, wire.ErrBadVersion) {
+				fw.send(&wire.Response{ID: req.ID, Status: wire.StatusUnsupportedField, Message: err.Error()})
+				continue
+			}
+			fw.send(&wire.Response{ID: req.ID, Status: wire.StatusInvalid, Message: "malformed request"})
+			continue
+		}
+		// DecodeRequest aliases the read buffer (Text); ModeTokens decodes
+		// into a fresh slice already, and the forwarded request below
+		// re-tokenizes Text before the next ReadFrame... but the forward
+		// happens on another goroutine, so copy what aliases.
+		if req.Mode == wire.ModeText {
+			req.Text = string(append([]byte(nil), req.Text...))
+		}
+		wg.Add(1)
+		go func(req wire.Request) {
+			defer wg.Done()
+			resp := r.routeWire(&req)
+			fw.send(&resp)
+		}(req)
+	}
+}
+
+// routeWire adapts one decoded front-end request into the routing loop:
+// tokenize text, upgrade the frame to V2, forward, restore the client id.
+func (r *Router) routeWire(req *wire.Request) wire.Response {
+	clientID := req.ID
+	gen := req.Kind == wire.KindGenRequest || req.Kind == wire.KindGenRequestV2
+	fwd := wire.Request{
+		Kind:         wire.KindRequestV2,
+		Mode:         wire.ModeTokens,
+		Deadline:     req.Deadline,
+		Tenant:       req.Tenant,
+		MaxNewTokens: req.MaxNewTokens,
+	}
+	if gen {
+		fwd.Kind = wire.KindGenRequestV2
+	}
+	switch req.Mode {
+	case wire.ModeText:
+		if req.Text == "" {
+			return wire.Response{ID: clientID, Status: wire.StatusInvalid, Message: "empty text"}
+		}
+		ids := r.tok.Encode(req.Text, r.cfg.MaxLength)
+		fwd.Tokens = make([]uint32, len(ids))
+		for i, id := range ids {
+			fwd.Tokens[i] = uint32(id)
+		}
+	case wire.ModeTokens:
+		if len(req.Tokens) == 0 {
+			return wire.Response{ID: clientID, Status: wire.StatusInvalid, Message: "empty token ids"}
+		}
+		if len(req.Tokens) > r.cfg.MaxLength {
+			req.Tokens = req.Tokens[:r.cfg.MaxLength]
+		}
+		fwd.Tokens = req.Tokens
+	default:
+		return wire.Response{ID: clientID, Status: wire.StatusInvalid, Message: "unknown mode"}
+	}
+	ctx := context.Background()
+	if req.Deadline != 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithDeadline(ctx, time.Unix(0, req.Deadline))
+		defer cancel()
+	}
+	resp, _ := r.route(ctx, &fwd, len(fwd.Tokens))
+	resp.ID = clientID
+	return resp
+}
+
+// frontWriter serializes response frames from concurrent forwards onto
+// one buffered client connection.
+type frontWriter struct {
+	mu  sync.Mutex
+	bw  *bufio.Writer
+	buf []byte
+}
+
+func (w *frontWriter) send(resp *wire.Response) {
+	w.mu.Lock()
+	w.buf = wire.AppendResponse(w.buf[:0], resp)
+	var hdr [4]byte
+	binary.LittleEndian.PutUint32(hdr[:], uint32(len(w.buf)))
+	_, err := w.bw.Write(hdr[:])
+	if err == nil {
+		_, err = w.bw.Write(w.buf)
+	}
+	if err == nil {
+		err = w.bw.Flush()
+	}
+	w.mu.Unlock()
+	_ = err // a dead peer surfaces as the read loop's error
+}

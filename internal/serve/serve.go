@@ -158,6 +158,11 @@ type Server struct {
 	served     atomic.Int64
 	rejected   atomic.Int64
 
+	// shard is the operator-assigned shard name (WithShardName); loadSeq
+	// orders the load snapshots this server hands out.
+	shard   string
+	loadSeq atomic.Uint64
+
 	// ingress, when configured with WithIngress, is the ring-fed submit
 	// path both protocols dispatch through instead of per-request
 	// Cluster.SubmitCtx.
@@ -165,10 +170,14 @@ type Server struct {
 	ingressCfg *cluster.IngressConfig
 
 	// closing gates the wire accept loops; listeners holds every listener
-	// handed to ServeWire so Close can unblock them.
+	// handed to ServeWire so Close can unblock them, and conns every
+	// accepted wire connection so Close drops in-flight peers too (a
+	// killed shard must look dead to its routers, not merely stop
+	// accepting new dials).
 	closing   atomic.Bool
 	listMu    sync.Mutex
 	listeners []net.Listener
+	conns     map[net.Conn]struct{}
 
 	window *metrics.Window
 
@@ -315,6 +324,7 @@ func New(tok *tokenizer.Tokenizer, cl *cluster.Cluster, opts ...Option) (*Server
 	s.mux.HandleFunc("/v1/tenants", s.handleTenants)
 	s.mux.HandleFunc("/v1/tenants/", s.handleTenant)
 	s.mux.HandleFunc("/v1/stats", s.handleStats)
+	s.mux.HandleFunc("/v1/load", s.handleLoad)
 	s.mux.HandleFunc("/v1/controller", s.handleController)
 	s.mux.HandleFunc("/healthz", s.handleHealth)
 	s.mux.Handle("/metrics", s.rec.Handler())
@@ -353,21 +363,50 @@ func (s *Server) submit(ctx context.Context, req cluster.Request) (cluster.Resul
 	return s.cluster.SubmitCtx(ctx, req)
 }
 
-// Close stops the wire listeners and the ingress (when configured). The
-// cluster itself stays up — the caller owns it. Idempotent.
+// Close stops the wire listeners, drops accepted wire connections, and
+// stops the ingress (when configured). The cluster itself stays up — the
+// caller owns it. Idempotent.
 func (s *Server) Close() error {
 	s.closing.Store(true)
 	s.listMu.Lock()
 	ls := s.listeners
 	s.listeners = nil
+	cs := s.conns
+	s.conns = nil
 	s.listMu.Unlock()
 	for _, l := range ls {
 		_ = l.Close()
+	}
+	for c := range cs {
+		_ = c.Close()
 	}
 	if s.ingress != nil {
 		s.ingress.Close()
 	}
 	return nil
+}
+
+// trackConn registers an accepted wire connection for Close; it reports
+// false (and closes the connection) when the server is already closing.
+func (s *Server) trackConn(c net.Conn) bool {
+	s.listMu.Lock()
+	if s.closing.Load() {
+		s.listMu.Unlock()
+		_ = c.Close()
+		return false
+	}
+	if s.conns == nil {
+		s.conns = make(map[net.Conn]struct{})
+	}
+	s.conns[c] = struct{}{}
+	s.listMu.Unlock()
+	return true
+}
+
+func (s *Server) untrackConn(c net.Conn) {
+	s.listMu.Lock()
+	delete(s.conns, c)
+	s.listMu.Unlock()
 }
 
 func (s *Server) notify(length int, lat time.Duration) {
@@ -569,18 +608,47 @@ func (s *Server) handleController(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, s.ctrl.Status())
 }
 
-// HealthResponse is the body of GET /healthz: overall status plus
-// per-state instance counts.
+// HealthResponse is the body of GET /healthz: overall status, per-state
+// instance counts, and each instance's serving state — the same split
+// the arlo_instance_health gauge exports, so routers and operators read
+// one source of truth.
 type HealthResponse struct {
 	// Status is "ok" while at least one instance is serving (healthy or
 	// degraded), "unavailable" otherwise.
 	Status string `json:"status"`
 	cluster.HealthSummary
+	// Shard is the operator-assigned shard name (omitted when unnamed).
+	Shard string `json:"shard,omitempty"`
+	// Instances is each instance's serving state, sorted by ID.
+	Instances []InstanceHealthInfo `json:"instances"`
+}
+
+// InstanceHealthInfo is one instance's serving state in HealthResponse.
+type InstanceHealthInfo struct {
+	ID      int    `json:"id"`
+	Runtime int    `json:"runtime"`
+	State   string `json:"state"`
+	// SlowFactor is the degraded-mode execution multiplier (omitted when
+	// 1, i.e. healthy; 0 means dead).
+	SlowFactor float64 `json:"slow_factor,omitempty"`
 }
 
 func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
-	sum := cluster.Summarize(s.cluster.Health())
-	resp := HealthResponse{Status: "ok", HealthSummary: sum}
+	hs := s.cluster.Health()
+	sum := cluster.Summarize(hs)
+	resp := HealthResponse{
+		Status:        "ok",
+		HealthSummary: sum,
+		Shard:         s.shard,
+		Instances:     make([]InstanceHealthInfo, 0, len(hs)),
+	}
+	for _, h := range hs {
+		info := InstanceHealthInfo{ID: h.ID, Runtime: h.Runtime, State: h.State.String()}
+		if h.SlowFactor != 1 {
+			info.SlowFactor = h.SlowFactor
+		}
+		resp.Instances = append(resp.Instances, info)
+	}
 	status := http.StatusOK
 	if sum.Healthy+sum.Degraded == 0 {
 		// Every instance is down: the server cannot serve a single

@@ -51,6 +51,10 @@ func (s *Server) ServeWire(l net.Listener) error {
 // cluster and writes its response frame under the shared write lock —
 // out-of-order completion is the point of the id field.
 func (s *Server) serveWireConn(conn net.Conn) {
+	if !s.trackConn(conn) {
+		return
+	}
+	defer s.untrackConn(conn)
 	defer conn.Close()
 	br := bufio.NewReaderSize(conn, 32<<10)
 	ww := &wireWriter{bw: bufio.NewWriterSize(conn, 32<<10)}
@@ -65,6 +69,20 @@ func (s *Server) serveWireConn(conn net.Conn) {
 			// EOF, torn frame or an oversized prefix: the stream cannot be
 			// trusted past this point, so drop the connection.
 			return
+		}
+		// Load-snapshot probes are answered inline: building a snapshot is
+		// a handful of atomic reads, and routers poll on an interval, so a
+		// goroutine per probe would cost more than the probe.
+		if len(payload) > 0 && payload[0] == wire.KindLoadRequest {
+			id, err := wire.DecodeLoadRequest(payload)
+			if err != nil {
+				ww.send(&wire.Response{Status: wire.StatusInvalid, Message: "malformed load request"})
+				continue
+			}
+			snap := s.LoadSnapshot()
+			snap.ID = id
+			ww.sendRaw(wire.AppendLoadSnapshot(nil, &snap))
+			continue
 		}
 		// Decode aliases the read buffer only for fields we copy below
 		// (Text is copied by string conversion, Tokens decode into a fresh
@@ -98,6 +116,23 @@ type wireWriter struct {
 	mu  sync.Mutex
 	bw  *bufio.Writer
 	buf []byte
+}
+
+// sendRaw frames and writes an already-encoded payload (load snapshots,
+// which have their own encoder) under the same write lock as send.
+func (w *wireWriter) sendRaw(payload []byte) {
+	w.mu.Lock()
+	var hdr [4]byte
+	binary.LittleEndian.PutUint32(hdr[:], uint32(len(payload)))
+	_, err := w.bw.Write(hdr[:])
+	if err == nil {
+		_, err = w.bw.Write(payload)
+	}
+	if err == nil {
+		err = w.bw.Flush()
+	}
+	w.mu.Unlock()
+	_ = err // a dead peer surfaces as the read loop's error
 }
 
 func (w *wireWriter) send(resp *wire.Response) {

@@ -1,0 +1,191 @@
+package wire
+
+// Load-snapshot frames: the router tier's view of one shard's state,
+// refreshed asynchronously on a configurable interval instead of queried
+// synchronously per request. A snapshot is deliberately compact — one
+// frame carries everything the routing score needs (per-runtime queue
+// depth by length bucket, instance health counts, lifetime admission
+// counters) so a refresh costs one small frame each way on the same
+// pipelined connection the data plane uses.
+//
+// Load request payload:
+//
+//	u8 kind=7 | u64 id
+//
+// Load response payload:
+//
+//	u8 kind=8 | u64 id | u64 seq | u8 shard_len | shard |
+//	u16 healthy | u16 degraded | u16 dead |
+//	u64 submitted | u64 completed | u64 rejected | u32 util_milli |
+//	u8 num_levels | num_levels x (u32 max_length | u32 depth |
+//	                              u16 instances | u32 capacity)
+//
+// seq is the shard's monotonically increasing snapshot sequence number,
+// so a router holding two snapshots can tell which is fresher without
+// trusting clocks across machines.
+
+import "encoding/binary"
+
+// Load-snapshot frame kinds (continuing the request/response numbering).
+const (
+	// KindLoadRequest asks the shard for its current load snapshot.
+	KindLoadRequest = 7
+	// KindLoadResponse carries the shard's load snapshot.
+	KindLoadResponse = 8
+)
+
+// LoadLevel is one runtime level's (length bucket's) load in a snapshot.
+type LoadLevel struct {
+	// MaxLength is the runtime's padded sequence length — the bucket
+	// boundary routing buckets requests against.
+	MaxLength uint32 `json:"max_length"`
+	// Depth is the level's outstanding (dispatched, not completed)
+	// request count.
+	Depth uint32 `json:"depth"`
+	// Instances is how many instances serve the level.
+	Instances uint16 `json:"instances"`
+	// Capacity is the level's summed SLO-feasible queue bound (Σ M_i).
+	Capacity uint32 `json:"capacity"`
+}
+
+// LoadSnapshot is one shard's compact load report.
+type LoadSnapshot struct {
+	// ID echoes the requesting frame's multiplexing id.
+	ID uint64 `json:"-"`
+	// Seq is the shard's monotonically increasing snapshot sequence.
+	Seq uint64 `json:"seq"`
+	// Shard is the shard's self-reported name (at most 255 bytes on the
+	// wire; empty when the operator never named the shard).
+	Shard string `json:"shard"`
+	// Healthy, Degraded and Dead count instances per serving state — the
+	// same split the arlo_instance_health gauge and /healthz export.
+	Healthy  uint16 `json:"healthy"`
+	Degraded uint16 `json:"degraded"`
+	Dead     uint16 `json:"dead"`
+	// Submitted, Completed and Rejected are the shard's lifetime
+	// admission counters (rejected spans every reason, including tenant
+	// rate limiting).
+	Submitted uint64 `json:"submitted"`
+	Completed uint64 `json:"completed"`
+	Rejected  uint64 `json:"rejected"`
+	// UtilMilli is total outstanding work over total capacity in
+	// thousandths (1000 = nominally full).
+	UtilMilli uint32 `json:"util_milli"`
+	// Levels is the per-runtime load, ordered by increasing MaxLength.
+	Levels []LoadLevel `json:"levels"`
+}
+
+// Serviceable reports whether the shard can serve any request at all: at
+// least one instance is healthy or degraded.
+func (s *LoadSnapshot) Serviceable() bool { return s.Healthy+s.Degraded > 0 }
+
+const (
+	loadReqLen      = 1 + 8 // kind, id
+	loadLevelLen    = 4 + 4 + 2 + 4
+	maxLoadLevels   = 255
+	maxLoadShardLen = 255
+)
+
+// AppendLoadRequest appends an encoded load-snapshot request payload.
+func AppendLoadRequest(dst []byte, id uint64) []byte {
+	dst = append(dst, KindLoadRequest)
+	return binary.LittleEndian.AppendUint64(dst, id)
+}
+
+// DecodeLoadRequest parses a load-snapshot request payload, returning the
+// multiplexing id.
+func DecodeLoadRequest(p []byte) (uint64, error) {
+	if len(p) < loadReqLen {
+		return 0, ErrShortPayload
+	}
+	if p[0] != KindLoadRequest {
+		return 0, ErrBadKind
+	}
+	return binary.LittleEndian.Uint64(p[1:]), nil
+}
+
+// AppendLoadSnapshot appends an encoded load-snapshot response payload.
+// A Shard name beyond 255 bytes and Levels beyond 255 entries are
+// truncated to the wire's one-byte length prefixes.
+func AppendLoadSnapshot(dst []byte, s *LoadSnapshot) []byte {
+	dst = append(dst, KindLoadResponse)
+	dst = binary.LittleEndian.AppendUint64(dst, s.ID)
+	dst = binary.LittleEndian.AppendUint64(dst, s.Seq)
+	shard := s.Shard
+	if len(shard) > maxLoadShardLen {
+		shard = shard[:maxLoadShardLen]
+	}
+	dst = append(dst, uint8(len(shard)))
+	dst = append(dst, shard...)
+	dst = binary.LittleEndian.AppendUint16(dst, s.Healthy)
+	dst = binary.LittleEndian.AppendUint16(dst, s.Degraded)
+	dst = binary.LittleEndian.AppendUint16(dst, s.Dead)
+	dst = binary.LittleEndian.AppendUint64(dst, s.Submitted)
+	dst = binary.LittleEndian.AppendUint64(dst, s.Completed)
+	dst = binary.LittleEndian.AppendUint64(dst, s.Rejected)
+	dst = binary.LittleEndian.AppendUint32(dst, s.UtilMilli)
+	levels := s.Levels
+	if len(levels) > maxLoadLevels {
+		levels = levels[:maxLoadLevels]
+	}
+	dst = append(dst, uint8(len(levels)))
+	for i := range levels {
+		l := &levels[i]
+		dst = binary.LittleEndian.AppendUint32(dst, l.MaxLength)
+		dst = binary.LittleEndian.AppendUint32(dst, l.Depth)
+		dst = binary.LittleEndian.AppendUint16(dst, l.Instances)
+		dst = binary.LittleEndian.AppendUint32(dst, l.Capacity)
+	}
+	return dst
+}
+
+// DecodeLoadSnapshot parses a load-snapshot response payload. The
+// returned snapshot owns its memory (the shard name is copied), so the
+// caller may retain it past the read buffer's reuse. Trailing bytes after
+// the declared levels are malformed.
+func DecodeLoadSnapshot(p []byte) (LoadSnapshot, error) {
+	var s LoadSnapshot
+	if len(p) < 1+8+8+1 {
+		return s, ErrShortPayload
+	}
+	if p[0] != KindLoadResponse {
+		return s, ErrBadKind
+	}
+	s.ID = binary.LittleEndian.Uint64(p[1:])
+	s.Seq = binary.LittleEndian.Uint64(p[9:])
+	sn := int(p[17])
+	rest := p[18:]
+	if len(rest) < sn {
+		return s, ErrShortPayload
+	}
+	s.Shard = string(rest[:sn])
+	rest = rest[sn:]
+	if len(rest) < 2+2+2+8+8+8+4+1 {
+		return s, ErrShortPayload
+	}
+	s.Healthy = binary.LittleEndian.Uint16(rest)
+	s.Degraded = binary.LittleEndian.Uint16(rest[2:])
+	s.Dead = binary.LittleEndian.Uint16(rest[4:])
+	s.Submitted = binary.LittleEndian.Uint64(rest[6:])
+	s.Completed = binary.LittleEndian.Uint64(rest[14:])
+	s.Rejected = binary.LittleEndian.Uint64(rest[22:])
+	s.UtilMilli = binary.LittleEndian.Uint32(rest[30:])
+	n := int(rest[34])
+	rest = rest[35:]
+	if len(rest) != n*loadLevelLen {
+		return s, ErrShortPayload
+	}
+	if n > 0 {
+		s.Levels = make([]LoadLevel, n)
+		for i := 0; i < n; i++ {
+			off := i * loadLevelLen
+			s.Levels[i] = LoadLevel{
+				MaxLength: binary.LittleEndian.Uint32(rest[off:]),
+				Depth:     binary.LittleEndian.Uint32(rest[off+4:]),
+				Instances: binary.LittleEndian.Uint16(rest[off+8:]),
+				Capacity:  binary.LittleEndian.Uint32(rest[off+10:]),
+			}
+		}
+	}
+	return s, nil
+}

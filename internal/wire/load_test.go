@@ -1,0 +1,135 @@
+package wire
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestLoadRequestRoundTrip(t *testing.T) {
+	for _, id := range []uint64{0, 1, 1<<63 + 12345} {
+		p := AppendLoadRequest(nil, id)
+		got, err := DecodeLoadRequest(p)
+		if err != nil {
+			t.Fatalf("DecodeLoadRequest(%d): %v", id, err)
+		}
+		if got != id {
+			t.Errorf("id = %d, want %d", got, id)
+		}
+	}
+	if _, err := DecodeLoadRequest([]byte{KindLoadRequest, 1}); err != ErrShortPayload {
+		t.Errorf("short payload err = %v, want ErrShortPayload", err)
+	}
+	if _, err := DecodeLoadRequest(AppendLoadSnapshot(nil, &LoadSnapshot{})); err != ErrBadKind {
+		t.Errorf("wrong kind err = %v, want ErrBadKind", err)
+	}
+}
+
+func TestLoadSnapshotRoundTrip(t *testing.T) {
+	snaps := []LoadSnapshot{
+		{},
+		{ID: 7, Seq: 42, Shard: "shard-a", Healthy: 3, Degraded: 1, Dead: 2,
+			Submitted: 100, Completed: 90, Rejected: 10, UtilMilli: 812,
+			Levels: []LoadLevel{
+				{MaxLength: 128, Depth: 5, Instances: 2, Capacity: 24},
+				{MaxLength: 512, Depth: 0, Instances: 1, Capacity: 4},
+			}},
+		{ID: 1<<64 - 1, Seq: 1<<64 - 1, Shard: strings.Repeat("x", 255),
+			Levels: []LoadLevel{{MaxLength: 1<<32 - 1, Depth: 1<<32 - 1, Instances: 1<<16 - 1, Capacity: 1<<32 - 1}}},
+	}
+	for i, want := range snaps {
+		p := AppendLoadSnapshot(nil, &want)
+		got, err := DecodeLoadSnapshot(p)
+		if err != nil {
+			t.Fatalf("snap %d: decode: %v", i, err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("snap %d: round trip mismatch\n got %+v\nwant %+v", i, got, want)
+		}
+		// Re-encode must be byte-identical: the frame has one canonical form.
+		if p2 := AppendLoadSnapshot(nil, &got); string(p2) != string(p) {
+			t.Errorf("snap %d: re-encode differs", i)
+		}
+	}
+}
+
+func TestLoadSnapshotTruncation(t *testing.T) {
+	long := LoadSnapshot{Shard: strings.Repeat("n", 300), Levels: make([]LoadLevel, 300)}
+	for i := range long.Levels {
+		long.Levels[i].MaxLength = uint32(i)
+	}
+	got, err := DecodeLoadSnapshot(AppendLoadSnapshot(nil, &long))
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if len(got.Shard) != 255 || len(got.Levels) != 255 {
+		t.Errorf("truncation: shard %d levels %d, want 255/255", len(got.Shard), len(got.Levels))
+	}
+}
+
+func TestLoadSnapshotDecodeErrors(t *testing.T) {
+	full := AppendLoadSnapshot(nil, &LoadSnapshot{Shard: "s", Levels: []LoadLevel{{MaxLength: 128}}})
+	for n := 0; n < len(full); n++ {
+		if _, err := DecodeLoadSnapshot(full[:n]); err == nil {
+			t.Errorf("truncated at %d: decode succeeded", n)
+		}
+	}
+	// Trailing garbage after the declared levels is malformed.
+	if _, err := DecodeLoadSnapshot(append(append([]byte{}, full...), 0xff)); err == nil {
+		t.Error("trailing byte: decode succeeded")
+	}
+	if _, err := DecodeLoadSnapshot([]byte{KindResponse, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0}); err != ErrBadKind {
+		t.Errorf("wrong kind err = %v, want ErrBadKind", err)
+	}
+}
+
+func TestLoadSnapshotServiceable(t *testing.T) {
+	cases := []struct {
+		s    LoadSnapshot
+		want bool
+	}{
+		{LoadSnapshot{Healthy: 1}, true},
+		{LoadSnapshot{Degraded: 2}, true},
+		{LoadSnapshot{Dead: 4}, false},
+		{LoadSnapshot{}, false},
+	}
+	for i, c := range cases {
+		if got := c.s.Serviceable(); got != c.want {
+			t.Errorf("case %d: Serviceable = %v, want %v", i, got, c.want)
+		}
+	}
+}
+
+// FuzzLoadSnapshotDecode checks that arbitrary payloads never panic the
+// decoder and that every successfully decoded snapshot survives a
+// re-encode/re-decode round trip (decode ∘ encode identity), with the
+// re-encode byte-identical to the accepted input — the frame has exactly
+// one canonical encoding.
+func FuzzLoadSnapshotDecode(f *testing.F) {
+	f.Add(AppendLoadSnapshot(nil, &LoadSnapshot{}))
+	f.Add(AppendLoadSnapshot(nil, &LoadSnapshot{ID: 3, Seq: 9, Shard: "a",
+		Healthy: 2, Submitted: 10, Completed: 8, Rejected: 2, UtilMilli: 500,
+		Levels: []LoadLevel{{MaxLength: 128, Depth: 1, Instances: 1, Capacity: 12}}}))
+	f.Add(AppendLoadSnapshot(nil, &LoadSnapshot{Shard: "shard-b", Dead: 3,
+		Levels: []LoadLevel{{MaxLength: 128}, {MaxLength: 256}, {MaxLength: 512}}}))
+	f.Add(AppendLoadRequest(nil, 77))
+	f.Add([]byte{KindLoadResponse})
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, p []byte) {
+		s, err := DecodeLoadSnapshot(p)
+		if err != nil {
+			return
+		}
+		enc := AppendLoadSnapshot(nil, &s)
+		if string(enc) != string(p) {
+			t.Fatalf("accepted payload is not canonical: %x != %x", enc, p)
+		}
+		s2, err := DecodeLoadSnapshot(enc)
+		if err != nil {
+			t.Fatalf("re-decode failed: %v", err)
+		}
+		if !reflect.DeepEqual(s, s2) {
+			t.Fatalf("decode∘encode identity broken:\n %+v\n %+v", s, s2)
+		}
+	})
+}
